@@ -1,0 +1,34 @@
+"""Regenerates paper Figure 7: Decision Coverage vs time folded lines.
+
+One curve per (model, tool); rendered as ASCII line plots into
+``results/fig7.txt``.  The asserted shape: CFTCG's curve ends at or above
+the baselines' on a majority of models.
+"""
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+from conftest import write_result
+
+
+def test_fig7_coverage_vs_time(benchmark):
+    curves = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    assert len(curves) == 8
+    write_result("fig7.txt", render_fig7(curves))
+
+    wins = 0
+    for model, tools in curves.items():
+        final = {tool: points[-1][1] for tool, points in tools.items()}
+        if final["cftcg"] >= max(final["sldv"], final["simcotest"]) - 1e-9:
+            wins += 1
+    assert wins >= 5, "CFTCG should lead on most models, won %d/8" % wins
+
+
+def test_fig7_curves_are_monotone(benchmark):
+    def run_one():
+        return run_fig7(models=["AFC"], budget=2.0)
+
+    curves = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    for tools in curves.values():
+        for points in tools.values():
+            values = [pct for _, pct in points]
+            assert values == sorted(values)  # cumulative coverage

@@ -1,0 +1,59 @@
+"""Extension bench: hybrid constraint-assisted fuzzing (paper §5/§6).
+
+The paper's future work proposes combining constraint solving with the
+fuzzing loop to crack correlated-inport constraints.  This bench compares
+plain CFTCG against the hybrid alternation on the two models with the
+deepest correlated state (RAC, TCP).
+"""
+
+from repro.bench.registry import build_schedule
+from repro.experiments.budget import repeat_count, tool_budget
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_tool
+
+from conftest import write_result
+
+MODELS = ("RAC", "TCP")
+
+
+def _run_all():
+    budget = tool_budget()
+    repeats = repeat_count()
+    rows = []
+    for model in MODELS:
+        schedule = build_schedule(model)
+        for tool in ("cftcg", "hybrid"):
+            reports = [
+                run_tool(tool, schedule, budget, seed=seed).report
+                for seed in range(repeats)
+            ]
+            rows.append(
+                {
+                    "model": model,
+                    "tool": tool,
+                    "decision": sum(r.decision for r in reports) / len(reports),
+                    "condition": sum(r.condition for r in reports) / len(reports),
+                    "mcdc": sum(r.mcdc for r in reports) / len(reports),
+                }
+            )
+    return rows
+
+
+def test_hybrid_constraint_assist(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["Model", "Tool", "Decision", "Condition", "MCDC"],
+        [
+            [r["model"], r["tool"], "%.0f%%" % r["decision"],
+             "%.0f%%" % r["condition"], "%.0f%%" % r["mcdc"]]
+            for r in rows
+        ],
+    )
+    write_result("hybrid.txt", table)
+
+    def avg(tool):
+        values = [r["decision"] for r in rows if r["tool"] == tool]
+        return sum(values) / len(values)
+
+    # the solver assist should not hurt on average (usually it helps)
+    assert avg("hybrid") >= avg("cftcg") - 5.0

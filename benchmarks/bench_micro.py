@@ -1,0 +1,63 @@
+"""Microbenchmarks for the pipeline's hot paths.
+
+These are conventional pytest-benchmark timings (statistics in the
+benchmark table): compiled step throughput, fuzz driver execution,
+interpreter stepping, schedule conversion, code generation, and the
+field-wise mutator.
+"""
+
+import random
+
+import pytest
+
+from repro import compile_model, convert, generate_model_code
+from repro.bench.registry import build_model, build_schedule
+from repro.codegen.driver import compile_fuzz_driver
+from repro.fuzzing.mutations import mutate_field_wise
+from repro.simulate import ModelInstance
+
+
+@pytest.fixture(scope="module")
+def solarpv():
+    return build_schedule("SolarPV")
+
+
+def test_compiled_step_throughput(benchmark, solarpv):
+    program, recorder = compile_model(solarpv, "model").instantiate()
+    fields = solarpv.layout.unpack_tuple(bytes(solarpv.layout.size))
+    benchmark(program.step, *fields)
+
+
+def test_driver_64_iterations(benchmark, solarpv):
+    driver = compile_fuzz_driver(solarpv)
+    program, recorder = compile_model(solarpv, "model").instantiate()
+    data = bytes(solarpv.layout.size * 64)
+    benchmark(driver, program, recorder.curr, data, 0)
+
+
+def test_interpreted_step(benchmark, solarpv):
+    instance = ModelInstance(solarpv)
+    instance.init()
+    fields = solarpv.layout.unpack_tuple(bytes(solarpv.layout.size))
+    benchmark(instance.step, *fields)
+
+
+def test_schedule_conversion(benchmark):
+    model = build_model("RAC")
+    benchmark(convert, model)
+
+
+def test_code_generation(benchmark, solarpv):
+    benchmark(generate_model_code, solarpv, "model")
+
+
+def test_compilation(benchmark, solarpv):
+    benchmark(compile_model, solarpv, "model")
+
+
+def test_field_wise_mutation(benchmark, solarpv):
+    rng = random.Random(1)
+    data = bytes(solarpv.layout.size * 32)
+    benchmark(
+        mutate_field_wise, data, solarpv.layout, rng, rounds=4, max_len=2048
+    )

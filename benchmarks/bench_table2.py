@@ -1,0 +1,19 @@
+"""Regenerates paper Table 2: benchmark model statistics.
+
+Builds all eight models, converts their schedules and reports block /
+branch-element counts next to the paper's published numbers.
+"""
+
+from repro.experiments.table2 import collect_table2, render_table2
+
+from conftest import write_result
+
+
+def test_table2_model_statistics(benchmark):
+    rows = benchmark.pedantic(collect_table2, rounds=1, iterations=1)
+    assert len(rows) == 8
+    for row in rows:
+        # every model must be a substantial branch-bearing system
+        assert row["decisions"] >= 20
+        assert row["probes"] >= 80
+    write_result("table2.txt", render_table2(rows))

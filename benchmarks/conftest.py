@@ -1,0 +1,23 @@
+"""Shared benchmark utilities.
+
+Every experiment bench writes its rendered output to
+``benchmarks/results/<name>.txt`` (and prints it, visible with ``-s``),
+so a full ``pytest benchmarks/ --benchmark-only`` run leaves the
+regenerated tables/figures on disk.  ``REPRO_BUDGET`` (seconds per tool
+per model, default 5) and ``REPRO_REPEATS`` (seeds per randomized tool,
+default 2) scale the fidelity; the EXPERIMENTS.md numbers were recorded
+with a larger budget.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path

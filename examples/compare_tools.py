@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Head-to-head tool comparison on any benchmark model.
+
+Runs SLDV-like, SimCoTest-like, CFTCG and the Fuzz-Only ablation on one
+model under an equal budget, prints the Table-3-style row plus the
+coverage-versus-time series (Figure 7 style), and saves each tool's test
+suite as CSV files next to this script.
+
+Run:  python examples/compare_tools.py [model] [seconds]
+      python examples/compare_tools.py TWC 10
+"""
+
+import os
+import sys
+
+from repro.bench import build_schedule, model_names
+from repro.csvio import suite_to_csv_dir
+from repro.experiments.fig7 import coverage_timeline
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import run_tool
+
+
+def main():
+    model = sys.argv[1] if len(sys.argv) > 1 else "EVCS"
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 6.0
+    if model not in model_names():
+        raise SystemExit("unknown model %r; have %s" % (model, model_names()))
+
+    schedule = build_schedule(model)
+    out_dir = os.path.join(os.path.dirname(__file__), "suites_%s" % model.lower())
+
+    rows = []
+    curves = {}
+    for tool in ("sldv", "simcotest", "cftcg", "fuzz_only"):
+        result = run_tool(tool, schedule, budget, seed=0)
+        rows.append(
+            [
+                tool,
+                "%.1f%%" % result.report.decision,
+                "%.1f%%" % result.report.condition,
+                "%.1f%%" % result.report.mcdc,
+                len(result.suite),
+                "%.0f" % result.iterations_per_second,
+            ]
+        )
+        curves[tool] = coverage_timeline(schedule, result)
+        suite_dir = os.path.join(out_dir, tool)
+        suite_to_csv_dir(result.suite, schedule.layout, suite_dir)
+
+    print(
+        format_table(
+            ["tool", "DC", "CC", "MCDC", "cases", "iters/s"], rows
+        )
+    )
+    print()
+    for tool, points in curves.items():
+        print(format_series("%s / %s" % (model, tool), points))
+        print()
+    print("suites written to", out_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: build a model, generate test cases with CFTCG, inspect them.
+
+Builds a small temperature-limiter controller, runs the full CFTCG
+pipeline (schedule conversion -> instrumented code generation -> fuzz
+driver -> model-oriented fuzzing), and prints the generated test cases
+with their coverage contribution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ModelBuilder, convert
+from repro.csvio import case_to_csv
+from repro.fuzzing import Fuzzer, FuzzerConfig
+
+
+def build_model():
+    """A heater controller: setpoint tracking with an over-temp cutout."""
+    b = ModelBuilder("heater")
+    setpoint = b.inport("setpoint", "int16")
+    temperature = b.inport("temperature", "int16")
+    enable = b.inport("enable", "boolean")
+
+    error = b.block("Sum", "Error", signs="+-")(setpoint, temperature)
+    banded = b.block("DeadZone", "Band", start=-2, end=2)(error)
+    drive = b.block("Saturation", "DriveLimit", lower=0, upper=100)(
+        b.block("Gain", "Kp", gain=4)(banded)
+    )
+    overtemp = b.block("CompareToConstant", "OverTemp", op=">", value=95)(temperature)
+    safe = b.block("Logical", "SafeToHeat", op="AND", n_in=2)(
+        enable, b.block("Not", "NotHot")(overtemp)
+    )
+    output = b.block("Switch", "OutputGate", criterion="~=0")(
+        drive, safe, b.const(0)
+    )
+    b.outport("heater_drive", output)
+    b.outport("cutout", overtemp)
+    return b.build()
+
+
+def main():
+    model = build_model()
+    print("model: %s (%d blocks)" % (model.name, model.block_count()))
+
+    # Schedule Convert: execution order + branch database
+    schedule = convert(model)
+    db = schedule.branch_db
+    print(
+        "branch elements: %d decisions, %d conditions, %d probes"
+        % (len(db.decisions), len(db.conditions), db.n_probes)
+    )
+    print(
+        "input tuple: %d bytes  %s"
+        % (
+            schedule.layout.size,
+            [(f.name, f.dtype.name) for f in schedule.layout.fields],
+        )
+    )
+
+    # Model Oriented Fuzzing Loop
+    fuzzer = Fuzzer(schedule, FuzzerConfig(max_seconds=3.0, seed=42))
+    result = fuzzer.run()
+
+    print(
+        "\nfuzzing: %d inputs, %.0f model iterations/s"
+        % (result.inputs_executed, result.iterations_per_second)
+    )
+    print("coverage:", result.report)
+    print("test cases generated: %d" % len(result.suite))
+
+    for i, case in enumerate(result.suite.sorted_by_time()[:3]):
+        print("\n--- test case %d (found at %.2fs) ---" % (i, case.found_at))
+        print(case_to_csv(case.data, schedule.layout).strip()[:400])
+
+    if result.report.missed_decisions:
+        print("\nstill missed:", result.report.missed_decisions[:5])
+
+
+if __name__ == "__main__":
+    main()

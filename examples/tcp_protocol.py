@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Deep-state exploration: fuzzing the TCP handshake controller.
+
+Demonstrates why stateful protocol logic defeats shallow methods: the
+ESTABLISHED branch needs a correctly ordered, correctly numbered segment
+sequence.  Shows the Iteration Difference Coverage metric at work on a
+hand-built handshake versus a flat replay, then lets CFTCG find the deep
+states on its own.
+
+Run:  python examples/tcp_protocol.py
+"""
+
+from repro import compile_model
+from repro.bench import build_schedule
+from repro.codegen import compile_fuzz_driver
+from repro.fuzzing import Fuzzer, FuzzerConfig
+
+STATE_NAMES = [
+    "CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+    "FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "TIME_WAIT",
+]
+
+
+def main():
+    schedule = build_schedule("TCP")
+    layout = schedule.layout
+    compiled = compile_model(schedule, "model")
+    driver = compile_fuzz_driver(schedule)
+
+    # --- a hand-written handshake: open passively, accept SYN, ACK it ---
+    handshake = layout.pack_stream(
+        [
+            # flags, seq, ack, cmd, win
+            (0, 0, 0, 2, 8),      # passive open -> LISTEN
+            (1, 0, 0, 0, 8),      # SYN          -> SYN_RCVD
+            (2, 1, 101, 0, 8),    # ACK in window-> ESTABLISHED
+            (4, 2, 102, 0, 8),    # FIN          -> CLOSE_WAIT
+            (0, 0, 0, 3, 8),      # close        -> LAST_ACK
+            (2, 3, 103, 0, 8),    # final ACK    -> CLOSED
+        ]
+    )
+    program, recorder = compiled.instantiate()
+    program.init()
+    for fields in layout.iter_tuples(handshake):
+        out = program.step(*fields)
+        print("segment %-28s -> state %s" % (fields, STATE_NAMES[out[1]]))
+
+    # --- Iteration Difference Coverage: varied vs monotonous input ------
+    program, recorder = compiled.instantiate()
+    metric_handshake, _, _, _ = driver(program, recorder.curr, handshake, 0)
+    program, recorder = compiled.instantiate()
+    flat = layout.pack_stream([(0, 0, 0, 0, 0)] * 6)
+    metric_flat, _, _, _ = driver(program, recorder.curr, flat, 0)
+    print(
+        "\nIteration Difference Coverage: handshake=%d, flat replay=%d"
+        % (metric_handshake, metric_flat)
+    )
+
+    # --- let CFTCG find the protocol's states by itself -----------------
+    print("\nfuzzing the protocol for 10s ...")
+    result = Fuzzer(schedule, FuzzerConfig(max_seconds=10.0, seed=3)).run()
+    print("coverage:", result.report)
+    reached = {
+        d.split("=")[-1]
+        for d in result.report.missed_decisions
+        if ":state=" in d
+    }
+    print(
+        "states still unreached: %s"
+        % (sorted(reached) if reached else "none — all visited")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — a reproduction of CFTCG (DAC 2024).
+
+Test case generation for Simulink-like models through code-based fuzzing:
+fuzz-driver generation from inport information, model-level branch
+instrumentation during code synthesis, and a model-oriented fuzzing loop
+with field-wise tuple mutation and Iteration Difference Coverage.
+
+Quickstart::
+
+    from repro import ModelBuilder, convert
+    from repro.fuzzing import Fuzzer, FuzzerConfig
+
+    b = ModelBuilder("demo")
+    power = b.inport("Power", "int32")
+    limited = b.block("Saturation", "Lim", lower=0, upper=100)(power)
+    b.outport("Out", limited)
+    schedule = convert(b.build())
+    fuzzer = Fuzzer(schedule, FuzzerConfig(max_seconds=2.0))
+    result = fuzzer.run()
+    print(result.report)
+"""
+
+from .dtypes import (
+    ALL_DTYPES,
+    BOOLEAN,
+    DOUBLE,
+    DType,
+    INT8,
+    INT16,
+    INT32,
+    SINGLE,
+    UINT8,
+    UINT16,
+    UINT32,
+    dtype_by_name,
+    saturate_cast,
+    wrap,
+)
+from .errors import (
+    CodegenError,
+    FuzzingError,
+    ModelError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SolverError,
+)
+from .model import Block, Connection, Model, ModelBuilder, block_registry
+from .parser import TupleLayout, model_from_xml, model_to_xml, tuple_layout
+from .schedule import BranchDB, Schedule, convert
+from .codegen import (
+    CompiledModel,
+    compile_fuzz_driver,
+    compile_model,
+    generate_fuzz_driver,
+    generate_model_code,
+)
+from .coverage import CoverageRecorder, CoverageReport, compute_report
+from .simulate import ModelInstance
+from .slx import load_container, save_container
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_DTYPES",
+    "BOOLEAN",
+    "Block",
+    "BranchDB",
+    "CodegenError",
+    "CompiledModel",
+    "Connection",
+    "CoverageRecorder",
+    "CoverageReport",
+    "DOUBLE",
+    "DType",
+    "FuzzingError",
+    "INT8",
+    "INT16",
+    "INT32",
+    "Model",
+    "ModelBuilder",
+    "ModelError",
+    "ModelInstance",
+    "ParseError",
+    "ReproError",
+    "Schedule",
+    "ScheduleError",
+    "SimulationError",
+    "SINGLE",
+    "SolverError",
+    "TupleLayout",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "block_registry",
+    "compile_fuzz_driver",
+    "compile_model",
+    "compute_report",
+    "convert",
+    "dtype_by_name",
+    "generate_fuzz_driver",
+    "generate_model_code",
+    "load_container",
+    "model_from_xml",
+    "model_to_xml",
+    "save_container",
+    "saturate_cast",
+    "tuple_layout",
+    "wrap",
+]

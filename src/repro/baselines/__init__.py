@@ -1,0 +1,25 @@
+"""Comparison tools: SLDV-like, SimCoTest-like, and the Fuzz-Only ablation.
+
+Each generator consumes a converted :class:`~repro.schedule.schedule
+.Schedule` and returns a :class:`~repro.fuzzing.engine.FuzzResult` whose
+suite was replayed on the fully instrumented model — the same fair
+measurement the paper applies to every tool (binary → CSV → Simulink
+coverage toolbox in their setup).
+
+See DESIGN.md for the substitution argument: these are *behavioural*
+stand-ins reproducing each tool's algorithmic family and bottleneck, not
+reimplementations of the closed-source originals.
+"""
+
+from .fuzz_only import FuzzOnlyConfig, run_fuzz_only
+from .simcotest import SimCoTestConfig, SimCoTestGenerator
+from .sldv import SldvConfig, SldvGenerator
+
+__all__ = [
+    "FuzzOnlyConfig",
+    "SimCoTestConfig",
+    "SimCoTestGenerator",
+    "SldvConfig",
+    "SldvGenerator",
+    "run_fuzz_only",
+]

@@ -1,0 +1,52 @@
+"""The "Fuzz Only" ablation (paper Fig. 8).
+
+A stock fuzzing pipeline with none of CFTCG's model-oriented parts:
+
+* the target is compiled at the ``"code"`` instrumentation level — only
+  real control-flow branches carry probes, boolean dataflow logic is
+  branchless and invisible (the paper's "no jump instructions for the
+  boolean operations" observation);
+* mutation is generic byte-level (bit flips, byte inserts/erases), which
+  misaligns the typed field layout whenever lengths change;
+* the Iteration Difference Coverage corpus metric is disabled.
+
+The resulting suite is still *measured* on the fully instrumented model,
+exactly like every other tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fuzzing.engine import Fuzzer, FuzzerConfig, FuzzResult
+from ..schedule.schedule import Schedule
+
+__all__ = ["FuzzOnlyConfig", "run_fuzz_only"]
+
+
+@dataclass
+class FuzzOnlyConfig:
+    """Budget and seed for one Fuzz-Only run."""
+
+    max_seconds: float = 5.0
+    seed: int = 0
+    max_inputs: Optional[int] = None
+
+
+def run_fuzz_only(schedule: Schedule, config: Optional[FuzzOnlyConfig] = None) -> FuzzResult:
+    """Run the ablation; returns the replayed-coverage result."""
+    config = config or FuzzOnlyConfig()
+    fuzzer_config = FuzzerConfig(
+        max_seconds=config.max_seconds,
+        max_inputs=config.max_inputs,
+        seed=config.seed,
+        field_aware=False,
+        use_iteration_metric=False,
+        level="code",
+        # without model probes full coverage is invisible to the engine
+        stop_on_full_coverage=False,
+    )
+    result = Fuzzer(schedule, fuzzer_config).run()
+    result.suite.tool = "fuzz_only"
+    return result

@@ -1,0 +1,338 @@
+"""SLDV-like generator: bounded unrolling + constraint-directed search.
+
+Simulink Design Verifier translates the model into a formal description
+and solves branch-reachability constraints under a *limited loop
+unrolling*.  Our behavioural stand-in keeps both signature properties:
+
+* **bounded horizon** — each generation target is solved over a fixed,
+  small number of unrolled iterations (``horizon``); logic guarded by
+  deeper internal state is out of reach, exactly the shallow-coverage
+  failure mode the paper describes;
+* **constraint direction** — the interpreter reports signed
+  branch-distance margins for every decision it evaluates; for each
+  uncovered decision outcome, a restart hill-climber minimizes the
+  distance-to-flip over the unrolled input matrix (an Alternating
+  Variable Method in the spirit of constraint-solving test generation).
+
+Targets are processed round-robin; each satisfied target emits one test
+case.  A per-target evaluation cap stands in for the solver's
+memory/time blowup on hard constraints (the paper saw >12 GB on SolarPV).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from ..fuzzing.engine import FuzzResult, replay_suite
+from ..fuzzing.testcase import TestCase, TestSuite
+from ..schedule.schedule import Schedule
+from ..simulate.interpreter import ModelInstance
+
+__all__ = ["SldvConfig", "SldvGenerator"]
+
+#: fitness when the target decision was never evaluated (unreached)
+_UNREACHED = 1.0e9
+#: fitness when evaluated but no margin information is available
+_NO_MARGIN = 1.0e3
+
+
+@dataclass
+class SldvConfig:
+    """Tuning knobs for one SLDV-like run."""
+
+    max_seconds: float = 5.0
+    seed: int = 0
+    horizon: int = 5  # unrolled iterations per target (bounded!)
+    restarts: int = 8  # zero start + random restarts + basin hops
+    max_evals_per_target: int = 800
+    #: optional explicit target list of (decision_id, outcome_idx); None
+    #: solves every decision outcome (the hybrid mode passes the missed
+    #: outcomes only)
+    targets: Optional[List[Tuple[int, int]]] = None
+
+
+class _Trace:
+    """Distance-hook sink: per-decision evaluations of one simulation."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: Dict[int, List[Tuple[int, Optional[dict]]]] = {}
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __call__(self, decision, outcome_idx, margins) -> None:
+        self.events.setdefault(decision.id, []).append((outcome_idx, margins))
+
+
+class SldvGenerator:
+    """Constraint-directed bounded-horizon test generator."""
+
+    def __init__(self, schedule: Schedule, config: Optional[SldvConfig] = None):
+        self.schedule = schedule
+        self.config = config or SldvConfig()
+        self.layout = schedule.layout
+        self._trace = _Trace()
+        self._instance = ModelInstance(schedule, distance_hook=self._trace)
+
+    # ------------------------------------------------------------------ #
+    # candidate encoding: a horizon x fields matrix of typed values
+    # ------------------------------------------------------------------ #
+    def _zero_matrix(self) -> List[list]:
+        return [
+            [field.dtype.zero() for field in self.layout.fields]
+            for _ in range(self.config.horizon)
+        ]
+
+    def _random_matrix(self, rng: Random) -> List[list]:
+        return [
+            [self._random_value(field.dtype, rng) for field in self.layout.fields]
+            for _ in range(self.config.horizon)
+        ]
+
+    @staticmethod
+    def _random_value(dtype, rng: Random):
+        if dtype.is_bool:
+            return rng.randrange(2)
+        if dtype.is_float:
+            return rng.uniform(-1000.0, 1000.0)
+        magnitude = int(10 ** rng.uniform(0, 4))
+        value = rng.randint(-magnitude, magnitude)
+        return max(min(value, dtype.max_value), dtype.min_value)
+
+    def _with_cell(self, matrix: List[list], row: int, col: int, value) -> List[list]:
+        out = [list(r) for r in matrix]
+        dtype = self.layout.fields[col].dtype
+        if not dtype.is_float:
+            value = int(value)
+        out[row][col] = max(min(value, dtype.max_value), dtype.min_value)
+        return out
+
+    def _with_column(self, matrix: List[list], col: int, delta) -> List[list]:
+        """Shift one inport's value uniformly across all iterations.
+
+        Column-uniform moves treat the unrolled matrix as a constant
+        signal per inport; they dodge the masking that the min-over-
+        iterations fitness causes for single-cell moves, and constant
+        signals are exactly what dwell-style state targets need.
+        """
+        out = [list(r) for r in matrix]
+        dtype = self.layout.fields[col].dtype
+        lo, hi = dtype.min_value, dtype.max_value
+        for row in out:
+            value = row[col] + delta
+            if not dtype.is_float:
+                value = int(value)
+            row[col] = max(min(value, hi), lo)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # fitness: branch distance for (decision, outcome) under one run
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, matrix: List[list], decision_id: int, outcome_idx: int) -> float:
+        self._trace.clear()
+        instance = self._instance
+        instance.init()
+        for row in matrix:
+            instance.step(*row)
+        events = self._trace.events.get(decision_id)
+        if not events:
+            return _UNREACHED
+        best = None
+        for taken, margins in events:
+            if taken == outcome_idx:
+                return -1.0  # satisfied
+            if margins and outcome_idx in margins:
+                distance = max(-float(margins[outcome_idx]), 1.0e-6)
+                if best is None or distance < best:
+                    best = distance
+        # reached but no distance information: a fixed mid-scale penalty
+        return best if best is not None else _NO_MARGIN
+
+    # ------------------------------------------------------------------ #
+    # Alternating Variable Method: per cell, probe +/-1 then accelerate
+    # (double the step while it keeps improving) — the classic
+    # constraint-directed search for linear-ish branch distances
+    # ------------------------------------------------------------------ #
+    def _avm_search(self, matrix, decision_id, outcome_idx, deadline, budget):
+        """Returns (matrix, fitness, evals) — fitness < 0 means solved."""
+        evals = 0
+
+        def evaluate(candidate):
+            nonlocal evals
+            evals += 1
+            return self._evaluate(candidate, decision_id, outcome_idx)
+
+        fitness = evaluate(matrix)
+        if fitness < 0:
+            return matrix, fitness, evals
+        n_rows = len(matrix)
+        n_cols = len(self.layout.fields)
+
+        def climb(make_candidate):
+            """Probe ±1 and accelerate while improving.  True if solved."""
+            nonlocal matrix, fitness
+            improved = False
+            for direction in (1, -1):
+                step = 1.0
+                while evals < budget and time.perf_counter() < deadline:
+                    candidate = make_candidate(direction * step)
+                    f = evaluate(candidate)
+                    if f < fitness:
+                        matrix, fitness = candidate, f
+                        improved = True
+                        step *= 2.0  # pattern move: accelerate
+                        if fitness < 0:
+                            return True, improved
+                    else:
+                        break
+            return False, improved
+
+        # phase 1: column-uniform moves (constant signal per inport)
+        improved_any = True
+        while improved_any and evals < budget and time.perf_counter() < deadline:
+            improved_any = False
+            for col in range(n_cols):
+                dtype = self.layout.fields[col].dtype
+                if dtype.is_bool:
+                    candidate = [list(r) for r in matrix]
+                    for row in candidate:
+                        row[col] = 1 - (1 if row[col] else 0)
+                    f = evaluate(candidate)
+                    if f < fitness:
+                        matrix, fitness = candidate, f
+                        improved_any = True
+                    if fitness < 0:
+                        return matrix, fitness, evals
+                    continue
+                solved, improved = climb(
+                    lambda delta, c=col: self._with_column(matrix, c, delta)
+                )
+                if solved:
+                    return matrix, fitness, evals
+                improved_any = improved_any or improved
+
+        # phase 2: per-cell refinement (time-varying signals)
+        improved_any = True
+        while improved_any and evals < budget and time.perf_counter() < deadline:
+            improved_any = False
+            for row in range(n_rows):
+                for col in range(n_cols):
+                    if evals >= budget or time.perf_counter() >= deadline:
+                        return matrix, fitness, evals
+                    dtype = self.layout.fields[col].dtype
+                    if dtype.is_bool:
+                        candidate = self._with_cell(
+                            matrix, row, col, 1 - (1 if matrix[row][col] else 0)
+                        )
+                        f = evaluate(candidate)
+                        if f < fitness:
+                            matrix, fitness = candidate, f
+                            improved_any = True
+                        if fitness < 0:
+                            return matrix, fitness, evals
+                        continue
+                    solved, improved = climb(
+                        lambda delta, r=row, c=col: self._with_cell(
+                            matrix, r, c, matrix[r][c] + delta
+                        )
+                    )
+                    if solved:
+                        return matrix, fitness, evals
+                    improved_any = improved_any or improved
+        return matrix, fitness, evals
+
+    def run(self) -> FuzzResult:
+        """Solve targets round-robin until the budget expires."""
+        config = self.config
+        rng = Random(config.seed)
+        suite = TestSuite(tool="sldv")
+        timeline: List = []
+        inputs_executed = 0
+        iterations_executed = 0
+        start = time.perf_counter()
+        deadline = start + config.max_seconds
+
+        if config.targets is not None:
+            targets = list(config.targets)
+        else:
+            targets = [
+                (decision.id, outcome_idx)
+                for decision in self.schedule.branch_db.decisions
+                for outcome_idx in range(len(decision.outcomes))
+            ]
+        solved = set()
+        pending = list(targets)
+
+        while pending and time.perf_counter() < deadline:
+            target = pending.pop(0)
+            decision_id, outcome_idx = target
+            found = None
+            evals_used = 0
+            per_restart = max(config.max_evals_per_target // config.restarts, 8)
+            best_matrix = None
+            best_fitness = float("inf")
+            for restart in range(config.restarts):
+                if found or time.perf_counter() >= deadline:
+                    break
+                if evals_used >= config.max_evals_per_target:
+                    break
+                if restart == 0:
+                    matrix = self._zero_matrix()
+                elif best_matrix is not None and restart % 2 == 0:
+                    # basin hop: re-descend from the best point with one
+                    # whole inport column kicked far away — crosses the
+                    # diagonal ridges that coupled constraints (e.g.
+                    # a == 7*b + 13) create for coordinate descent.
+                    # Columns and signs are swept deterministically.
+                    n_cols = len(self.layout.fields)
+                    hop = restart // 2 - 1
+                    col = hop % n_cols
+                    sign = 1 if (hop // n_cols) % 2 == 0 else -1
+                    dtype = self.layout.fields[col].dtype
+                    magnitude = (
+                        float(dtype.max_value) / 3.0
+                        if dtype.is_float
+                        else max(dtype.max_value // 3, 1)
+                    )
+                    matrix = [list(r) for r in best_matrix]
+                    lo, hi = dtype.min_value, dtype.max_value
+                    kick = sign * magnitude
+                    for row in matrix:
+                        value = kick if dtype.is_float else int(kick)
+                        row[col] = max(min(value, hi), lo)
+                else:
+                    matrix = self._random_matrix(rng)
+                matrix, fitness, evals = self._avm_search(
+                    matrix, decision_id, outcome_idx, deadline, per_restart
+                )
+                evals_used += evals
+                inputs_executed += evals
+                iterations_executed += evals * config.horizon
+                if fitness < 0:
+                    found = matrix
+                elif fitness < best_fitness:
+                    best_matrix, best_fitness = matrix, fitness
+            if found is not None:
+                solved.add(target)
+                now = time.perf_counter() - start
+                data = self.layout.pack_stream([tuple(r) for r in found])
+                suite.add(TestCase(data, now, "sldv"))
+                timeline.append((now, len(solved)))
+            # unsatisfied targets are abandoned (solver gave up), matching
+            # SLDV's undecided objectives under resource limits
+
+        elapsed = time.perf_counter() - start
+        report = replay_suite(self.schedule, suite)
+        return FuzzResult(
+            suite=suite,
+            report=report,
+            inputs_executed=inputs_executed,
+            iterations_executed=iterations_executed,
+            elapsed=elapsed,
+            timeline=timeline,
+        )

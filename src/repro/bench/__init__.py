@@ -1,0 +1,15 @@
+"""The benchmark model suite (paper Table 2).
+
+Eight industrial-style embedded control models rebuilt from the paper's
+descriptions.  The originals are proprietary; these reconstructions keep
+the structural properties each experiment depends on — deep internal
+state (queues, counters, protocol charts), mixed-type inports, mode
+logic, and branch counts in the same range as Table 2.
+
+>>> from repro.bench import build_model, BENCHMARKS
+>>> schedule = build_model("SolarPV")
+"""
+
+from .registry import BENCHMARKS, build_model, build_schedule, model_names
+
+__all__ = ["BENCHMARKS", "build_model", "build_schedule", "model_names"]

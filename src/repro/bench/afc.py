@@ -1,0 +1,148 @@
+"""AFC — engine air-fuel ratio control system.
+
+A mostly-numeric controller (the smallest model of the suite, like the
+paper's 35-branch AFC): sensor conditioning, a base-fuel lookup map, a
+PI correction loop with anti-windup, and mode logic (startup enrichment /
+normal closed-loop / power enrichment / fault cutoff) through an If
+action group.
+
+Inports (one tuple = 11 bytes): throttle(single), rpm(int16),
+o2(single), engine_on(int8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+
+def _mode_child(name: str, gain: float, bias: float) -> Model:
+    mb = ModelBuilder(name)
+    base = mb.inport("base", "double")
+    corr = mb.inport("corr", "double")
+    fuel = mb.block("Sum", "Mix", signs="++")(
+        mb.block("Gain", "Scale", gain=gain)(base),
+        mb.block("Bias", "Offset", bias=bias)(corr),
+    )
+    mb.outport("fuel", mb.block("Saturation", "FuelCap", lower=0.0, upper=50.0)(fuel))
+    return mb.build()
+
+
+def _cutoff_child() -> Model:
+    mb = ModelBuilder("cutoff")
+    mb.inport("base", "double")
+    corr = mb.inport("corr", "double")
+    mb.outport("fuel", mb.block("Gain", "Zero", gain=0.0)(corr))
+    return mb.build()
+
+
+def build() -> Model:
+    b = ModelBuilder("AFC")
+    throttle = b.inport("throttle", "single")
+    rpm = b.inport("rpm", "int16")
+    o2 = b.inport("o2", "single")
+    engine_on = b.inport("engine_on", "int8")
+
+    # sensor conditioning
+    throttle_c = b.block("Saturation", "ThrottleClamp", lower=0.0, upper=100.0)(throttle)
+    rpm_c = b.block("Saturation", "RpmClamp", lower=0, upper=8000)(rpm)
+    o2_c = b.block("Saturation", "O2Clamp", lower=-1.0, upper=1.0)(o2)
+    o2_dz = b.block("DeadZone", "O2DeadZone", start=-0.05, end=0.05)(o2_c)
+
+    # base fuel from a speed-load map
+    base_fuel = b.block(
+        "Lookup2D",
+        "BaseFuelMap",
+        row_breakpoints=[0.0, 1000.0, 2500.0, 4500.0, 6500.0, 8000.0],
+        col_breakpoints=[0.0, 20.0, 40.0, 70.0, 100.0],
+        table=[
+            [1.0, 2.0, 3.0, 4.0, 5.0],
+            [2.0, 4.0, 6.0, 8.0, 10.0],
+            [3.0, 6.0, 9.0, 13.0, 16.0],
+            [4.0, 8.0, 13.0, 18.0, 24.0],
+            [5.0, 10.0, 16.0, 24.0, 32.0],
+            [6.0, 12.0, 18.0, 28.0, 40.0],
+        ],
+    )(rpm_c, throttle_c)
+
+    # PI correction on the O2 error, anti-windup through integrator limits
+    error = b.block("Gain", "ErrGain", gain=-1.0)(o2_dz)
+    p_term = b.block("Gain", "Kp", gain=4.0)(error)
+    i_term = b.block(
+        "DiscreteIntegrator", "Ki", gain=0.5, lower=-8.0, upper=8.0
+    )(error)
+    correction = b.block("Sum", "PI", signs="++")(p_term, i_term)
+
+    # operating-mode selection
+    running = b.block("CompareToZero", "Running", op="~=")(engine_on)
+    warmup = b.block(
+        "MatlabFunction",
+        "WarmupTimer",
+        inputs=["on"],
+        outputs=[("warm", "int8")],
+        persistent={"t": ("int16", 0)},
+        body=(
+            "if on > 0\n"
+            "  if t < 50\n"
+            "    t = t + 1\n"
+            "  end\n"
+            "else\n"
+            "  t = 0\n"
+            "end\n"
+            "warm = 0\n"
+            "if t >= 50\n"
+            "  warm = 1\n"
+            "end\n"
+        ),
+    )(running)
+    cold = b.block("Logical", "ColdStart", op="AND", n_in=2)(
+        running, b.block("Not", "NotWarm")(warmup)
+    )
+    power_demand = b.block("Logical", "PowerDemand", op="AND", n_in=3)(
+        running,
+        b.block("CompareToConstant", "WideOpen", op=">", value=85.0)(throttle_c),
+        b.block("CompareToConstant", "HighRpm", op=">", value=4000)(rpm_c),
+    )
+    overrev = b.block("CompareToConstant", "OverRev", op=">=", value=7500)(rpm_c)
+
+    fuel = b.block(
+        "If",
+        "ModeSelect",
+        children=[
+            _cutoff_child(),                      # overrev: fuel cutoff
+            _mode_child("enrich_cold", 1.3, 2.0),  # cold start enrichment
+            _mode_child("enrich_power", 1.2, 1.0),  # power enrichment
+            _mode_child("closed_loop", 1.0, 0.0),   # normal closed loop
+        ],
+        else_child=_cutoff_child(),               # engine off
+        init_outputs=[0.0],
+    )(overrev, cold, power_demand, running, base_fuel, correction)
+
+    # injector pulse width with rate limiting
+    pulse = b.block("RateLimiter", "PulseSlew", rising=5.0, falling=-5.0)(fuel)
+    afr_est = b.block(
+        "MatlabFunction",
+        "AfrEstimate",
+        inputs=["fuel", "base"],
+        outputs=[("afr", "double"), ("lean", "int8")],
+        body=(
+            "afr = 14.7\n"
+            "if fuel > 0.01\n"
+            "  afr = 14.7 * base / fuel\n"
+            "end\n"
+            "if afr > 40\n"
+            "  afr = 40\n"
+            "end\n"
+            "lean = 0\n"
+            "if afr > 16\n"
+            "  lean = 1\n"
+            "end\n"
+        ),
+    )(pulse, base_fuel)
+    afr, lean = afr_est
+    b.outport("Pulse", pulse)
+    b.outport("AFR", afr)
+    b.outport("Lean", lean)
+    return b.build()

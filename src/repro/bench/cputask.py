@@ -1,0 +1,183 @@
+"""CPUTask — AUTOSAR-style CPU task dispatch system.
+
+The paper's anecdote: an internal task queue whose "queue full" branches
+only trigger once the queue is completely filled — a condition too deep
+for bounded solving and too slow to reach by simulation, but found by
+CFTCG in 37 seconds.  The reconstruction keeps that structure: a
+fixed-capacity ready queue managed by a MATLAB-function block with
+persistent occupancy counters, an opcode-dispatched command interface
+(activate / terminate / preempt / resume / tick), and a scheduler chart.
+
+Inports (one tuple = 5 bytes): cmd(uint8), prio(int8), budget(int16),
+tick(int8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+QUEUE_CAPACITY = 8
+
+
+def build() -> Model:
+    b = ModelBuilder("CPUTask")
+    cmd = b.inport("cmd", "uint8")
+    prio = b.inport("prio", "int8")
+    budget = b.inport("budget", "int16")
+    tick = b.inport("tick", "int8")
+
+    prio_ok = b.block("Logical", "PrioValid", op="AND", n_in=2)(
+        b.block("CompareToConstant", "PrioLow", op=">=", value=0)(prio),
+        b.block("CompareToConstant", "PrioHigh", op="<", value=16)(prio),
+    )
+
+    # ready-queue manager: persistent occupancy + per-priority-band counts
+    queue = b.block(
+        "MatlabFunction",
+        "ReadyQueue",
+        inputs=["op", "p", "ok"],
+        outputs=[("depth", "int8"), ("full", "int8"), ("reject", "int8"),
+                 ("hi_waiting", "int8")],
+        persistent={
+            "n": ("int8", 0),
+            "hi": ("int8", 0),
+            "lo": ("int8", 0),
+            "rejects": ("int16", 0),
+        },
+        body=(
+            "reject = 0\n"
+            "if op == 1 && ok > 0\n"
+            "  if n >= %d\n"
+            "    rejects = rejects + 1\n"
+            "    reject = 1\n"
+            "  else\n"
+            "    n = n + 1\n"
+            "    if p >= 8\n"
+            "      hi = hi + 1\n"
+            "    else\n"
+            "      lo = lo + 1\n"
+            "    end\n"
+            "  end\n"
+            "elseif op == 2\n"
+            "  if n > 0\n"
+            "    n = n - 1\n"
+            "    if hi > 0\n"
+            "      hi = hi - 1\n"
+            "    else\n"
+            "      lo = lo - 1\n"
+            "    end\n"
+            "  end\n"
+            "end\n"
+            "depth = n\n"
+            "full = 0\n"
+            "if n >= %d\n"
+            "  full = 1\n"
+            "end\n"
+            "hi_waiting = 0\n"
+            "if hi > 0\n"
+            "  hi_waiting = 1\n"
+            "end\n"
+        ) % (QUEUE_CAPACITY, QUEUE_CAPACITY),
+    )(cmd, prio, prio_ok)
+    depth, full, reject, hi_waiting = queue
+
+    # budget accounting for the running task
+    budget_ok = b.block("CompareToConstant", "BudgetPos", op=">", value=0)(budget)
+    budget_clamped = b.block("Saturation", "BudgetClamp", lower=0, upper=1000)(budget)
+
+    # dispatcher state machine
+    sched = b.block(
+        "Chart",
+        "Dispatcher",
+        states=["Idle", "Running", "Preempted", "Starved"],
+        initial="Idle",
+        inputs=["depth", "full", "hi", "op", "tick", "bud"],
+        outputs=[("running", "int8"), ("ctx_switches", "int16")],
+        locals={
+            "running": ("int8", 0),
+            "ctx_switches": ("int16", 0),
+            "slice": ("int16", 0),
+            "starve": ("int16", 0),
+        },
+        transitions=[
+            {"src": "Idle", "dst": "Running", "guard": "depth > 0",
+             "action": "slice = bud\nctx_switches = ctx_switches + 1"},
+            {"src": "Running", "dst": "Preempted",
+             "guard": "hi > 0 && op == 3",
+             "action": "ctx_switches = ctx_switches + 1"},
+            {"src": "Running", "dst": "Idle", "guard": "depth <= 0"},
+            {"src": "Running", "dst": "Starved",
+             "guard": "slice <= 0 && full > 0"},
+            {"src": "Preempted", "dst": "Running", "guard": "op == 4",
+             "action": "slice = bud"},
+            {"src": "Preempted", "dst": "Idle", "guard": "depth <= 0"},
+            {"src": "Starved", "dst": "Running", "guard": "depth < %d && depth > 0" % QUEUE_CAPACITY,
+             "action": "slice = bud\nstarve = starve + 1"},
+            {"src": "Starved", "dst": "Idle", "guard": "depth <= 0"},
+        ],
+        entry={
+            "Running": "running = 1",
+            "Idle": "running = 0",
+            "Preempted": "running = 0",
+            "Starved": "running = 0",
+        },
+        during={
+            "Running": "if tick > 0\n  slice = slice - tick\nend",
+        },
+    )(depth, full, hi_waiting, cmd, tick, budget_clamped)
+    running, ctx_switches = sched
+
+    # load metric: depth-weighted utilization with overload detection
+    load = b.block(
+        "MatlabFunction",
+        "LoadMonitor",
+        inputs=["depth", "running", "reject"],
+        outputs=[("load", "int16"), ("overload", "int8")],
+        persistent={"acc": ("int16", 0)},
+        body=(
+            "acc = acc + depth\n"
+            "if running > 0\n"
+            "  acc = acc - 2\n"
+            "end\n"
+            "if acc > 200\n"
+            "  acc = 200\n"
+            "elseif acc < 0\n"
+            "  acc = 0\n"
+            "end\n"
+            "load = acc * 5\n"
+            "overload = 0\n"
+            "if load >= 900 && reject > 0\n"
+            "  overload = 1\n"
+            "end\n"
+        ),
+    )(depth, running, reject)
+    load_value, overload = load
+
+    # status word assembly via routing logic
+    mode = b.block("MultiportSwitch", "ModeSel", n_cases=3)(
+        b.block("Sum", "ModeIdx", signs="++")(
+            b.block("DataTypeConversion", "RunCast", dtype="int32")(
+                b.block("Sum", "RunOver", signs="++")(running, overload)
+            ),
+            b.const(1, "int32"),
+        ),
+        load_value,
+        ctx_switches,
+        b.const(0, "int16"),
+    )
+    alarm = b.block("Logical", "Alarm", op="OR", n_in=3)(
+        b.block("CompareToZero", "OverloadFlag", op="~=")(overload),
+        b.block("CompareToZero", "RejectFlag", op="~=")(reject),
+        b.block("Logical", "StarveAlarm", op="AND", n_in=2)(
+            full, b.block("Not", "NotRun")(running)
+        ),
+    )
+    status = b.block("Switch", "StatusGate", criterion="~=0")(
+        b.block("Gain", "Neg", gain=-1)(mode), alarm, mode
+    )
+    b.outport("Status", status)
+    b.outport("Depth", depth)
+    return b.build()

@@ -1,0 +1,140 @@
+"""EVCS — electric vehicle charging system.
+
+Session state machine (plug / authorize / charge / balance / complete /
+fault), CC-CV current regulation with thermal derating, state-of-charge
+integration and a contactor with hysteresis.
+
+Inports (one tuple = 8 bytes): plugged(int8), auth(int8), demand(int16),
+temp(int16), voltage(int16).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+
+def build() -> Model:
+    b = ModelBuilder("EVCS")
+    plugged = b.inport("plugged", "int8")
+    auth = b.inport("auth", "int8")
+    demand = b.inport("demand", "int16")
+    temp = b.inport("temp", "int16")
+    voltage = b.inport("voltage", "int16")
+
+    temp_c = b.block("Saturation", "TempClamp", lower=-40, upper=150)(temp)
+    volt_c = b.block("Saturation", "VoltClamp", lower=0, upper=500)(voltage)
+    demand_c = b.block("Saturation", "DemandClamp", lower=0, upper=250)(demand)
+
+    # thermal derating factor from a lookup curve
+    derate = b.block(
+        "Lookup1D",
+        "DerateCurve",
+        breakpoints=[-40.0, 0.0, 25.0, 45.0, 60.0, 80.0, 150.0],
+        table=[0.2, 0.7, 1.0, 1.0, 0.6, 0.2, 0.0],
+    )(temp_c)
+    overtemp = b.block("CompareToConstant", "OverTemp", op=">=", value=80)(temp_c)
+    undervolt = b.block("CompareToConstant", "UnderVolt", op="<", value=50)(volt_c)
+
+    # state of charge from delivered current
+    current_d = b.block("UnitDelay", "CurrentD", dtype="double", init=0.0)
+    soc = b.block(
+        "DiscreteIntegrator", "SoCInt", gain=0.05, lower=0.0, upper=100.0
+    )(current_d.out(0))
+    nearly_full = b.block("CompareToConstant", "NearlyFull", op=">=", value=85.0)(soc)
+    full = b.block("CompareToConstant", "Full", op=">=", value=99.0)(soc)
+
+    session = b.block(
+        "Chart",
+        "Session",
+        states=["Idle", "Plugged", "Authorized", "Charging", "Balancing",
+                "Complete", "Fault"],
+        initial="Idle",
+        inputs=["plug", "auth", "hot", "low_v", "near", "full"],
+        outputs=[("active", "int8"), ("phase", "int8")],
+        locals={
+            "active": ("int8", 0),
+            "phase": ("int8", 0),
+            "auth_t": ("int16", 0),
+        },
+        transitions=[
+            {"src": "Idle", "dst": "Plugged", "guard": "plug > 0",
+             "action": "auth_t = 0"},
+            {"src": "Plugged", "dst": "Authorized", "guard": "auth > 0"},
+            {"src": "Plugged", "dst": "Idle", "guard": "plug <= 0"},
+            {"src": "Plugged", "dst": "Fault", "guard": "auth_t >= 30"},
+            {"src": "Authorized", "dst": "Charging", "guard": "low_v <= 0 && hot <= 0"},
+            {"src": "Authorized", "dst": "Fault", "guard": "low_v > 0"},
+            {"src": "Charging", "dst": "Balancing", "guard": "near > 0"},
+            {"src": "Charging", "dst": "Fault", "guard": "hot > 0"},
+            {"src": "Charging", "dst": "Idle", "guard": "plug <= 0"},
+            {"src": "Balancing", "dst": "Complete", "guard": "full > 0"},
+            {"src": "Balancing", "dst": "Fault", "guard": "hot > 0"},
+            {"src": "Complete", "dst": "Idle", "guard": "plug <= 0"},
+            {"src": "Fault", "dst": "Idle", "guard": "plug <= 0 && hot <= 0"},
+        ],
+        entry={
+            "Idle": "active = 0\nphase = 0",
+            "Plugged": "phase = 1",
+            "Authorized": "phase = 2",
+            "Charging": "active = 1\nphase = 3",
+            "Balancing": "active = 1\nphase = 4",
+            "Complete": "active = 0\nphase = 5",
+            "Fault": "active = 0\nphase = 6",
+        },
+        during={"Plugged": "auth_t = auth_t + 1"},
+    )(plugged, auth, overtemp, undervolt, nearly_full, full)
+    active, phase = session
+
+    # current command: CC below the knee, CV taper while balancing
+    balancing = b.block("CompareToConstant", "IsBalancing", op="==", value=4)(phase)
+    taper = b.block(
+        "MatlabFunction",
+        "Taper",
+        inputs=["soc"],
+        outputs=[("f", "double")],
+        body=(
+            "f = (100 - soc) / 15\n"
+            "if f > 1\n"
+            "  f = 1\n"
+            "elseif f < 0\n"
+            "  f = 0\n"
+            "end\n"
+        ),
+    )(soc)
+    cc_current = b.block("Product", "CcCurrent", ops="**")(demand_c, derate)
+    cv_current = b.block("Product", "CvCurrent", ops="**")(cc_current, taper)
+    commanded = b.block("Switch", "CcCv", criterion="~=0")(cv_current, balancing, cc_current)
+    gated = b.block("Switch", "ActiveGate", criterion="~=0")(
+        commanded, active, b.const(0.0, "double")
+    )
+    slewed = b.block("RateLimiter", "CurrentSlew", rising=10.0, falling=-25.0)(gated)
+    b.wire("CurrentD", [slewed])
+
+    # contactor with hysteresis on commanded current
+    contactor = b.block("Relay", "ContactorRelay", on_point=1.0, off_point=0.2)(slewed)
+
+    energy_price = b.block(
+        "MatlabFunction",
+        "Billing",
+        inputs=["cur", "phase"],
+        outputs=[("bill", "double")],
+        persistent={"kwh": ("double", 0.0)},
+        body=(
+            "kwh = kwh + cur / 100\n"
+            "if phase == 4\n"
+            "  bill = kwh * 3 / 2\n"
+            "elseif phase == 3\n"
+            "  bill = kwh * 2\n"
+            "else\n"
+            "  bill = kwh\n"
+            "end\n"
+        ),
+    )(slewed, phase)
+    b.outport("Current", slewed)
+    b.outport("Contactor", contactor)
+    b.outport("SoC", soc)
+    b.outport("Bill", energy_price)
+    return b.build()

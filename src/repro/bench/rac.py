@@ -1,0 +1,198 @@
+"""RAC — robotic arm controller (3 joints).
+
+The largest model of the suite: three structurally identical joint
+servo subsystems (position loop, velocity limit, endstop guards, stall
+detector), a trajectory source, a supervisor chart (Init / Homing /
+Moving / Holding / Fault) and aggregated fault logic.
+
+Inports (one tuple = 12 bytes): cmd(uint8), target(int16), speed(int8),
+j1_load(int16), j2_load(int16), j3_load(int16), estop(int8), home(int8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+ENDSTOP = 900
+
+
+def _joint_child(index: int) -> Model:
+    """One joint servo: P-control toward target with guards."""
+    mb = ModelBuilder("joint%d" % index)
+    target = mb.inport("target", "int16")
+    speed_limit = mb.inport("speed_limit", "int8")
+    load = mb.inport("load", "int16")
+    enable = mb.inport("enable", "int8")
+
+    pos_state = mb.block("UnitDelay", "Pos", dtype="double", init=0.0)
+    err = mb.block("Sum", "Err", signs="+-")(target, pos_state.out(0))
+    raw_step = mb.block("Gain", "Kp", gain=0.25)(err)
+    speed_cap = mb.block("Saturation", "SpeedCap", lower=1, upper=50)(speed_limit)
+    step = mb.block(
+        "MatlabFunction",
+        "StepLimit",
+        inputs=["raw", "cap", "en"],
+        outputs=[("d", "double")],
+        body=(
+            "d = raw\n"
+            "if d > cap\n"
+            "  d = cap\n"
+            "elseif d < 0 - cap\n"
+            "  d = 0 - cap\n"
+            "end\n"
+            "if en <= 0\n"
+            "  d = 0\n"
+            "end\n"
+        ),
+    )(raw_step, speed_cap, enable)
+    new_pos = mb.block("Sum", "Move", signs="++")(pos_state.out(0), step)
+    limited_pos = mb.block(
+        "Saturation", "Endstop", lower=-ENDSTOP, upper=ENDSTOP
+    )(new_pos)
+    mb.wire("Pos", [limited_pos])
+
+    at_endstop = mb.block("Logical", "AtEndstop", op="OR", n_in=2)(
+        mb.block("CompareToConstant", "HiStop", op=">=", value=ENDSTOP - 1.0)(limited_pos),
+        mb.block("CompareToConstant", "LoStop", op="<=", value=1.0 - ENDSTOP)(limited_pos),
+    )
+    stall = mb.block(
+        "MatlabFunction",
+        "StallDetect",
+        inputs=["load", "moving"],
+        outputs=[("stalled", "int8")],
+        persistent={"c": ("int8", 0)},
+        body=(
+            "if load > 600 && moving > 0\n"
+            "  if c < 10\n"
+            "    c = c + 1\n"
+            "  end\n"
+            "else\n"
+            "  if c > 0\n"
+            "    c = c - 1\n"
+            "  end\n"
+            "end\n"
+            "stalled = 0\n"
+            "if c >= 8\n"
+            "  stalled = 1\n"
+            "end\n"
+        ),
+    )(load, mb.block("CompareToConstant", "Moving", op=">", value=0.5)(
+        mb.block("Abs", "AbsStep")(step)
+    ))
+    in_position = mb.block("CompareToConstant", "InPos", op="<", value=2.0)(
+        mb.block("Abs", "AbsErr")(err)
+    )
+    mb.outport("pos", limited_pos)
+    mb.outport("fault", mb.block("Logical", "JointFault", op="OR", n_in=2)(at_endstop, stall))
+    mb.outport("in_pos", in_position)
+    return mb.build()
+
+
+def build() -> Model:
+    b = ModelBuilder("RAC")
+    cmd = b.inport("cmd", "uint8")
+    target = b.inport("target", "int16")
+    speed = b.inport("speed", "int8")
+    j1_load = b.inport("j1_load", "int16")
+    j2_load = b.inport("j2_load", "int16")
+    j3_load = b.inport("j3_load", "int16")
+    estop = b.inport("estop", "int8")
+    home = b.inport("home", "int8")
+
+    target_c = b.block("Saturation", "TargetClamp", lower=-800, upper=800)(target)
+
+    # supervisor drives the joint enables and the commanded target
+    # (wired after the joints run, so supervisor inputs come from delays)
+    j1_fault_d = b.block("UnitDelay", "J1FaultD", dtype="boolean")
+    j2_fault_d = b.block("UnitDelay", "J2FaultD", dtype="boolean")
+    j3_fault_d = b.block("UnitDelay", "J3FaultD", dtype="boolean")
+    in_pos_d = b.block("UnitDelay", "InPosD", dtype="boolean")
+
+    any_fault = b.block("Logical", "AnyFault", op="OR", n_in=3)(
+        j1_fault_d.out(0), j2_fault_d.out(0), j3_fault_d.out(0)
+    )
+    sup = b.block(
+        "Chart",
+        "Supervisor",
+        states=["Init", "Homing", "Moving", "Holding", "Fault"],
+        initial="Init",
+        inputs=["cmd", "estop", "home", "fault", "inpos"],
+        outputs=[("enable", "int8"), ("mode", "int8")],
+        locals={
+            "enable": ("int8", 0),
+            "mode": ("int8", 0),
+            "home_t": ("int16", 0),
+        },
+        transitions=[
+            {"src": "Init", "dst": "Homing", "guard": "cmd == 1 && estop <= 0",
+             "action": "home_t = 0"},
+            {"src": "Homing", "dst": "Holding", "guard": "home > 0 || home_t >= 20"},
+            {"src": "Homing", "dst": "Fault", "guard": "fault > 0"},
+            {"src": "Holding", "dst": "Moving", "guard": "cmd == 2 && estop <= 0"},
+            {"src": "Moving", "dst": "Holding", "guard": "inpos > 0"},
+            {"src": "Moving", "dst": "Fault", "guard": "fault > 0 || estop > 0"},
+            {"src": "Holding", "dst": "Fault", "guard": "fault > 0 || estop > 0"},
+            {"src": "Fault", "dst": "Init", "guard": "cmd == 9 && estop <= 0 && fault <= 0"},
+        ],
+        entry={
+            "Init": "enable = 0\nmode = 0",
+            "Homing": "enable = 1\nmode = 1",
+            "Moving": "enable = 1\nmode = 2",
+            "Holding": "enable = 0\nmode = 3",
+            "Fault": "enable = 0\nmode = 4",
+        },
+        during={"Homing": "home_t = home_t + 1"},
+    )(cmd, estop, home, any_fault, in_pos_d.out(0))
+    enable, mode = sup
+
+    joints = []
+    for i, load in ((1, j1_load), (2, j2_load), (3, j3_load)):
+        joint = b.subsystem(
+            "Joint%d" % i, _joint_child(i), target_c, speed, load, enable
+        )
+        joints.append(joint)
+    (j1_pos, j1_fault, j1_inpos) = joints[0]
+    (j2_pos, j2_fault, j2_inpos) = joints[1]
+    (j3_pos, j3_fault, j3_inpos) = joints[2]
+
+    b.wire("J1FaultD", [j1_fault])
+    b.wire("J2FaultD", [j2_fault])
+    b.wire("J3FaultD", [j3_fault])
+    all_inpos = b.block("Logical", "AllInPos", op="AND", n_in=3)(
+        j1_inpos, j2_inpos, j3_inpos
+    )
+    b.wire("InPosD", [all_inpos])
+
+    # arm extension estimate + reach guard
+    extension = b.block("Sum", "ExtensionSum", signs="+++")(j1_pos, j2_pos, j3_pos)
+    over_reach = b.block("CompareToConstant", "OverReach", op=">", value=2000.0)(
+        b.block("Abs", "AbsExt")(extension)
+    )
+    status = b.block(
+        "MatlabFunction",
+        "StatusFn",
+        inputs=["mode", "over", "f1", "f2", "f3"],
+        outputs=[("word", "int16")],
+        body=(
+            "word = mode * 100\n"
+            "if over > 0\n"
+            "  word = word + 1\n"
+            "end\n"
+            "if f1 > 0\n"
+            "  word = word + 10\n"
+            "end\n"
+            "if f2 > 0\n"
+            "  word = word + 20\n"
+            "end\n"
+            "if f3 > 0\n"
+            "  word = word + 40\n"
+            "end\n"
+        ),
+    )(mode, over_reach, j1_fault, j2_fault, j3_fault)
+    b.outport("Status", status)
+    b.outport("Extension", extension)
+    b.outport("Mode", mode)
+    return b.build()

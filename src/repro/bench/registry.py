@@ -1,0 +1,77 @@
+"""Benchmark registry: name → builder, with schedule caching."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ModelError
+from ..model.model import Model
+from ..schedule.schedule import Schedule, convert
+
+__all__ = ["BENCHMARKS", "build_model", "build_schedule", "model_names"]
+
+
+def _builders() -> Dict[str, Callable[[], Model]]:
+    from . import afc, cputask, evcs, rac, solarpv, tcp, twc, utpc
+
+    return {
+        "CPUTask": cputask.build,
+        "AFC": afc.build,
+        "TCP": tcp.build,
+        "RAC": rac.build,
+        "EVCS": evcs.build,
+        "TWC": twc.build,
+        "UTPC": utpc.build,
+        "SolarPV": solarpv.build,
+    }
+
+
+class _Registry:
+    """Lazy builder table (models import heavy block machinery)."""
+
+    def __init__(self):
+        self._table: Dict[str, Callable[[], Model]] = {}
+
+    def _ensure(self) -> None:
+        if not self._table:
+            self._table.update(_builders())
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure()
+        return name in self._table
+
+    def __getitem__(self, name: str) -> Callable[[], Model]:
+        self._ensure()
+        return self._table[name]
+
+    def keys(self) -> List[str]:
+        self._ensure()
+        return list(self._table)
+
+
+BENCHMARKS = _Registry()
+_SCHEDULE_CACHE: Dict[str, Schedule] = {}
+
+
+def model_names() -> List[str]:
+    """Benchmark model names in the paper's Table 2 order."""
+    return BENCHMARKS.keys()
+
+
+def build_model(name: str) -> Model:
+    """Build one benchmark model by name (fresh instance)."""
+    if name not in BENCHMARKS:
+        raise ModelError(
+            "unknown benchmark %r (have: %s)" % (name, ", ".join(model_names()))
+        )
+    return BENCHMARKS[name]()
+
+
+def build_schedule(name: str, cached: bool = True) -> Schedule:
+    """Build (and by default cache) one benchmark's converted schedule."""
+    if cached and name in _SCHEDULE_CACHE:
+        return _SCHEDULE_CACHE[name]
+    schedule = convert(build_model(name))
+    if cached:
+        _SCHEDULE_CACHE[name] = schedule
+    return schedule

@@ -1,0 +1,142 @@
+"""SolarPV — solar PV panel energy output control (the paper's Fig. 1).
+
+The running example of the paper: a controller interfacing multiple PV
+panels, tracking per-panel charging states and selecting the electrical
+energy storage mode from aggregate output power.  Inports match the
+paper's Figure 3 fuzz driver exactly: Enable (int8), Power (int32),
+PanelID (int32) — a 9-byte tuple per iteration.
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+N_PANELS = 4
+
+
+def _panel_child(panel_id: int) -> Model:
+    """One PV panel: charge-state chart + stored-energy integrator."""
+    b = ModelBuilder("panel%d" % panel_id)
+    power = b.inport("power", "int32")
+
+    limited = b.block("Saturation", "PowerLimit", lower=0, upper=1200)(power)
+    chart = b.block(
+        "Chart",
+        "ChargeCtl",
+        states=["Idle", "Charging", "Bulk", "Float", "Fault"],
+        initial="Idle",
+        inputs=["p"],
+        outputs=[("mode", "int8"), ("stored", "int32")],
+        locals={
+            "mode": ("int8", 0),
+            "stored": ("int32", 0),
+            "overload": ("int16", 0),
+        },
+        transitions=[
+            {"src": "Idle", "dst": "Charging", "guard": "p > 50"},
+            {"src": "Charging", "dst": "Bulk", "guard": "stored > 500 && p > 200"},
+            {"src": "Charging", "dst": "Idle", "guard": "p <= 10"},
+            {"src": "Bulk", "dst": "Float", "guard": "stored >= 2000"},
+            {"src": "Bulk", "dst": "Fault", "guard": "overload >= 5"},
+            {"src": "Bulk", "dst": "Charging", "guard": "p < 100"},
+            {"src": "Float", "dst": "Idle", "guard": "p <= 10 && stored < 1500"},
+            {"src": "Fault", "dst": "Idle", "guard": "p <= 0"},
+        ],
+        entry={
+            "Charging": "mode = 1",
+            "Bulk": "mode = 2",
+            "Float": "mode = 3",
+            "Fault": "mode = 4\nstored = stored / 2",
+            "Idle": "mode = 0",
+        },
+        during={
+            "Charging": "stored = stored + p / 10",
+            "Bulk": (
+                "stored = stored + p / 5\n"
+                "if p > 900\n  overload = overload + 1\nelse\n"
+                "  if overload > 0\n    overload = overload - 1\n  end\nend"
+            ),
+            "Float": "if stored > 100\n  stored = stored - 10\nend",
+        },
+    )(limited)
+    b.outport("mode", chart[0])
+    b.outport("stored", chart[1])
+    return b.build()
+
+
+def build() -> Model:
+    """Build the SolarPV model (top level)."""
+    b = ModelBuilder("SolarPV")
+    enable = b.inport("Enable", "int8")
+    power = b.inport("Power", "int32")
+    panel_id = b.inport("PanelID", "int32")
+
+    enabled = b.block("CompareToZero", "Enabled", op="~=")(enable)
+    gated_power = b.block("Switch", "PowerGate", criterion="~=0")(
+        power, enabled, b.const(0)
+    )
+
+    # route the sample to the addressed panel; others hold state
+    children = [_panel_child(i + 1) for i in range(N_PANELS)]
+    panels = b.block(
+        "SwitchCase",
+        "PanelRouter",
+        children=children,
+        case_values=[[i + 1] for i in range(N_PANELS)],
+        init_outputs=[0, 0],
+    )(panel_id, gated_power)
+    mode, stored = panels
+
+    # aggregate energy bookkeeping across samples
+    total_energy = b.block(
+        "DiscreteIntegrator", "TotalEnergy", gain=0.1, lower=0.0, upper=100000.0
+    )(gated_power)
+
+    # storage-mode selection from output power (If / elseif / else)
+    high_out = b.block("CompareToConstant", "HighOut", op=">", value=800)(gated_power)
+    mid_out = b.block("Logical", "MidBand", op="AND", n_in=2)(
+        b.block("CompareToConstant", "AboveLow", op=">", value=150)(gated_power),
+        b.block("CompareToConstant", "BelowHigh", op="<=", value=800)(gated_power),
+    )
+
+    def _mode_child(name: str, value: int) -> Model:
+        mb = ModelBuilder(name)
+        stored_in = mb.inport("stored", "int32")
+        scaled = mb.block("Gain", "Scale", gain=value)(stored_in)
+        mb.outport("out", mb.block("Saturation", "Cap", lower=-30000, upper=30000)(scaled))
+        return mb.build()
+
+    storage = b.block(
+        "If",
+        "StorageSelect",
+        children=[_mode_child("grid", 3), _mode_child("battery", 2)],
+        else_child=_mode_child("trickle", 1),
+        init_outputs=[0],
+    )(high_out, mid_out, stored)
+
+    # return/status word: panel mode + storage decision + low-energy flag
+    low_energy = b.block("CompareToConstant", "LowEnergy", op="<", value=100.0)(
+        total_energy
+    )
+    status = b.block(
+        "MatlabFunction",
+        "StatusWord",
+        inputs=["mode", "sel", "low"],
+        outputs=[("ret", "int32")],
+        body=(
+            "ret = mode * 100\n"
+            "if low > 0\n"
+            "  ret = ret + 1\n"
+            "end\n"
+            "if sel > 1000\n"
+            "  ret = ret + 10\n"
+            "elseif sel > 0\n"
+            "  ret = ret + 20\n"
+            "end\n"
+        ),
+    )(mode, storage, low_energy)
+    b.outport("Ret", status)
+    return b.build()

@@ -1,0 +1,168 @@
+"""TCP — three-way handshake protocol controller.
+
+A connection state machine covering the RFC 793 lifecycle (LISTEN /
+SYN_SENT / SYN_RCVD / ESTABLISHED / FIN handshakes / TIME_WAIT) driven by
+segment flag bits, windowed sequence-number validation, and a
+retransmission counter.  Deep branches require *sequences* of correctly
+flagged, correctly numbered segments — the property that defeats bounded
+unrolling.
+
+Inports (one tuple = 11 bytes): flags(uint8, bit0=SYN bit1=ACK bit2=FIN
+bit3=RST), seq(uint32), ack(uint32), cmd(uint8: 1=active open,
+2=passive open, 3=close), win(uint8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+
+def build() -> Model:
+    b = ModelBuilder("TCP")
+    flags = b.inport("flags", "uint8")
+    seq = b.inport("seq", "uint32")
+    ack = b.inport("ack", "uint32")
+    cmd = b.inport("cmd", "uint8")
+    win = b.inport("win", "uint8")
+
+    # flag-bit extraction (a MATLAB-function block, like real models do)
+    bits = b.block(
+        "MatlabFunction",
+        "FlagBits",
+        inputs=["f"],
+        outputs=[("syn", "int8"), ("ackf", "int8"), ("fin", "int8"), ("rst", "int8")],
+        body=(
+            "syn = f % 2\n"
+            "ackf = (f / 2) % 2\n"
+            "fin = (f / 4) % 2\n"
+            "rst = (f / 8) % 2\n"
+        ),
+    )(flags)
+    syn, ackf, fin, rst = bits
+
+    # sequence tracking: acceptable ack window around our send counter
+    seq_track = b.block(
+        "MatlabFunction",
+        "SeqTrack",
+        inputs=["seq", "ack", "accept", "w"],
+        outputs=[("ack_ok", "int8"), ("seq_ok", "int8"), ("snd_nxt", "uint32")],
+        persistent={"snd": ("uint32", 100), "rcv": ("uint32", 0)},
+        body=(
+            "ack_ok = 0\n"
+            "if ack >= snd && ack <= snd + 64\n"
+            "  ack_ok = 1\n"
+            "end\n"
+            "seq_ok = 0\n"
+            "if seq >= rcv && seq < rcv + w * 4 + 4\n"
+            "  seq_ok = 1\n"
+            "end\n"
+            "if accept > 0 && seq_ok > 0\n"
+            "  rcv = seq + 1\n"
+            "  snd = snd + 1\n"
+            "end\n"
+            "snd_nxt = snd\n"
+        ),
+    )(seq, ack, b.block("CompareToZero", "HasFlags", op="~=")(flags), win)
+    ack_ok, seq_ok, snd_nxt = seq_track
+
+    conn = b.block(
+        "Chart",
+        "Connection",
+        states=[
+            "CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+            "FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "TIME_WAIT",
+        ],
+        initial="CLOSED",
+        inputs=["syn", "ackf", "fin", "rst", "cmd", "ack_ok", "seq_ok"],
+        outputs=[("state_code", "int8"), ("resets", "int16")],
+        locals={
+            "state_code": ("int8", 0),
+            "resets": ("int16", 0),
+            "retries": ("int8", 0),
+            "timer": ("int16", 0),
+        },
+        transitions=[
+            {"src": "CLOSED", "dst": "SYN_SENT", "guard": "cmd == 1",
+             "action": "retries = 0"},
+            {"src": "CLOSED", "dst": "LISTEN", "guard": "cmd == 2"},
+            {"src": "LISTEN", "dst": "SYN_RCVD", "guard": "syn > 0 && rst <= 0"},
+            {"src": "LISTEN", "dst": "CLOSED", "guard": "cmd == 3"},
+            {"src": "SYN_SENT", "dst": "ESTABLISHED",
+             "guard": "syn > 0 && ackf > 0 && ack_ok > 0"},
+            {"src": "SYN_SENT", "dst": "SYN_RCVD", "guard": "syn > 0 && ackf <= 0"},
+            {"src": "SYN_SENT", "dst": "CLOSED", "guard": "rst > 0 || retries >= 3",
+             "action": "resets = resets + 1"},
+            {"src": "SYN_RCVD", "dst": "ESTABLISHED",
+             "guard": "ackf > 0 && ack_ok > 0 && syn <= 0"},
+            {"src": "SYN_RCVD", "dst": "LISTEN", "guard": "rst > 0"},
+            {"src": "ESTABLISHED", "dst": "FIN_WAIT_1", "guard": "cmd == 3"},
+            {"src": "ESTABLISHED", "dst": "CLOSE_WAIT", "guard": "fin > 0 && seq_ok > 0"},
+            {"src": "ESTABLISHED", "dst": "CLOSED", "guard": "rst > 0",
+             "action": "resets = resets + 1"},
+            {"src": "FIN_WAIT_1", "dst": "FIN_WAIT_2", "guard": "ackf > 0 && ack_ok > 0 && fin <= 0"},
+            {"src": "FIN_WAIT_1", "dst": "TIME_WAIT", "guard": "fin > 0 && ackf > 0"},
+            {"src": "FIN_WAIT_2", "dst": "TIME_WAIT", "guard": "fin > 0",
+             "action": "timer = 0"},
+            {"src": "CLOSE_WAIT", "dst": "LAST_ACK", "guard": "cmd == 3"},
+            {"src": "LAST_ACK", "dst": "CLOSED", "guard": "ackf > 0 && ack_ok > 0"},
+            {"src": "TIME_WAIT", "dst": "CLOSED", "guard": "timer >= 4"},
+        ],
+        entry={
+            "CLOSED": "state_code = 0",
+            "LISTEN": "state_code = 1",
+            "SYN_SENT": "state_code = 2",
+            "SYN_RCVD": "state_code = 3",
+            "ESTABLISHED": "state_code = 4",
+            "FIN_WAIT_1": "state_code = 5",
+            "FIN_WAIT_2": "state_code = 6",
+            "CLOSE_WAIT": "state_code = 7",
+            "LAST_ACK": "state_code = 8",
+            "TIME_WAIT": "state_code = 9",
+        },
+        during={
+            "SYN_SENT": "retries = retries + 1",
+            "TIME_WAIT": "timer = timer + 1",
+        },
+    )(syn, ackf, fin, rst, cmd, ack_ok, seq_ok)
+    state_code, resets = conn
+
+    established = b.block("CompareToConstant", "IsEst", op="==", value=4)(state_code)
+    # payload accounting only while established
+    def _accounting() -> Model:
+        mb = ModelBuilder("acct")
+        w = mb.inport("w", "uint8")
+        scaled = mb.block("Gain", "Bytes", gain=16)(w)
+        total = mb.block("DiscreteIntegrator", "Total", gain=1.0, lower=0.0, upper=100000.0)(scaled)
+        mb.outport("bytes", total)
+        return mb.build()
+
+    acct = b.block(
+        "EnabledSubsystem", "Accounting", child=_accounting(), init_outputs=[0.0]
+    )(established, win)
+
+    congested = b.block("Logical", "Congested", op="AND", n_in=3)(
+        established,
+        b.block("CompareToConstant", "SmallWin", op="<", value=4)(win),
+        b.block("CompareToConstant", "ManyBytes", op=">", value=1000.0)(acct),
+    )
+    status = b.block(
+        "MatlabFunction",
+        "StatusFn",
+        inputs=["st", "rst_count", "cong", "snd"],
+        outputs=[("word", "int32")],
+        body=(
+            "word = st * 1000 + rst_count\n"
+            "if cong > 0\n"
+            "  word = word + 100000\n"
+            "end\n"
+            "if snd > 200\n"
+            "  word = word + 500000\n"
+            "end\n"
+        ),
+    )(state_code, resets, congested, snd_nxt)
+    b.outport("Status", status)
+    b.outport("State", state_code)
+    return b.build()

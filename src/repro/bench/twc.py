@@ -1,0 +1,157 @@
+"""TWC — train wheel speed controller (wheel-slide / wheel-spin protection).
+
+Compares wheel speed against train reference speed; a protection chart
+engages brake-release or traction-cut when creep exceeds thresholds for
+several consecutive samples, with a sanding stage and an emergency path.
+The paper's Table 3 shows this model is very hard for simulation-based
+generation (SimCoTest 15% DC) — the deep part is the consecutive-sample
+slip confirmation and the recovery sequencing.
+
+Inports (one tuple = 8 bytes): wheel_speed(int16), train_speed(int16),
+brake_demand(int8), traction_demand(int8), sand_ok(int8), emergency(int8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+
+def build() -> Model:
+    b = ModelBuilder("TWC")
+    wheel_speed = b.inport("wheel_speed", "int16")
+    train_speed = b.inport("train_speed", "int16")
+    brake_demand = b.inport("brake_demand", "int8")
+    traction_demand = b.inport("traction_demand", "int8")
+    sand_ok = b.inport("sand_ok", "int8")
+    emergency = b.inport("emergency", "int8")
+
+    wheel_c = b.block("Saturation", "WheelClamp", lower=0, upper=600)(wheel_speed)
+    train_c = b.block("Saturation", "TrainClamp", lower=0, upper=600)(train_speed)
+
+    # creep = wheel - train, with a comfort dead zone
+    creep = b.block("Sum", "Creep", signs="+-")(wheel_c, train_c)
+    creep_dz = b.block("DeadZone", "CreepDZ", start=-5, end=5)(creep)
+    sliding = b.block("CompareToConstant", "Sliding", op="<", value=-15)(creep_dz)
+    spinning = b.block("CompareToConstant", "Spinning", op=">", value=15)(creep_dz)
+
+    # consecutive-sample confirmation counters (the deep part)
+    confirm = b.block(
+        "MatlabFunction",
+        "SlipConfirm",
+        inputs=["slide", "spin"],
+        outputs=[("slide_conf", "int8"), ("spin_conf", "int8")],
+        persistent={"sc": ("int8", 0), "pc": ("int8", 0)},
+        body=(
+            "if slide > 0\n"
+            "  if sc < 12\n"
+            "    sc = sc + 1\n"
+            "  end\n"
+            "else\n"
+            "  sc = 0\n"
+            "end\n"
+            "if spin > 0\n"
+            "  if pc < 12\n"
+            "    pc = pc + 1\n"
+            "  end\n"
+            "else\n"
+            "  pc = 0\n"
+            "end\n"
+            "slide_conf = 0\n"
+            "if sc >= 6\n"
+            "  slide_conf = 1\n"
+            "end\n"
+            "spin_conf = 0\n"
+            "if pc >= 6\n"
+            "  spin_conf = 1\n"
+            "end\n"
+        ),
+    )(sliding, spinning)
+    slide_conf, spin_conf = confirm
+
+    protection = b.block(
+        "Chart",
+        "Protection",
+        states=["Normal", "BrakeRelease", "TractionCut", "Sanding", "Emergency",
+                "Recovery"],
+        initial="Normal",
+        inputs=["slide", "spin", "sand", "emg", "creep"],
+        outputs=[("brake_mod", "int8"), ("traction_mod", "int8"), ("sander", "int8")],
+        locals={
+            "brake_mod": ("int8", 100),
+            "traction_mod": ("int8", 100),
+            "sander": ("int8", 0),
+            "hold": ("int16", 0),
+        },
+        transitions=[
+            {"src": "Normal", "dst": "Emergency", "guard": "emg > 0"},
+            {"src": "Normal", "dst": "BrakeRelease", "guard": "slide > 0",
+             "action": "hold = 0"},
+            {"src": "Normal", "dst": "TractionCut", "guard": "spin > 0",
+             "action": "hold = 0"},
+            {"src": "BrakeRelease", "dst": "Sanding",
+             "guard": "slide > 0 && hold >= 8 && sand > 0"},
+            {"src": "BrakeRelease", "dst": "Recovery", "guard": "slide <= 0",
+             "action": "hold = 0"},
+            {"src": "BrakeRelease", "dst": "Emergency", "guard": "emg > 0"},
+            {"src": "TractionCut", "dst": "Recovery", "guard": "spin <= 0",
+             "action": "hold = 0"},
+            {"src": "TractionCut", "dst": "Emergency", "guard": "emg > 0"},
+            {"src": "Sanding", "dst": "Recovery", "guard": "slide <= 0",
+             "action": "hold = 0"},
+            {"src": "Sanding", "dst": "Emergency", "guard": "emg > 0 || hold >= 40"},
+            {"src": "Recovery", "dst": "Normal", "guard": "hold >= 5 && creep >= -5 && creep <= 5"},
+            {"src": "Recovery", "dst": "BrakeRelease", "guard": "slide > 0",
+             "action": "hold = 0"},
+            {"src": "Emergency", "dst": "Normal", "guard": "emg <= 0 && hold >= 20"},
+        ],
+        entry={
+            "Normal": "brake_mod = 100\ntraction_mod = 100\nsander = 0",
+            "BrakeRelease": "brake_mod = 30",
+            "TractionCut": "traction_mod = 20",
+            "Sanding": "sander = 1\nbrake_mod = 60",
+            "Emergency": "brake_mod = 100\ntraction_mod = 0\nsander = 1",
+            "Recovery": "brake_mod = 70\ntraction_mod = 60\nsander = 0",
+        },
+        during={
+            "BrakeRelease": "hold = hold + 1",
+            "TractionCut": "hold = hold + 1",
+            "Sanding": "hold = hold + 1",
+            "Recovery": "hold = hold + 1",
+            "Emergency": "hold = hold + 1",
+        },
+    )(slide_conf, spin_conf, sand_ok, emergency, creep_dz)
+    brake_mod, traction_mod, sander = protection
+
+    # applied efforts: demand scaled by the protection modifiers
+    # (widened to int16 first: an int8 x int8 product would overflow)
+    brake_c = b.block("DataTypeConversion", "BrakeWide", dtype="int16")(
+        b.block("Saturation", "BrakeDemandClamp", lower=0, upper=100)(brake_demand)
+    )
+    traction_c = b.block("DataTypeConversion", "TracWide", dtype="int16")(
+        b.block("Saturation", "TracDemandClamp", lower=0, upper=100)(traction_demand)
+    )
+    brake_effort = b.block("Gain", "BrakePct", gain=0.01)(
+        b.block("DataTypeConversion", "BrakeF", dtype="double")(
+            b.block("Product", "BrakeApply", ops="**")(brake_c, brake_mod)
+        )
+    )
+    traction_effort = b.block("Gain", "TracPct", gain=0.01)(
+        b.block("DataTypeConversion", "TracF", dtype="double")(
+            b.block("Product", "TracApply", ops="**")(traction_c, traction_mod)
+        )
+    )
+    # interlock: both high simultaneously is a fault
+    interlock = b.block("Logical", "Interlock", op="AND", n_in=2)(
+        b.block("CompareToConstant", "BrakeHigh", op=">", value=50.0)(brake_effort),
+        b.block("CompareToConstant", "TracHigh", op=">", value=50.0)(traction_effort),
+    )
+    traction_safe = b.block("Switch", "InterlockCut", criterion="~=0")(
+        b.const(0.0, "double"), interlock, traction_effort
+    )
+    b.outport("Brake", brake_effort)
+    b.outport("Traction", traction_safe)
+    b.outport("Sander", sander)
+    return b.build()

@@ -1,0 +1,136 @@
+"""UTPC — underwater thruster power control.
+
+Allocates a battery power budget across four thrusters with per-thruster
+surge limiting, depth-dependent derating, a battery-protection chart and
+a long-horizon watchdog (the paper's 917-second coverage jump came from a
+deep state like this: the watchdog only trips after sustained
+overcurrent across many samples).
+
+Inports (one tuple = 10 bytes): t1..t4 demand (int8 each), depth(int16),
+batt_v(int16), reset(int8), boost(int8).
+"""
+
+from __future__ import annotations
+
+from ..model.builder import ModelBuilder
+from ..model.model import Model
+
+__all__ = ["build"]
+
+
+def _thruster_child(index: int) -> Model:
+    mb = ModelBuilder("thruster%d" % index)
+    demand = mb.inport("demand", "int8")
+    scale = mb.inport("scale", "double")
+    power = mb.block("Product", "Power", ops="**")(
+        mb.block("Saturation", "DemandClamp", lower=-100, upper=100)(demand),
+        scale,
+    )
+    surged = mb.block("RateLimiter", "Surge", rising=15.0, falling=-15.0)(power)
+    capped = mb.block("Saturation", "Cap", lower=-80.0, upper=80.0)(surged)
+    overcurrent = mb.block("CompareToConstant", "Over", op=">", value=70.0)(
+        mb.block("Abs", "AbsPower")(capped)
+    )
+    mb.outport("power", capped)
+    mb.outport("over", overcurrent)
+    return mb.build()
+
+
+def build() -> Model:
+    b = ModelBuilder("UTPC")
+    demands = [b.inport("t%d" % (i + 1), "int8") for i in range(4)]
+    depth = b.inport("depth", "int16")
+    batt_v = b.inport("batt_v", "int16")
+    reset = b.inport("reset", "int8")
+    boost = b.inport("boost", "int8")
+
+    depth_c = b.block("Saturation", "DepthClamp", lower=0, upper=6000)(depth)
+    batt_c = b.block("Saturation", "BattClamp", lower=0, upper=60)(batt_v)
+
+    # pressure derating: deeper = less aggressive thrust
+    derate = b.block(
+        "Lookup1D",
+        "DepthDerate",
+        breakpoints=[0.0, 500.0, 1500.0, 3000.0, 4500.0, 6000.0],
+        table=[1.0, 1.0, 0.85, 0.65, 0.45, 0.3],
+    )(depth_c)
+
+    battery = b.block(
+        "Chart",
+        "Battery",
+        states=["Normal", "Low", "Critical", "Lockout"],
+        initial="Normal",
+        inputs=["v", "rst"],
+        outputs=[("budget", "double")],
+        locals={"budget": ("double", 1.0), "low_t": ("int16", 0)},
+        transitions=[
+            {"src": "Normal", "dst": "Low", "guard": "v < 40", "action": "low_t = 0"},
+            {"src": "Low", "dst": "Normal", "guard": "v >= 44"},
+            {"src": "Low", "dst": "Critical", "guard": "v < 33 || low_t >= 25"},
+            {"src": "Critical", "dst": "Low", "guard": "v >= 38"},
+            {"src": "Critical", "dst": "Lockout", "guard": "v < 28"},
+            {"src": "Lockout", "dst": "Normal", "guard": "rst > 0 && v >= 45"},
+        ],
+        entry={
+            "Normal": "budget = 1.0",
+            "Low": "budget = 0.7",
+            "Critical": "budget = 0.4",
+            "Lockout": "budget = 0.0",
+        },
+        during={"Low": "low_t = low_t + 1"},
+    )(batt_c, reset)
+
+    boost_on = b.block("CompareToZero", "BoostOn", op="~=")(boost)
+    boost_factor = b.block("Switch", "BoostSel", criterion="~=0")(
+        b.const(1.25, "double"), boost_on, b.const(1.0, "double")
+    )
+    scale = b.block("Product", "Scale", ops="***")(derate, battery, boost_factor)
+
+    thrusters = []
+    overs = []
+    for i in range(4):
+        outs = b.subsystem("Thruster%d" % (i + 1), _thruster_child(i + 1), demands[i], scale)
+        thrusters.append(outs[0])
+        overs.append(outs[1])
+
+    total_power = b.block("Sum", "TotalPowerSum", signs="++++")(
+        *[b.block("Abs", "AbsT%d" % (i + 1))(thrusters[i]) for i in range(4)]
+    )
+    over_budget = b.block("CompareToConstant", "OverBudget", op=">", value=220.0)(total_power)
+    any_over = b.block("Logical", "AnyOver", op="OR", n_in=4)(*overs)
+
+    # long-horizon watchdog: sustained overcurrent trips a latched fault
+    watchdog = b.block(
+        "MatlabFunction",
+        "Watchdog",
+        inputs=["over", "busted", "rst"],
+        outputs=[("trip", "int8"), ("count", "int16")],
+        persistent={"c": ("int16", 0), "latched": ("int8", 0)},
+        body=(
+            "if over > 0 || busted > 0\n"
+            "  c = c + 1\n"
+            "else\n"
+            "  if c > 0\n"
+            "    c = c - 1\n"
+            "  end\n"
+            "end\n"
+            "if c >= 50\n"
+            "  latched = 1\n"
+            "end\n"
+            "if rst > 0 && c < 10\n"
+            "  latched = 0\n"
+            "end\n"
+            "trip = latched\n"
+            "count = c\n"
+        ),
+    )(any_over, over_budget, reset)
+    trip, count = watchdog
+
+    safe_power = b.block("Switch", "TripCut", criterion="~=0")(
+        b.const(0.0, "double"), trip, total_power
+    )
+    b.outport("TotalPower", safe_power)
+    b.outport("Trip", trip)
+    b.outport("WatchCount", count)
+    b.outport("T1", thrusters[0])
+    return b.build()

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``fuzz`` — run CFTCG on a model container (or named benchmark) and
+  write the test suite + CSV files.
+* ``codegen`` — print the generated (instrumented) model code and fuzz
+  driver for inspection.
+* ``compare`` — run all four generators on a model and print the
+  Table-3-style comparison row.
+* ``report`` — replay a saved suite against a model and print coverage.
+* ``bench`` — list the built-in benchmark models with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import __version__
+from .bench.registry import build_schedule, model_names
+from .codegen import generate_fuzz_driver, generate_model_code
+from .csvio import suite_to_csv_dir
+from .errors import ReproError
+from .fuzzing import Fuzzer, FuzzerConfig, TestSuite
+from .fuzzing.engine import replay_suite
+from .parser import model_from_xml
+from .schedule import convert
+from .slx import load_container
+
+__all__ = ["main"]
+
+
+def _load_schedule(target: str):
+    """A benchmark name or a path to an ``.slxz`` container."""
+    if target in model_names():
+        return build_schedule(target)
+    if not os.path.exists(target):
+        raise ReproError(
+            "%r is neither a benchmark (%s) nor a file"
+            % (target, ", ".join(model_names()))
+        )
+    return convert(model_from_xml(load_container(target)))
+
+
+def _cmd_fuzz(args) -> int:
+    schedule = _load_schedule(args.model)
+    config = FuzzerConfig(max_seconds=args.seconds, seed=args.seed)
+    result = Fuzzer(schedule, config).run()
+    print(
+        "executed %d inputs (%.0f model iterations/s)"
+        % (result.inputs_executed, result.iterations_per_second)
+    )
+    print("coverage:", result.report)
+    print("test cases: %d" % len(result.suite))
+    if args.out:
+        result.suite.save(args.out)
+        suite_to_csv_dir(result.suite, schedule.layout, os.path.join(args.out, "csv"))
+        print("suite written to %s (binary + csv/)" % args.out)
+    if args.verbose and result.report.missed_decisions:
+        print("missed decisions:")
+        for item in result.report.missed_decisions:
+            print("  -", item)
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    schedule = _load_schedule(args.model)
+    print(generate_model_code(schedule, args.level))
+    print()
+    print(generate_fuzz_driver(schedule))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .experiments.report import format_table
+    from .experiments.runner import TOOLS, run_tool
+
+    schedule = _load_schedule(args.model)
+    rows = []
+    for tool in TOOLS:
+        result = run_tool(tool, schedule, args.seconds, seed=args.seed)
+        rows.append(
+            [
+                tool,
+                "%.1f%%" % result.report.decision,
+                "%.1f%%" % result.report.condition,
+                "%.1f%%" % result.report.mcdc,
+                len(result.suite),
+            ]
+        )
+    print(format_table(["tool", "DC", "CC", "MCDC", "cases"], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    schedule = _load_schedule(args.model)
+    suite = TestSuite.load(args.suite)
+    report = replay_suite(schedule, suite)
+    print("suite: %d cases (tool: %s)" % (len(suite), suite.tool))
+    print("coverage:", report)
+    if args.verbose:
+        from .codegen import compile_model
+        from .coverage import CoverageRecorder, render_annotated
+
+        recorder = CoverageRecorder(schedule.branch_db)
+        replay_suite(schedule, suite, recorder=recorder)
+        print(render_annotated(recorder))
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from .model.describe import describe_model, describe_schedule
+
+    schedule = _load_schedule(args.model)
+    print(describe_model(schedule.model))
+    print()
+    print(describe_schedule(schedule))
+    return 0
+
+
+def _cmd_minimize(args) -> int:
+    from .fuzzing.minimize import minimize_suite
+    from .fuzzing.engine import replay_suite
+
+    schedule = _load_schedule(args.model)
+    suite = TestSuite.load(args.suite)
+    reduced = minimize_suite(schedule, suite)
+    before = replay_suite(schedule, suite)
+    after = replay_suite(schedule, reduced)
+    print("minimized %d -> %d cases" % (len(suite), len(reduced)))
+    print("before:", before)
+    print("after :", after)
+    if args.out:
+        reduced.save(args.out)
+        print("written to", args.out)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .experiments.table2 import collect_table2, render_table2
+
+    print(render_table2(collect_table2()))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CFTCG reproduction: model test case generation through code based fuzzing",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fuzz", help="generate test cases with CFTCG")
+    p.add_argument("model", help="benchmark name or .slxz path")
+    p.add_argument("--seconds", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="directory for the generated suite")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("codegen", help="print generated code + fuzz driver")
+    p.add_argument("model")
+    p.add_argument("--level", choices=("model", "code", "none"), default="model")
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser("compare", help="run all generators on one model")
+    p.add_argument("model")
+    p.add_argument("--seconds", type=float, default=6.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("report", help="replay a saved suite, print coverage")
+    p.add_argument("model")
+    p.add_argument("suite", help="directory written by 'fuzz --out'")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("show", help="describe a model and its branch elements")
+    p.add_argument("model")
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("minimize", help="reduce a suite, preserving coverage")
+    p.add_argument("model")
+    p.add_argument("suite")
+    p.add_argument("--out", help="directory for the reduced suite")
+    p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser("bench", help="list benchmark models (Table 2)")
+    p.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2

@@ -1,0 +1,181 @@
+"""Emission context handed to block templates during code synthesis.
+
+One :class:`EmitContext` exists per generated module; the emitter rebinds
+its per-block view (path, branch declarations, resolved dtypes) before
+calling each block's ``emit_output`` / ``emit_update``.  Blocks use it to:
+
+* write code lines with automatic indentation (``line`` / ``block``);
+* allocate fresh local variables (``tmp``) and persistent state
+  attributes (``state``);
+* emit coverage probe hits subject to the instrumentation level
+  (``hit_decision`` / ``hit_condition`` / ``hit_mcdc``) — this is where
+  the paper's branch instrumentation modes (a)–(d) become code;
+* wrap values to signal dtypes (``wrap``);
+* inline child models for the subsystem family (``emit_child_outputs`` /
+  ``emit_child_update``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from ..dtypes import DType
+from ..errors import CodegenError
+from ..schedule.branches import Condition, Decision, McdcGroup
+
+__all__ = ["EmitContext", "INSTRUMENT_LEVELS"]
+
+INSTRUMENT_LEVELS = ("model", "code", "none")
+
+
+class EmitContext:
+    """Mutable code-emission state for one generated module."""
+
+    def __init__(self, level: str = "model"):
+        if level not in INSTRUMENT_LEVELS:
+            raise CodegenError("bad instrumentation level %r" % (level,))
+        self.level = level
+        self.lines: List[str] = []
+        self._indent = 0
+        self._tmp_counter = 0
+        #: (attribute name, init literal) pairs collected for init()
+        self.state_inits: List[tuple] = []
+
+        # per-block view, rebound by the emitter
+        self.path: str = ""
+        self.block = None
+        self.branches = None  # BlockBranches of the current block
+        self.in_dtypes: List[Optional[DType]] = []
+        self.out_dtypes: List[DType] = []
+        #: per-block scratch space surviving from emit_output to
+        #: emit_update of the same block (e.g. the output variable a state
+        #: block commits in its update phase)
+        self._scratch: Dict[str, dict] = {}
+
+        # hierarchy callbacks, installed by the emitter
+        self._child_output_emitter = None
+        self._child_update_emitter = None
+        self._children = None
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def line(self, text: str) -> None:
+        """Append one line of code at the current indent."""
+        self.lines.append("    " * self._indent + text)
+
+    @contextmanager
+    def suite(self, header: str):
+        """Emit ``header`` then an indented suite (``with ctx.suite('if x:')``).
+
+        An empty suite gets an automatic ``pass`` so the generated module
+        always parses (e.g. an else branch whose probes are disabled at
+        the current instrumentation level).
+        """
+        self.line(header)
+        self._indent += 1
+        mark = len(self.lines)
+        try:
+            yield
+        finally:
+            if len(self.lines) == mark:
+                self.line("pass")
+            self._indent -= 1
+
+    def tmp(self, hint: str = "t") -> str:
+        """A fresh local variable name."""
+        self._tmp_counter += 1
+        return "_%s%d" % (hint, self._tmp_counter)
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def state(self, key: str, init_literal: str) -> str:
+        """Register a persistent state attribute; returns ``self._st_*``.
+
+        ``init_literal`` is a Python literal string assigned in the
+        generated ``init()`` (re-run before every test input, per the
+        paper's "model initialization code").
+        """
+        attr = "self._st_%s_%s" % (_mangle(self.path), key)
+        self.state_inits.append((attr, init_literal))
+        return attr
+
+    @property
+    def scratch(self) -> dict:
+        """Per-block scratch dict shared between output and update phases."""
+        return self._scratch.setdefault(self.path, {})
+
+    # ------------------------------------------------------------------ #
+    # dtype helpers
+    # ------------------------------------------------------------------ #
+    def wrap(self, expr: str, dtype: Optional[DType]) -> str:
+        """Wrap ``expr`` to ``dtype`` (no-op when dtype is None)."""
+        if dtype is None:
+            return expr
+        from .runtime import wrapper_name
+
+        return "%s(%s)" % (wrapper_name(dtype), expr)
+
+    def out_dtype(self, port: int = 0) -> Optional[DType]:
+        return self.out_dtypes[port] if port < len(self.out_dtypes) else None
+
+    def in_dtype(self, port: int) -> Optional[DType]:
+        return self.in_dtypes[port] if port < len(self.in_dtypes) else None
+
+    # ------------------------------------------------------------------ #
+    # coverage probes
+    # ------------------------------------------------------------------ #
+    def _decision_enabled(self, decision: Decision) -> bool:
+        if self.level == "model":
+            return True
+        if self.level == "code":
+            return getattr(decision, "control_flow", True)
+        return False
+
+    def hit_decision(self, decision: Decision, outcome_idx: int) -> None:
+        """Emit a probe hit for one decision outcome (a code line)."""
+        if self._decision_enabled(decision):
+            self.line("cov[%d] = 1" % decision.probe(outcome_idx))
+
+    def decision_hit_expr(self, decision: Decision, index_expr: str) -> None:
+        """Probe hit where the outcome index is computed at runtime."""
+        if self._decision_enabled(decision):
+            self.line("cov[%d + %s] = 1" % (decision.probe_base, index_expr))
+
+    def hit_condition(self, condition: Condition, value_expr: str) -> None:
+        """Emit a true/false condition probe hit (model level only)."""
+        if self.level == "model":
+            self.line(
+                "cov[%d if %s else %d] = 1"
+                % (condition.probe_true, value_expr, condition.probe_false)
+            )
+
+    def hit_mcdc(self, group: McdcGroup, vector_expr: str, outcome_expr: str) -> None:
+        """Emit an MCDC truth-vector record (model level only)."""
+        if self.level == "model":
+            self.line("_mcdc(%d, %s, %s)" % (group.id, vector_expr, outcome_expr))
+
+    # ------------------------------------------------------------------ #
+    # hierarchy
+    # ------------------------------------------------------------------ #
+    def emit_child_outputs(self, child_idx: int, invars: List[str]) -> List[str]:
+        """Inline the output phase of child ``child_idx``; returns outvars."""
+        if self._child_output_emitter is None:
+            raise CodegenError("block %r has no children" % (self.path,))
+        return self._child_output_emitter(child_idx, invars)
+
+    def emit_child_update(self, child_idx: int) -> None:
+        """Inline the update phase of child ``child_idx``."""
+        if self._child_update_emitter is None:
+            raise CodegenError("block %r has no children" % (self.path,))
+        self._child_update_emitter(child_idx)
+
+
+def _mangle(path: str) -> str:
+    """Turn a hierarchical block path into an identifier fragment."""
+    out = []
+    for ch in path:
+        out.append(ch if ch.isalnum() else "_")
+    return "".join(out)

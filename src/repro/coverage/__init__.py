@@ -1,0 +1,24 @@
+"""Model coverage measurement.
+
+The probe bitmap (``g_CurrCov`` / ``g_TotalCov`` in the paper's Algorithm
+1) lives in :class:`CoverageRecorder`; :mod:`metrics` turns recorded
+probes + MCDC truth vectors into the Decision / Condition / MCDC
+percentages of the paper's Table 3; :mod:`iteration` is the reference
+implementation of the Iteration Difference Coverage metric.
+"""
+
+from .annotate import BlockCoverage, annotate_coverage, render_annotated
+from .recorder import CoverageRecorder
+from .metrics import CoverageReport, compute_report, mcdc_independent_conditions
+from .iteration import iteration_difference_metric
+
+__all__ = [
+    "BlockCoverage",
+    "CoverageRecorder",
+    "annotate_coverage",
+    "render_annotated",
+    "CoverageReport",
+    "compute_report",
+    "mcdc_independent_conditions",
+    "iteration_difference_metric",
+]

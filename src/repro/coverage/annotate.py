@@ -1,0 +1,116 @@
+"""Annotated coverage reports (per-block, gcov-style).
+
+Turns a recorder's accumulated data into a per-block breakdown a tester
+can read top-down: which decisions/conditions of which blocks are
+covered, which outcomes are still missing, and where the MCDC gaps are.
+Rendered as text by :func:`render_annotated`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .metrics import mcdc_independent_conditions
+
+__all__ = ["BlockCoverage", "annotate_coverage", "render_annotated"]
+
+
+@dataclass
+class BlockCoverage:
+    """Coverage rollup for one block path."""
+
+    path: str
+    decision_covered: int = 0
+    decision_total: int = 0
+    condition_covered: int = 0
+    condition_total: int = 0
+    mcdc_covered: int = 0
+    mcdc_total: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def fully_covered(self) -> bool:
+        return not self.missing
+
+    @property
+    def outcome_percent(self) -> float:
+        total = self.decision_total + self.condition_total + self.mcdc_total
+        covered = self.decision_covered + self.condition_covered + self.mcdc_covered
+        return 100.0 * covered / total if total else 100.0
+
+
+def annotate_coverage(recorder) -> Dict[str, BlockCoverage]:
+    """Per-block coverage rollups from a recorder's accumulated data."""
+    db = recorder.branch_db
+    total = recorder.total
+    blocks: Dict[str, BlockCoverage] = {}
+
+    def entry(path: str) -> BlockCoverage:
+        if path not in blocks:
+            blocks[path] = BlockCoverage(path)
+        return blocks[path]
+
+    for decision in db.decisions:
+        block = entry(decision.block_path)
+        for idx, outcome in enumerate(decision.outcomes):
+            block.decision_total += 1
+            if total[decision.probe(idx)]:
+                block.decision_covered += 1
+            else:
+                block.missing.append(
+                    "decision %s: outcome %r never taken" % (decision.label, outcome)
+                )
+    for condition in db.conditions:
+        block = entry(condition.block_path)
+        for probe, value in ((condition.probe_true, "true"), (condition.probe_false, "false")):
+            block.condition_total += 1
+            if total[probe]:
+                block.condition_covered += 1
+            else:
+                block.missing.append(
+                    "condition %s: never %s" % (condition.label, value)
+                )
+    for group in db.mcdc_groups:
+        block = entry(group.block_path)
+        n = len(group.condition_ids)
+        shown = mcdc_independent_conditions(recorder.mcdc_vectors[group.id], n)
+        block.mcdc_total += n
+        block.mcdc_covered += sum(shown)
+        for i, ok in enumerate(shown):
+            if not ok:
+                block.missing.append(
+                    "MCDC %s: condition %d independence not shown"
+                    % (group.label, i)
+                )
+    return blocks
+
+
+def render_annotated(recorder, show_covered: bool = False) -> str:
+    """Text report: one section per block, missing items itemized."""
+    blocks = annotate_coverage(recorder)
+    lines: List[str] = []
+    for path in sorted(blocks):
+        block = blocks[path]
+        if block.fully_covered and not show_covered:
+            continue
+        marker = "OK " if block.fully_covered else "!! "
+        lines.append(
+            "%s%-40s %5.1f%%  (D %d/%d, C %d/%d, M %d/%d)"
+            % (
+                marker,
+                path,
+                block.outcome_percent,
+                block.decision_covered,
+                block.decision_total,
+                block.condition_covered,
+                block.condition_total,
+                block.mcdc_covered,
+                block.mcdc_total,
+            )
+        )
+        for item in block.missing:
+            lines.append("      - %s" % item)
+    if not lines:
+        lines.append("all instrumented blocks fully covered")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Coverage metric computation: Decision, Condition, MCDC.
+
+Definitions follow the Simulink model-coverage documentation the paper
+cites:
+
+* **Decision Coverage** — fraction of decision *outcomes* exercised.
+* **Condition Coverage** — fraction of condition true/false *values*
+  exercised (each condition contributes two).
+* **MCDC** — fraction of conditions (over all MCDC groups) shown to
+  *independently* affect their decision's outcome.  We use the
+  unique-cause criterion: two recorded evaluations whose condition
+  vectors differ only in that condition and whose outcomes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["CoverageReport", "compute_report", "mcdc_independent_conditions"]
+
+
+@dataclass
+class CoverageReport:
+    """Coverage percentages plus the raw counts behind them."""
+
+    decision_covered: int
+    decision_total: int
+    condition_covered: int
+    condition_total: int
+    mcdc_covered: int
+    mcdc_total: int
+    probe_covered: int
+    probe_total: int
+    missed_decisions: List[str] = field(default_factory=list)
+    missed_conditions: List[str] = field(default_factory=list)
+    missed_mcdc: List[str] = field(default_factory=list)
+
+    @staticmethod
+    def _pct(covered: int, total: int) -> float:
+        return 100.0 * covered / total if total else 100.0
+
+    @property
+    def decision(self) -> float:
+        """Decision Coverage in percent."""
+        return self._pct(self.decision_covered, self.decision_total)
+
+    @property
+    def condition(self) -> float:
+        """Condition Coverage in percent."""
+        return self._pct(self.condition_covered, self.condition_total)
+
+    @property
+    def mcdc(self) -> float:
+        """Modified Condition/Decision Coverage in percent."""
+        return self._pct(self.mcdc_covered, self.mcdc_total)
+
+    @property
+    def probe(self) -> float:
+        """Raw probe (branch bitmap) coverage in percent."""
+        return self._pct(self.probe_covered, self.probe_total)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "decision": self.decision,
+            "condition": self.condition,
+            "mcdc": self.mcdc,
+            "probe": self.probe,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "DC %.1f%%  CC %.1f%%  MCDC %.1f%%" % (
+            self.decision,
+            self.condition,
+            self.mcdc,
+        )
+
+
+def mcdc_independent_conditions(
+    vectors: Set[Tuple[int, int]], n_conditions: int
+) -> List[bool]:
+    """Which conditions of one group have unique-cause independence pairs.
+
+    ``vectors`` is the recorded set of (condition truth vector, outcome).
+    Condition ``i`` is shown independent iff two recordings exist whose
+    vectors differ exactly in bit ``i`` and whose outcomes differ.
+    """
+    by_vector: Dict[int, Set[int]] = {}
+    for vector, outcome in vectors:
+        by_vector.setdefault(vector, set()).add(outcome)
+    shown = [False] * n_conditions
+    for vector, outcomes in by_vector.items():
+        for i in range(n_conditions):
+            if shown[i]:
+                continue
+            partner = by_vector.get(vector ^ (1 << i))
+            if not partner:
+                continue
+            # an outcome-differing pair exists iff the union holds two
+            # distinct outcomes (both sets are non-empty)
+            if len(outcomes | partner) > 1:
+                shown[i] = True
+    return shown
+
+
+def compute_report(recorder) -> CoverageReport:
+    """Compute the full coverage report from a recorder's accumulated data."""
+    db = recorder.branch_db
+    total = recorder.total
+
+    decision_total = 0
+    decision_covered = 0
+    missed_decisions = []
+    for decision in db.decisions:
+        for idx, outcome in enumerate(decision.outcomes):
+            decision_total += 1
+            if total[decision.probe(idx)]:
+                decision_covered += 1
+            else:
+                missed_decisions.append(
+                    "%s:%s=%s" % (decision.block_path, decision.label, outcome)
+                )
+
+    condition_total = 0
+    condition_covered = 0
+    missed_conditions = []
+    for condition in db.conditions:
+        for probe, value in ((condition.probe_true, "T"), (condition.probe_false, "F")):
+            condition_total += 1
+            if total[probe]:
+                condition_covered += 1
+            else:
+                missed_conditions.append(
+                    "%s:%s=%s" % (condition.block_path, condition.label, value)
+                )
+
+    mcdc_total = 0
+    mcdc_covered = 0
+    missed_mcdc = []
+    for group in db.mcdc_groups:
+        n = len(group.condition_ids)
+        mcdc_total += n
+        shown = mcdc_independent_conditions(recorder.mcdc_vectors[group.id], n)
+        mcdc_covered += sum(shown)
+        for i, ok in enumerate(shown):
+            if not ok:
+                missed_mcdc.append("%s:%s/c%d" % (group.block_path, group.label, i))
+
+    return CoverageReport(
+        decision_covered=decision_covered,
+        decision_total=decision_total,
+        condition_covered=condition_covered,
+        condition_total=condition_total,
+        mcdc_covered=mcdc_covered,
+        mcdc_total=mcdc_total,
+        probe_covered=recorder.covered_probes(),
+        probe_total=recorder.n_probes,
+        missed_decisions=missed_decisions,
+        missed_conditions=missed_conditions,
+        missed_mcdc=missed_mcdc,
+    )

@@ -1,0 +1,80 @@
+"""The coverage recorder: probe bitmaps plus MCDC truth-vector sets.
+
+One recorder is shared by a model program (compiled or interpreted) and
+whatever harness drives it.  ``curr`` is the per-iteration bitmap the
+paper calls ``g_CurrCov``; ``total`` accumulates across iterations and
+inputs (``g_TotalCov``).  The bytearrays keep their identity for the whole
+recorder lifetime — compiled programs capture them once at instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+__all__ = ["CoverageRecorder"]
+
+
+class CoverageRecorder:
+    """Probe + MCDC recording for one model."""
+
+    def __init__(self, branch_db):
+        self.branch_db = branch_db
+        n = branch_db.n_probes
+        self.n_probes = n
+        self.curr = bytearray(n)
+        self.total = bytearray(n)
+        self._zeros = bytes(n)
+        #: per-MCDC-group set of (condition truth vector, outcome)
+        self.mcdc_vectors: List[Set[Tuple[int, int]]] = [
+            set() for _ in branch_db.mcdc_groups
+        ]
+
+    # ------------------------------------------------------------------ #
+    # hooks used by the execution engines
+    # ------------------------------------------------------------------ #
+    def hit(self, probe_id: int) -> None:
+        self.curr[probe_id] = 1
+
+    def record_mcdc(self, group_id: int, vector: int, outcome: int) -> None:
+        self.mcdc_vectors[group_id].add((vector, outcome))
+
+    # ------------------------------------------------------------------ #
+    # iteration bookkeeping
+    # ------------------------------------------------------------------ #
+    def reset_curr(self) -> None:
+        """Zero the per-iteration bitmap in place (identity preserved)."""
+        self.curr[:] = self._zeros
+
+    def commit_curr(self) -> List[int]:
+        """Merge curr into total; returns the newly covered probe ids."""
+        new = [
+            i for i, hit in enumerate(self.curr) if hit and not self.total[i]
+        ]
+        for i in new:
+            self.total[i] = 1
+        return new
+
+    def reset_all(self) -> None:
+        """Forget everything (fresh measurement)."""
+        self.reset_curr()
+        self.total[:] = self._zeros
+        for vectors in self.mcdc_vectors:
+            vectors.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def covered_probes(self) -> int:
+        return sum(self.total)
+
+    def curr_as_int(self) -> int:
+        """The curr bitmap as a little-endian big integer (fast compare)."""
+        return int.from_bytes(self.curr, "little")
+
+    def total_as_int(self) -> int:
+        return int.from_bytes(self.total, "little")
+
+    def absorb_int(self, bitmap: int) -> None:
+        """Merge an integer bitmap (from a generated driver) into total."""
+        merged = self.total_as_int() | bitmap
+        self.total[:] = merged.to_bytes(self.n_probes, "little") if self.n_probes else b""

@@ -1,0 +1,16 @@
+"""Binary test case ⇄ CSV conversion.
+
+The paper implements "a tool to convert binary test case files into csv
+supported by Simulink" so every tool's output can be measured by the same
+coverage toolbox.  Same role here: a test case's byte stream becomes a
+time-indexed CSV of typed inport columns, and back.
+"""
+
+from .convert import (
+    case_to_csv,
+    csv_to_case,
+    suite_to_csv_dir,
+    csv_dir_to_suite,
+)
+
+__all__ = ["case_to_csv", "csv_to_case", "suite_to_csv_dir", "csv_dir_to_suite"]

@@ -1,0 +1,86 @@
+"""Test case ⇄ CSV conversion routines.
+
+CSV shape (Simulink "From Spreadsheet"-style)::
+
+    time,Enable,Power,PanelID
+    0,1,700,2
+    1,1,650,2
+
+Float fields render with ``repr`` so the byte-exact value round-trips;
+integer and boolean fields are plain integers.  A trailing partial tuple
+in the binary stream is discarded (the driver's segmentation rule), so
+``csv_to_case(case_to_csv(data))`` equals ``data`` truncated to whole
+tuples.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..errors import ParseError
+from ..fuzzing.testcase import TestCase, TestSuite
+from ..parser.inport_info import TupleLayout
+
+__all__ = ["case_to_csv", "csv_to_case", "suite_to_csv_dir", "csv_dir_to_suite"]
+
+
+def case_to_csv(data: bytes, layout: TupleLayout) -> str:
+    """Render one binary test case as CSV text."""
+    lines = ["time," + ",".join(field.name for field in layout.fields)]
+    for step, values in enumerate(layout.iter_tuples(data)):
+        cells = [str(step)]
+        for field, value in zip(layout.fields, values):
+            cells.append(repr(float(value)) if field.dtype.is_float else str(int(value)))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def csv_to_case(text: str, layout: TupleLayout) -> bytes:
+    """Parse CSV text back into the binary tuple stream."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ParseError("empty CSV")
+    header = lines[0].split(",")
+    expected = ["time"] + [field.name for field in layout.fields]
+    if header != expected:
+        raise ParseError(
+            "CSV header mismatch: got %s, expected %s" % (header, expected)
+        )
+    rows: List[tuple] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        cells = line.split(",")
+        if len(cells) != len(expected):
+            raise ParseError("CSV line %d has %d cells" % (lineno, len(cells)))
+        values = []
+        for field, cell in zip(layout.fields, cells[1:]):
+            if field.dtype.is_float:
+                values.append(float(cell))
+            else:
+                values.append(int(float(cell)))
+        rows.append(tuple(values))
+    return layout.pack_stream(rows)
+
+
+def suite_to_csv_dir(suite: TestSuite, layout: TupleLayout, directory: str) -> List[str]:
+    """Write one ``case_NNNN.csv`` per test case; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for i, case in enumerate(suite):
+        path = os.path.join(directory, "case_%04d.csv" % i)
+        with open(path, "w") as handle:
+            handle.write(case_to_csv(case.data, layout))
+        paths.append(path)
+    return paths
+
+
+def csv_dir_to_suite(directory: str, layout: TupleLayout, tool: str = "csv") -> TestSuite:
+    """Load every ``*.csv`` in a directory back into a suite."""
+    suite = TestSuite(tool=tool)
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".csv"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            data = csv_to_case(handle.read(), layout)
+        suite.add(TestCase(data, 0.0, tool))
+    return suite

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """The model structure is invalid (bad wiring, duplicate names, ...)."""
+
+
+class ScheduleError(ModelError):
+    """The model cannot be scheduled (e.g. an algebraic loop)."""
+
+
+class TypeError_(ModelError):
+    """A signal or parameter has an unsupported or inconsistent data type."""
+
+
+class ParseError(ReproError):
+    """A model file (SLX container or XML document) could not be parsed."""
+
+
+class CodegenError(ReproError):
+    """Code synthesis failed for a block or a model."""
+
+
+class SimulationError(ReproError):
+    """The interpreted simulation engine hit an unrecoverable condition."""
+
+
+class FuzzingError(ReproError):
+    """The fuzzing engine was misconfigured or hit an internal fault."""
+
+
+class SolverError(ReproError):
+    """The constraint-directed (SLDV-like) generator failed internally."""

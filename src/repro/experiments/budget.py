@@ -1,0 +1,39 @@
+"""Experiment budget control.
+
+``REPRO_BUDGET`` scales the per-tool-per-model generation time in
+seconds (default 5).  ``REPRO_REPEATS`` sets how many seeds random tools
+average over (default 2; the paper used 10 repetitions over 24 h runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["tool_budget", "repeat_count"]
+
+_DEFAULT_BUDGET = 5.0
+_DEFAULT_REPEATS = 2
+
+
+def tool_budget(default: float = _DEFAULT_BUDGET) -> float:
+    """Seconds of generation time per tool per model."""
+    raw = os.environ.get("REPRO_BUDGET")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return max(value, 0.1)
+
+
+def repeat_count(default: int = _DEFAULT_REPEATS) -> int:
+    """Seeds to average over for the randomized tools."""
+    raw = os.environ.get("REPRO_REPEATS")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(value, 1)

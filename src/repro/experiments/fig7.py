@@ -1,0 +1,76 @@
+"""Figure 7 — Decision Coverage versus time, per model and tool.
+
+Every generated test case carries the moment it was emitted; replaying
+cases in that order against the instrumented model gives the cumulative
+Decision Coverage after each timestamp — the paper's folded line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bench.registry import build_schedule
+from ..codegen.compile import compile_model
+from ..coverage.recorder import CoverageRecorder
+from ..fuzzing.engine import FuzzResult
+from ..schedule.schedule import Schedule
+from .budget import tool_budget
+from .paper_data import MODEL_ORDER
+from .report import format_series
+from .runner import run_tool
+
+__all__ = ["coverage_timeline", "run_fig7", "render_fig7"]
+
+FIG7_TOOLS = ("sldv", "simcotest", "cftcg")
+
+
+def coverage_timeline(schedule: Schedule, result: FuzzResult) -> List[Tuple[float, float]]:
+    """Cumulative (time, Decision Coverage %) points from a suite."""
+    compiled = compile_model(schedule, "model")
+    recorder = CoverageRecorder(schedule.branch_db)
+    program, _ = compiled.instantiate(recorder)
+    layout = schedule.layout
+    db = schedule.branch_db
+    total_outcomes = db.n_decision_outcomes or 1
+    decision_probes = [p for d in db.decisions for p in d.probes]
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    for case in result.suite.sorted_by_time():
+        program.init()
+        for fields in layout.iter_tuples(case.data):
+            recorder.reset_curr()
+            program.step(*fields)
+            recorder.commit_curr()
+        covered = sum(recorder.total[p] for p in decision_probes)
+        points.append((case.found_at, 100.0 * covered / total_outcomes))
+    return points
+
+
+def run_fig7(
+    models: Optional[Sequence[str]] = None,
+    budget: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """model -> tool -> folded-line points."""
+    models = list(models or MODEL_ORDER)
+    budget = budget if budget is not None else tool_budget()
+    curves: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name in models:
+        schedule = build_schedule(name)
+        curves[name] = {}
+        for tool in FIG7_TOOLS:
+            result = run_tool(tool, schedule, budget, seed=seed)
+            curves[name][tool] = coverage_timeline(schedule, result)
+    return curves
+
+
+def render_fig7(curves: Dict[str, Dict[str, List[Tuple[float, float]]]]) -> str:
+    blocks = []
+    for model, tools in curves.items():
+        for tool, points in tools.items():
+            final = points[-1][1] if points else 0.0
+            blocks.append(
+                format_series(
+                    "%s / %s (final DC %.0f%%)" % (model, tool, final), points
+                )
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,57 @@
+"""Published numbers from the paper, for side-by-side reporting.
+
+Transcribed from the CFTCG paper (DAC 2024): Table 2 (benchmark model
+statistics), Table 3 (coverage of SLDV / SimCoTest / CFTCG) and the §4
+speed analysis.  EXPERIMENTS.md records our measured values next to
+these.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_AVG_IMPROVEMENT",
+    "PAPER_SPEED",
+    "MODEL_ORDER",
+]
+
+MODEL_ORDER = ("CPUTask", "AFC", "TCP", "RAC", "EVCS", "TWC", "UTPC", "SolarPV")
+
+#: model -> (functionality, #branch, #block)
+PAPER_TABLE2 = {
+    "CPUTask": ("AutoSAR CPU task dispatch system", 107, 275),
+    "AFC": ("Engine air-fuel control system", 35, 125),
+    "TCP": ("TCP three-way handshake protocol", 146, 330),
+    "RAC": ("Robotic arm controller", 179, 667),
+    "EVCS": ("Electric vehicle charging system", 89, 152),
+    "TWC": ("Train wheel speed controller", 80, 214),
+    "UTPC": ("Underwater thruster power control", 92, 214),
+    "SolarPV": ("Solar PV panel output control", 55, 131),
+}
+
+#: model -> tool -> (decision %, condition %, mcdc %)
+PAPER_TABLE3 = {
+    "CPUTask": {"sldv": (89, 72, 42), "simcotest": (72, 56, 21), "cftcg": (100, 100, 100)},
+    "AFC": {"sldv": (67, 64, 11), "simcotest": (72, 68, 11), "cftcg": (83, 79, 22)},
+    "TCP": {"sldv": (63, 64, 33), "simcotest": (82, 74, 17), "cftcg": (99, 96, 67)},
+    "RAC": {"sldv": (64, 71, 12), "simcotest": (71, 76, 12), "cftcg": (79, 84, 38)},
+    "EVCS": {"sldv": (80, 63, 21), "simcotest": (80, 63, 21), "cftcg": (92, 93, 83)},
+    "TWC": {"sldv": (46, 68, 40), "simcotest": (15, 57, 20), "cftcg": (96, 98, 90)},
+    "UTPC": {"sldv": (44, 59, 44), "simcotest": (40, 58, 44), "cftcg": (98, 100, 100)},
+    "SolarPV": {"sldv": (78, 83, 57), "simcotest": (74, 73, 43), "cftcg": (89, 95, 86)},
+}
+
+#: average improvement of CFTCG vs each baseline, percent (DC, CC, MCDC)
+PAPER_AVG_IMPROVEMENT = {
+    "sldv": (47.2, 38.3, 144.5),
+    "simcotest": (100.8, 44.6, 232.4),
+}
+
+#: §4 speed analysis claims
+PAPER_SPEED = {
+    "solarpv_cftcg_iters_per_sec": 26000,
+    "solarpv_simcotest_iters_per_sec": 6,
+    "cputask_cftcg_seconds_to_full": 37,
+    "cputask_simulated_hours_estimate": 44.5,
+}

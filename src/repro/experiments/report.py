@@ -1,0 +1,48 @@
+"""Plain-text table/series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table (the benches print these)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(title: str, series: Sequence[tuple], width: int = 60) -> str:
+    """Render one coverage-vs-time folded line as ASCII art.
+
+    ``series`` is a list of (t_seconds, percent) points, already sorted.
+    """
+    if not series:
+        return "%s: (no data)" % title
+    t_max = max(t for t, _ in series) or 1.0
+    out = [title]
+    rows: List[str] = []
+    levels = 10
+    grid = [[" "] * width for _ in range(levels)]
+    for t, pct in series:
+        x = min(int(t / t_max * (width - 1)), width - 1)
+        y = min(int(pct / 100.0 * (levels - 1)), levels - 1)
+        for yy in range(y + 1):
+            if grid[yy][x] == " ":
+                grid[yy][x] = "."
+        grid[y][x] = "*"
+    for level in range(levels - 1, -1, -1):
+        rows.append("%3d%% |%s" % (int(level / (levels - 1) * 100), "".join(grid[level])))
+    rows.append("     +%s" % ("-" * width))
+    rows.append("      0s%s%.1fs" % (" " * (width - 10), t_max))
+    out.extend(rows)
+    return "\n".join(out)

@@ -1,0 +1,65 @@
+"""Uniform tool runner: run any generator on any benchmark model."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..baselines.fuzz_only import FuzzOnlyConfig, run_fuzz_only
+from ..baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
+from ..baselines.sldv import SldvConfig, SldvGenerator
+from ..errors import ReproError
+from ..fuzzing.engine import Fuzzer, FuzzerConfig, FuzzResult
+from ..fuzzing.hybrid import HybridConfig, HybridFuzzer
+from ..schedule.schedule import Schedule
+
+__all__ = ["TOOLS", "run_tool"]
+
+#: generator names in reporting order ("hybrid" is this reproduction's
+#: implementation of the paper's constraint-assisted future work)
+TOOLS = ("sldv", "simcotest", "cftcg", "fuzz_only", "hybrid")
+
+
+def run_tool(
+    tool: str,
+    schedule: Schedule,
+    max_seconds: float,
+    seed: int = 0,
+    overrides: Optional[Dict] = None,
+) -> FuzzResult:
+    """Run one generation tool on one model schedule.
+
+    ``overrides`` tweaks the tool's config dataclass fields (used by
+    ablation benches).  Every result's coverage was replayed on the fully
+    instrumented model, so numbers are directly comparable.
+    """
+    overrides = overrides or {}
+    if tool == "cftcg":
+        config = FuzzerConfig(max_seconds=max_seconds, seed=seed)
+        _apply(config, overrides)
+        return Fuzzer(schedule, config).run()
+    if tool == "sldv":
+        config = SldvConfig(max_seconds=max_seconds, seed=seed)
+        _apply(config, overrides)
+        return SldvGenerator(schedule, config).run()
+    if tool == "simcotest":
+        config = SimCoTestConfig(max_seconds=max_seconds, seed=seed)
+        _apply(config, overrides)
+        return SimCoTestGenerator(schedule, config).run()
+    if tool == "fuzz_only":
+        config = FuzzOnlyConfig(max_seconds=max_seconds, seed=seed)
+        _apply(config, overrides)
+        return run_fuzz_only(schedule, config)
+    if tool == "hybrid":
+        config = HybridConfig(max_seconds=max_seconds, seed=seed)
+        _apply(config, overrides)
+        return HybridFuzzer(schedule, config).run()
+    raise ReproError("unknown tool %r (have: %s)" % (tool, ", ".join(TOOLS)))
+
+
+def _apply(config, overrides: Dict) -> None:
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            raise ReproError(
+                "config %s has no field %r" % (type(config).__name__, key)
+            )
+        setattr(config, key, value)

@@ -1,0 +1,45 @@
+"""Model-oriented fuzzing loop (paper §3.2).
+
+A LibFuzzer-style in-process engine specialized for models:
+
+* **Model input mutation** (§3.2.1) — eight field-wise strategies over
+  *tuples* (one model iteration's inport data), never misaligning the
+  typed byte stream (:mod:`mutations`, Table 1 of the paper).
+* **Model coverage collection** (§3.2.2) — Algorithm 1 via the generated
+  fuzz driver; inputs covering new probes are emitted as test cases,
+  inputs with high Iteration Difference Coverage are kept in the corpus
+  (:mod:`corpus`, :mod:`engine`).
+
+The ablation knobs reproduce the paper's "Fuzz Only" configuration:
+``FuzzerConfig(field_aware=False, level="code")``.
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .engine import Fuzzer, FuzzerConfig, FuzzResult, replay_suite
+from .hybrid import HybridConfig, HybridFuzzer
+from .minimize import minimize_suite
+from .mutations import (
+    MUTATION_STRATEGIES,
+    GENERIC_STRATEGIES,
+    mutate_field_wise,
+    mutate_generic,
+)
+from .testcase import TestCase, TestSuite
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "Fuzzer",
+    "FuzzerConfig",
+    "FuzzResult",
+    "HybridConfig",
+    "HybridFuzzer",
+    "minimize_suite",
+    "replay_suite",
+    "GENERIC_STRATEGIES",
+    "MUTATION_STRATEGIES",
+    "TestCase",
+    "TestSuite",
+    "mutate_field_wise",
+    "mutate_generic",
+]

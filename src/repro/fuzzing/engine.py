@@ -1,0 +1,251 @@
+"""The model-oriented fuzzing loop (paper Fig. 2, right column).
+
+Pipeline per run: compile the instrumented model code, compile the
+generated fuzz driver, then loop — select a corpus parent, apply
+field-wise tuple mutations, execute the driver (Algorithm 1), emit test
+cases on new model coverage, keep high-Iteration-Difference inputs as
+seeds.  Deterministic under a fixed ``seed``.
+
+Ablation knobs (all used by the paper's experiments):
+
+* ``field_aware=False`` — generic byte-level mutation (misaligns fields);
+* ``level="code"`` — code-level-only instrumentation for guidance
+  (boolean dataflow invisible, like a stock compiler + LibFuzzer);
+* ``use_iteration_metric=False`` — corpus admits only new-coverage
+  inputs, disabling the IDC diversification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import List, Optional
+
+from ..codegen.compile import CompiledModel, compile_model
+from ..codegen.driver import compile_fuzz_driver
+from ..coverage.metrics import CoverageReport, compute_report
+from ..coverage.recorder import CoverageRecorder
+from ..errors import FuzzingError
+from ..schedule.schedule import Schedule
+from .corpus import Corpus, CorpusEntry
+from .mutations import mutate_field_wise, mutate_generic
+from .testcase import TestCase, TestSuite
+
+__all__ = ["FuzzerConfig", "FuzzResult", "Fuzzer", "replay_suite"]
+
+
+@dataclass
+class FuzzerConfig:
+    """Tuning knobs for one fuzzing run."""
+
+    max_seconds: float = 5.0
+    max_inputs: Optional[int] = None
+    seed: int = 0
+    max_len: int = 1024  # byte-stream cap (LibFuzzer's -max_len)
+    initial_tuples: int = 4
+    max_mutation_rounds: int = 4
+    corpus_size: int = 256
+    use_iteration_metric: bool = True
+    field_aware: bool = True
+    level: str = "model"
+    #: stop early once every probe is covered (saves benchmark time)
+    stop_on_full_coverage: bool = True
+    #: extra initial corpus inputs (byte streams), e.g. solver-produced
+    #: seeds from the hybrid constraint-assisted mode (paper §5/§6)
+    seeds: Optional[List[bytes]] = None
+
+
+@dataclass
+class FuzzResult:
+    """Everything one run produced."""
+
+    suite: TestSuite
+    report: CoverageReport
+    inputs_executed: int
+    iterations_executed: int
+    elapsed: float
+    timeline: List = field(default_factory=list)  # (t, probes_covered)
+
+    @property
+    def execs_per_second(self) -> float:
+        return self.inputs_executed / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def iterations_per_second(self) -> float:
+        return self.iterations_executed / self.elapsed if self.elapsed else 0.0
+
+
+class Fuzzer:
+    """CFTCG's generation engine for one model."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: Optional[FuzzerConfig] = None,
+        compiled: Optional[CompiledModel] = None,
+    ):
+        self.schedule = schedule
+        self.config = config or FuzzerConfig()
+        if self.config.level not in ("model", "code"):
+            raise FuzzingError("fuzzer level must be 'model' or 'code'")
+        self.compiled = compiled or compile_model(schedule, self.config.level)
+        if self.compiled.level != self.config.level:
+            raise FuzzingError(
+                "compiled model level %r does not match config %r"
+                % (self.compiled.level, self.config.level)
+            )
+        if not schedule.layout.fields:
+            raise FuzzingError(
+                "model %r has no inports; nothing to fuzz"
+                % (schedule.model.name,)
+            )
+        self.driver = compile_fuzz_driver(schedule)
+        self.layout = schedule.layout
+
+    # ------------------------------------------------------------------ #
+    def _seed_inputs(self, rng: Random) -> List[bytes]:
+        """Initial corpus: zeros, random streams, and structured tuples.
+
+        The structured seeds set every integer field to one interesting
+        magnitude and every boolean to 1 — cheap starting points near the
+        thresholds control logic actually uses.
+        """
+        layout = self.layout
+        size = layout.size
+        n = self.config.initial_tuples
+        seeds = [bytes(size * n)]
+        for _ in range(4):
+            seeds.append(bytes(rng.randrange(256) for _ in range(size * n)))
+        for magnitude in (1, 10, 100, 1000, -1, -100):
+            row = []
+            for f in layout.fields:
+                if f.dtype.is_bool:
+                    row.append(1)
+                elif f.dtype.is_float:
+                    row.append(f.clamp(float(magnitude)))
+                else:
+                    row.append(f.clamp(magnitude))
+            seeds.append(layout.pack_stream([tuple(row)] * n))
+        if self.config.seeds:
+            seeds.extend(self.config.seeds)
+        return seeds
+
+    def run(self) -> FuzzResult:
+        """Execute the fuzzing loop; returns suite + replayed coverage."""
+        config = self.config
+        rng = Random(config.seed)
+        corpus = Corpus(config.corpus_size)
+        suite = TestSuite(tool="cftcg")
+        recorder = CoverageRecorder(self.schedule.branch_db)
+        program, _ = self.compiled.instantiate(recorder)
+        driver = self.driver
+
+        total_int = 0
+        inputs_executed = 0
+        iterations_executed = 0
+        timeline: List = []
+        start = time.perf_counter()
+        deadline = start + config.max_seconds
+        # each probe is one byte in the bitmap, so "all covered" is the
+        # little-endian integer over n_probes 0x01 bytes
+        n_probes = self.schedule.branch_db.n_probes
+        full = int.from_bytes(b"\x01" * n_probes, "little") if n_probes else 0
+
+        def run_one(data: bytes, parent_density: float) -> None:
+            nonlocal total_int, inputs_executed, iterations_executed
+            metric, found_new, total_int, iters = driver(
+                program, recorder.curr, data, total_int
+            )
+            inputs_executed += 1
+            iterations_executed += iters
+            now = time.perf_counter() - start
+            if found_new:
+                suite.add(TestCase(data, now))
+                timeline.append((now, bin(total_int).count("1")))
+                corpus.add(CorpusEntry(data, metric, True, now, iterations=iters))
+            elif config.use_iteration_metric:
+                density = metric / (iters + 1.0)
+                if density > parent_density:
+                    corpus.add(
+                        CorpusEntry(data, metric, False, now, iterations=iters)
+                    )
+
+        for seed_data in self._seed_inputs(rng):
+            run_one(seed_data, -1.0)
+
+        while True:
+            if time.perf_counter() >= deadline:
+                break
+            if config.max_inputs is not None and inputs_executed >= config.max_inputs:
+                break
+            if config.stop_on_full_coverage and full and total_int == full:
+                break
+            parent = corpus.select(rng)
+            if parent is None:
+                data = bytes(
+                    rng.randrange(256)
+                    for _ in range(self.layout.size * config.initial_tuples)
+                )
+                parent_density = -1.0
+            else:
+                other = corpus.select(rng)
+                rounds = 1 + rng.randrange(config.max_mutation_rounds)
+                if config.field_aware:
+                    data = mutate_field_wise(
+                        parent.data,
+                        self.layout,
+                        rng,
+                        other=other.data if other else None,
+                        rounds=rounds,
+                        max_len=config.max_len,
+                    )
+                else:
+                    data = mutate_generic(
+                        parent.data,
+                        rng,
+                        other=other.data if other else None,
+                        rounds=rounds,
+                        max_len=config.max_len,
+                    )
+                parent_density = parent.density
+            run_one(data, parent_density)
+
+        elapsed = time.perf_counter() - start
+        report = replay_suite(self.schedule, suite)
+        return FuzzResult(
+            suite=suite,
+            report=report,
+            inputs_executed=inputs_executed,
+            iterations_executed=iterations_executed,
+            elapsed=elapsed,
+            timeline=timeline,
+        )
+
+
+def replay_suite(
+    schedule: Schedule,
+    suite: TestSuite,
+    compiled: Optional[CompiledModel] = None,
+    recorder: Optional[CoverageRecorder] = None,
+) -> CoverageReport:
+    """Measure a suite's coverage by replaying it on instrumented code.
+
+    This is the paper's fair-comparison method: every tool's output test
+    cases are replayed against the *fully* instrumented model (the
+    Simulink coverage toolbox stand-in), regardless of what guidance the
+    tool itself used.
+    """
+    compiled = compiled or compile_model(schedule, "model")
+    if compiled.level != "model":
+        raise FuzzingError("replay requires a model-level compiled program")
+    recorder = recorder or CoverageRecorder(schedule.branch_db)
+    program, _ = compiled.instantiate(recorder)
+    layout = schedule.layout
+    for case in suite:
+        program.init()
+        for fields in layout.iter_tuples(case.data):
+            recorder.reset_curr()
+            program.step(*fields)
+            recorder.commit_curr()
+    return compute_report(recorder)

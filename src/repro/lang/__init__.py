@@ -1,0 +1,59 @@
+"""Mini action language for MATLAB Function blocks and Stateflow-like charts.
+
+The paper's instrumentation mode (d) covers "all conditional judgments
+inside blocks, such as Saturation, Matlab Function, Stateflow Chart".  To
+reproduce that we need those blocks to contain real conditional code, so
+this package implements a small MATLAB-flavoured language:
+
+* expressions: arithmetic, relational, boolean (``&&``/``||``/``!``),
+  bitwise ``&``/``|``, calls to a fixed builtin set;
+* statements: assignment, ``if / elseif / else / end``.
+
+It ships a tokenizer + recursive-descent parser (:mod:`parser`), an
+evaluator with branch-distance margins (:mod:`interp`), a Python code
+emitter for the synthesis pipeline (:mod:`pyemit`) and MCDC condition-atom
+extraction (:mod:`analysis`).
+"""
+
+from .ast import (
+    Assign,
+    Bin,
+    Call,
+    ConditionRef,
+    If,
+    Name,
+    Num,
+    Program,
+    Unary,
+)
+from .parser import parse_expr, parse_program
+from .analysis import extract_conditions, assigned_names, used_names
+from .interp import (
+    eval_expr,
+    eval_guard,
+    exec_program,
+    number_ifs,
+    BUILTIN_FUNCTIONS,
+)
+
+__all__ = [
+    "Assign",
+    "Bin",
+    "Call",
+    "ConditionRef",
+    "If",
+    "Name",
+    "Num",
+    "Program",
+    "Unary",
+    "parse_expr",
+    "parse_program",
+    "extract_conditions",
+    "assigned_names",
+    "used_names",
+    "eval_expr",
+    "eval_guard",
+    "exec_program",
+    "number_ifs",
+    "BUILTIN_FUNCTIONS",
+]

@@ -1,0 +1,115 @@
+"""Static analysis over mini-language ASTs.
+
+Two jobs:
+
+* :func:`extract_conditions` — MCDC decomposition of a guard expression
+  into its condition atoms plus a boolean *skeleton* in which each atom is
+  replaced by a :class:`~repro.lang.ast.ConditionRef`.  The branch
+  instrumentation pass uses this to hit one probe pair per condition
+  (paper mode (a)/(d)) and to record MCDC truth vectors.
+* name usage queries (:func:`used_names`, :func:`assigned_names`) used by
+  block parameter validation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .ast import (
+    Assign,
+    Bin,
+    Call,
+    ConditionRef,
+    Expr,
+    If,
+    Name,
+    Num,
+    Program,
+    Stmt,
+    Unary,
+    BOOL_OPS,
+)
+
+__all__ = ["extract_conditions", "used_names", "assigned_names"]
+
+
+def extract_conditions(expr: Expr) -> Tuple[List[Expr], Expr]:
+    """Split a boolean guard into (condition atoms, skeleton).
+
+    An atom is a maximal subexpression that is not a ``&&``/``||``
+    connective or a ``!`` negation — i.e. a relational comparison, a
+    boolean variable, or any other boolean-valued leaf.  The skeleton is a
+    copy of the expression tree where each atom is replaced by
+    ``ConditionRef(i)``.
+
+    For a guard that is itself a single atom, the result is one atom and a
+    ``ConditionRef(0)`` skeleton.
+    """
+    atoms: List[Expr] = []
+
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, Bin) and node.op in BOOL_OPS:
+            return Bin(node.op, walk(node.left), walk(node.right))
+        if isinstance(node, Unary) and node.op == "!":
+            return Unary("!", walk(node.operand))
+        atoms.append(node)
+        return ConditionRef(len(atoms) - 1)
+
+    return atoms, walk(expr)
+
+
+def used_names(node) -> Set[str]:
+    """All variable names read anywhere in an expression / stmt / program."""
+    names: Set[str] = set()
+    _collect_used(node, names)
+    return names
+
+
+def _collect_used(node, names: Set[str]) -> None:
+    if isinstance(node, Program):
+        for stmt in node.body:
+            _collect_used(stmt, names)
+    elif isinstance(node, Assign):
+        _collect_used(node.value, names)
+    elif isinstance(node, If):
+        for guard, body in node.branches:
+            _collect_used(guard, names)
+            for stmt in body:
+                _collect_used(stmt, names)
+        for stmt in node.orelse:
+            _collect_used(stmt, names)
+    elif isinstance(node, Name):
+        names.add(node.id)
+    elif isinstance(node, Unary):
+        _collect_used(node.operand, names)
+    elif isinstance(node, Bin):
+        _collect_used(node.left, names)
+        _collect_used(node.right, names)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            _collect_used(arg, names)
+    elif isinstance(node, (Num, ConditionRef)):
+        pass
+    else:  # pragma: no cover - defensive
+        raise TypeError("unknown node: %r" % (node,))
+
+
+def assigned_names(node) -> Set[str]:
+    """All variable names assigned anywhere in a stmt / program."""
+    names: Set[str] = set()
+    _collect_assigned(node, names)
+    return names
+
+
+def _collect_assigned(node, names: Set[str]) -> None:
+    if isinstance(node, Program):
+        for stmt in node.body:
+            _collect_assigned(stmt, names)
+    elif isinstance(node, Assign):
+        names.add(node.target)
+    elif isinstance(node, If):
+        for _, body in node.branches:
+            for stmt in body:
+                _collect_assigned(stmt, names)
+        for stmt in node.orelse:
+            _collect_assigned(stmt, names)

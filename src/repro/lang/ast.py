@@ -1,0 +1,124 @@
+"""AST node types for the mini action language.
+
+Plain dataclasses; all analysis lives in sibling modules.  Nodes are
+hashable on identity, which the condition extractor relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "Unary",
+    "Bin",
+    "Call",
+    "ConditionRef",
+    "Stmt",
+    "Assign",
+    "If",
+    "Program",
+    "BOOL_OPS",
+    "CMP_OPS",
+    "ARITH_OPS",
+]
+
+#: boolean connectives — these shape MCDC decomposition
+BOOL_OPS = ("&&", "||")
+#: relational operators — their operands yield numeric branch distances
+CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+#: arithmetic / bitwise operators
+ARITH_OPS = ("+", "-", "*", "/", "%", "&", "|")
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class Num(Expr):
+    """A numeric literal (int or float)."""
+
+    value: object
+
+
+@dataclass(eq=False)
+class Name(Expr):
+    """A variable reference."""
+
+    id: str
+
+
+@dataclass(eq=False)
+class Unary(Expr):
+    """Unary operation: ``-x`` or ``!x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(eq=False)
+class Bin(Expr):
+    """Binary operation (see the *_OPS tuples)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    """Call to a builtin function, e.g. ``min(a, b)``."""
+
+    func: str
+    args: List[Expr]
+
+
+@dataclass(eq=False)
+class ConditionRef(Expr):
+    """Placeholder for condition atom ``index`` in a guard skeleton.
+
+    Produced by :func:`repro.lang.analysis.extract_conditions`; never
+    produced by the parser.
+    """
+
+    index: int
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    """``target = value``."""
+
+    target: str
+    value: Expr
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    """``if / elseif* / else? / end`` chain.
+
+    ``branches`` is a list of (guard, body) pairs in source order;
+    ``orelse`` is the else body (possibly empty).
+    """
+
+    branches: List[Tuple[Expr, List[Stmt]]]
+    orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class Program:
+    """A parsed statement sequence."""
+
+    body: List[Stmt]
+    source: Optional[str] = None

@@ -1,0 +1,279 @@
+"""Evaluator for the mini action language.
+
+Three entry points:
+
+* :func:`eval_expr` — plain expression evaluation over an environment.
+* :func:`eval_guard` — guard evaluation that also returns per-condition
+  truth values and *branch-distance margins*; the interpreter feeds these
+  to the coverage recorder (condition probes + MCDC vectors) and to the
+  SLDV-like baseline's search fitness.
+* :func:`exec_program` — statement execution with an ``if`` hook so the
+  caller (MATLAB Function / Chart blocks) can record decision outcomes.
+
+Boolean connectives are evaluated *without* short-circuiting: all condition
+atoms are computed every time, matching Simulink's dataflow semantics where
+every logic-block input is a live signal.  Guards are side-effect free by
+construction (the language has no assignment expressions), so this is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .ast import (
+    Assign,
+    Bin,
+    Call,
+    ConditionRef,
+    Expr,
+    If,
+    Name,
+    Num,
+    Program,
+    Unary,
+    BOOL_OPS,
+    CMP_OPS,
+)
+from .ops import BUILTIN_IMPLS, safe_div, safe_mod
+
+__all__ = [
+    "eval_expr",
+    "eval_guard",
+    "exec_program",
+    "number_ifs",
+    "BUILTIN_FUNCTIONS",
+]
+
+#: names callable from the mini language
+BUILTIN_FUNCTIONS = tuple(sorted(BUILTIN_IMPLS))
+
+#: margin magnitude assigned to non-relational (boolean) atoms
+_BOOL_MARGIN = 1.0
+
+
+def eval_expr(node: Expr, env: Dict[str, object]):
+    """Evaluate an expression over ``env``; booleans come back as 0/1."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Name):
+        try:
+            return env[node.id]
+        except KeyError:
+            raise SimulationError("undefined variable %r" % (node.id,)) from None
+    if isinstance(node, Unary):
+        value = eval_expr(node.operand, env)
+        if node.op == "-":
+            return -value
+        return 0 if value else 1  # '!'
+    if isinstance(node, Bin):
+        left = eval_expr(node.left, env)
+        right = eval_expr(node.right, env)
+        return _apply_bin(node.op, left, right)
+    if isinstance(node, Call):
+        impl = BUILTIN_IMPLS.get(node.func)
+        if impl is None:
+            raise SimulationError("unknown function %r" % (node.func,))
+        args = [eval_expr(a, env) for a in node.args]
+        return impl(*args)
+    raise SimulationError("cannot evaluate node %r" % (node,))
+
+
+def _apply_bin(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return safe_div(left, right)
+    if op == "%":
+        return safe_mod(left, right)
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "&&":
+        return 1 if (left and right) else 0
+    if op == "||":
+        return 1 if (left or right) else 0
+    if op == "&":
+        return int(left) & int(right)
+    if op == "|":
+        return int(left) | int(right)
+    raise SimulationError("unknown operator %r" % (op,))
+
+
+def _atom_margin(atom: Expr, env: Dict[str, object]) -> Tuple[int, float]:
+    """Evaluate one condition atom → (truth value, signed margin).
+
+    The margin is positive when the atom is true and its magnitude is a
+    measure of how far the operands are from flipping it — the classic
+    branch-distance function from search-based testing.  Equality gets the
+    conventional ``-|l-r|`` distance when false.
+    """
+    if isinstance(atom, Bin) and atom.op in CMP_OPS:
+        left = eval_expr(atom.left, env)
+        right = eval_expr(atom.right, env)
+        diff = float(left) - float(right)
+        if atom.op == "<":
+            return (1 if diff < 0 else 0), -diff if diff != 0 else -0.5
+        if atom.op == "<=":
+            return (1 if diff <= 0 else 0), (-diff if diff != 0 else 0.5)
+        if atom.op == ">":
+            return (1 if diff > 0 else 0), diff if diff != 0 else -0.5
+        if atom.op == ">=":
+            return (1 if diff >= 0 else 0), (diff if diff != 0 else 0.5)
+        if atom.op == "==":
+            return (1 if diff == 0 else 0), (_BOOL_MARGIN if diff == 0 else -abs(diff))
+        # '!='
+        return (1 if diff != 0 else 0), (abs(diff) if diff != 0 else -_BOOL_MARGIN)
+    value = eval_expr(atom, env)
+    truth = 1 if value else 0
+    return truth, _BOOL_MARGIN if truth else -_BOOL_MARGIN
+
+
+def _skeleton_margin(node: Expr, truths: List[int], margins: List[float]) -> Tuple[int, float]:
+    """Combine atom margins through the boolean skeleton.
+
+    Tracey-style branch distances for search-based generation: a true
+    ``&&`` is as robust as its weakest conjunct (min); a false ``&&`` is
+    as far from true as the *sum* of its conjuncts' shortfalls — summing
+    (rather than min) removes the plateaus where improving one conjunct
+    worsens another without changing the min.  ``||`` takes the max
+    (closest disjunct) either way; ``!`` negates.
+    """
+    if isinstance(node, ConditionRef):
+        return truths[node.index], margins[node.index]
+    if isinstance(node, Unary) and node.op == "!":
+        truth, margin = _skeleton_margin(node.operand, truths, margins)
+        return (0 if truth else 1), -margin
+    if isinstance(node, Bin) and node.op in BOOL_OPS:
+        lt, lm = _skeleton_margin(node.left, truths, margins)
+        rt, rm = _skeleton_margin(node.right, truths, margins)
+        if node.op == "&&":
+            if lt and rt:
+                return 1, min(lm, rm)
+            shortfall = (min(lm, 0.0)) + (min(rm, 0.0))
+            return 0, shortfall
+        return (1 if lt or rt else 0), max(lm, rm)
+    raise SimulationError("bad skeleton node %r" % (node,))
+
+
+def eval_guard(
+    atoms: List[Expr], skeleton: Expr, env: Dict[str, object]
+) -> Tuple[int, List[int], float, List[float]]:
+    """Evaluate a decomposed guard.
+
+    Returns ``(outcome, atom_truths, guard_margin, atom_margins)`` where
+    ``outcome`` is 0/1, ``atom_truths`` the per-condition values (MCDC
+    vector bits) and the margins are branch distances as described above.
+    """
+    truths: List[int] = []
+    margins: List[float] = []
+    for atom in atoms:
+        truth, margin = _atom_margin(atom, env)
+        truths.append(truth)
+        margins.append(margin)
+    outcome, guard_margin = _skeleton_margin(skeleton, truths, margins)
+    return outcome, truths, guard_margin, margins
+
+
+def number_ifs(program: Program) -> int:
+    """Statically number every If node in source order.
+
+    Sets ``_if_index`` on each node and attaches the pre-decomposed guards
+    (``_guards`` = list of (atoms, skeleton) per branch) so execution does
+    not re-run condition extraction.  Returns the number of If nodes.
+    Idempotent; called once per parsed body by the owning block.
+    """
+    from .analysis import extract_conditions
+
+    counter = [0]
+
+    def walk(stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, If):
+                stmt._if_index = counter[0]
+                counter[0] += 1
+                stmt._guards = [
+                    extract_conditions(guard) for guard, _ in stmt.branches
+                ]
+                for _, body in stmt.branches:
+                    walk(body)
+                walk(stmt.orelse)
+
+    walk(program.body)
+    return counter[0]
+
+
+def exec_program(
+    program: Program,
+    env: Dict[str, object],
+    if_hook: Optional[Callable] = None,
+    wrap_map: Optional[Dict[str, object]] = None,
+) -> None:
+    """Execute statements, mutating ``env`` in place.
+
+    The program must have been numbered with :func:`number_ifs` first when
+    ``if_hook`` is used.  ``if_hook(if_index, branch_index,
+    guards_evaluated)`` is invoked for every If statement executed:
+    ``if_index`` is the node's static source-order number, ``branch_index``
+    the taken branch (``len(branches)`` for the else), and
+    ``guards_evaluated`` a list of :func:`eval_guard` results for every
+    guard evaluated — i.e. up to and including the taken one (if/elseif
+    chains short-circuit like the generated C code would).
+
+    ``wrap_map`` maps variable names to :class:`~repro.dtypes.DType`;
+    assignments to mapped names wrap their value (two's complement /
+    float32 rounding), matching the generated code's typed variables.
+    """
+    _exec_stmts(program.body, env, if_hook, wrap_map)
+
+
+def _exec_stmts(stmts, env, if_hook, wrap_map=None) -> None:
+    from ..dtypes import wrap as _wrap
+
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            value = eval_expr(stmt.value, env)
+            if wrap_map is not None:
+                dtype = wrap_map.get(stmt.target)
+                if dtype is not None:
+                    value = _wrap(value, dtype)
+            env[stmt.target] = value
+        elif isinstance(stmt, If):
+            _exec_if(stmt, env, if_hook, wrap_map)
+        else:  # pragma: no cover - defensive
+            raise SimulationError("unknown statement %r" % (stmt,))
+
+
+def _exec_if(stmt: If, env, if_hook, wrap_map=None) -> None:
+    guards = getattr(stmt, "_guards", None)
+    if guards is None:
+        from .analysis import extract_conditions
+
+        guards = [extract_conditions(guard) for guard, _ in stmt.branches]
+    guards_evaluated = []
+    taken = len(stmt.branches)  # default: else branch
+    body = stmt.orelse
+    for branch_index, (_, branch_body) in enumerate(stmt.branches):
+        atoms, skeleton = guards[branch_index]
+        result = eval_guard(atoms, skeleton, env)
+        guards_evaluated.append(result)
+        if result[0]:
+            taken = branch_index
+            body = branch_body
+            break
+    if if_hook is not None:
+        if_hook(getattr(stmt, "_if_index", -1), taken, guards_evaluated)
+    _exec_stmts(body, env, if_hook, wrap_map)

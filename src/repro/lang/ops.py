@@ -1,0 +1,75 @@
+"""Runtime operator semantics shared by the interpreter and generated code.
+
+Control models must never crash on arbitrary fuzz inputs, so partial
+operations get total definitions (documented in DESIGN.md):
+
+* ``safe_div(a, b)`` — 0 when ``b`` is 0 (integer or float), C-style
+  truncating division for two ints, true division otherwise;
+* ``safe_mod(a, b)`` — 0 when ``b`` is 0, C-style remainder (sign of the
+  dividend) for ints;
+* ``safe_sqrt(x)`` — 0 for negative ``x``.
+
+These are exactly the guards an embedded code generator emits around
+division-by-zero-capable blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["safe_div", "safe_mod", "safe_sqrt", "BUILTIN_IMPLS"]
+
+
+def safe_div(a, b):
+    """Division that is total: 0 on zero divisor, C-truncation for ints."""
+    if b == 0:
+        return 0 if isinstance(a, int) and isinstance(b, int) else 0.0
+    if isinstance(a, int) and isinstance(b, int):
+        quotient = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        return quotient
+    return a / b
+
+
+def safe_mod(a, b):
+    """Remainder that is total: 0 on zero divisor, C semantics for ints."""
+    if b == 0:
+        return 0 if isinstance(a, int) and isinstance(b, int) else 0.0
+    if isinstance(a, int) and isinstance(b, int):
+        return a - safe_div(a, b) * b
+    return math.fmod(a, b)
+
+
+def safe_sqrt(x):
+    """Square root that is total: 0 for negative input."""
+    if x < 0:
+        return 0.0
+    return math.sqrt(x)
+
+
+def _clamped_exp(x):
+    """exp() that saturates instead of raising OverflowError."""
+    if x > 700:
+        return math.inf
+    return math.exp(x)
+
+
+#: name → callable for every builtin the mini language exposes.  The same
+#: table is injected into the generated code's globals by the codegen
+#: runtime, so interpreted and compiled semantics agree by construction.
+BUILTIN_IMPLS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "sqrt": safe_sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": _clamped_exp,
+    "sign": lambda x: (x > 0) - (x < 0),
+    "mod": safe_mod,
+}

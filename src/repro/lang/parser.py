@@ -1,0 +1,238 @@
+"""Tokenizer and recursive-descent parser for the mini action language.
+
+Grammar (statements)::
+
+    program  := stmt*
+    stmt     := 'if' expr sep block ('elseif' expr sep block)*
+                ('else' sep block)? 'end'
+              | NAME '=' expr
+    block    := stmt*
+    sep      := ';' | NEWLINE (any number)
+
+Expression precedence, low to high::
+
+    ||  &&  |  &  (== !=)  (< <= > >=)  (+ -)  (* / %)  unary  primary
+
+This mirrors C precedence closely enough for control-model guards; the
+benchmark models only rely on the ordering shown above.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import Assign, Bin, Call, Expr, If, Name, Num, Program, Stmt, Unary
+
+__all__ = ["tokenize", "parse_expr", "parse_program"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>[\r\n]+|;)
+  | (?P<float>(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>&&|\|\||==|!=|<=|>=|[-+*/%<>=!&|(),])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = ("if", "elseif", "else", "end")
+
+
+class Token:
+    """One lexical token (kind, text, position)."""
+
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad characters."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                "bad character %r at offset %d" % (source[pos], pos)
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = "kw"
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._i = 0
+
+    # -------------------------------------------------------------- #
+    # token plumbing
+    # -------------------------------------------------------------- #
+    def _peek(self) -> Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            got = self._peek()
+            raise ParseError(
+                "expected %s%s at offset %d, got %r"
+                % (kind, " %r" % text if text else "", got.pos, got.text)
+            )
+        return tok
+
+    def _skip_newlines(self) -> None:
+        while self._accept("newline"):
+            pass
+
+    # -------------------------------------------------------------- #
+    # expressions
+    # -------------------------------------------------------------- #
+    _LEVELS: List[Tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self) -> Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        ops = self._LEVELS[level]
+        node = self._binary(level + 1)
+        while True:
+            tok = self._peek()
+            if tok.kind == "op" and tok.text in ops:
+                self._next()
+                right = self._binary(level + 1)
+                node = Bin(tok.text, node, right)
+            else:
+                return node
+
+    def _unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self._next()
+            return Unary(tok.text, self._unary())
+        if tok.kind == "op" and tok.text == "+":
+            self._next()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._next()
+        if tok.kind == "int":
+            return Num(int(tok.text))
+        if tok.kind == "float":
+            return Num(float(tok.text))
+        if tok.kind == "name":
+            if self._accept("op", "("):
+                args: List[Expr] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self._accept("op", ")"):
+                            break
+                        self._expect("op", ",")
+                return Call(tok.text, args)
+            return Name(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            node = self.parse_expr()
+            self._expect("op", ")")
+            return node
+        raise ParseError("unexpected token %r at offset %d" % (tok.text, tok.pos))
+
+    # -------------------------------------------------------------- #
+    # statements
+    # -------------------------------------------------------------- #
+    def parse_program(self) -> Program:
+        body = self._block(terminators=())
+        self._expect("eof")
+        return Program(body, source=self._source)
+
+    def _block(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while True:
+            self._skip_newlines()
+            tok = self._peek()
+            if tok.kind == "eof":
+                return stmts
+            if tok.kind == "kw" and tok.text in terminators:
+                return stmts
+            stmts.append(self._statement())
+
+    def _statement(self) -> Stmt:
+        if self._peek().kind == "kw" and self._peek().text == "if":
+            return self._if_statement()
+        name = self._expect("name")
+        self._expect("op", "=")
+        value = self.parse_expr()
+        return Assign(name.text, value)
+
+    def _if_statement(self) -> If:
+        self._expect("kw", "if")
+        branches = [(self.parse_expr(), self._block(("elseif", "else", "end")))]
+        while self._accept("kw", "elseif"):
+            branches.append(
+                (self.parse_expr(), self._block(("elseif", "else", "end")))
+            )
+        orelse: List[Stmt] = []
+        if self._accept("kw", "else"):
+            orelse = self._block(("end",))
+        self._expect("kw", "end")
+        return If(branches, orelse)
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (e.g. a transition guard)."""
+    parser = _Parser(tokenize(source), source)
+    parser._skip_newlines()
+    node = parser.parse_expr()
+    parser._skip_newlines()
+    parser._expect("eof")
+    return node
+
+
+def parse_program(source: str) -> Program:
+    """Parse a statement sequence (e.g. a MATLAB Function body)."""
+    return _Parser(tokenize(source), source).parse_program()

@@ -1,0 +1,85 @@
+"""Python source emission for mini-language expressions.
+
+The code synthesis pipeline turns each model into one Python module; blocks
+whose parameters contain mini-language code (guards, actions, MATLAB
+Function bodies) lower their ASTs to Python expression strings with
+:func:`emit_expr`.
+
+Names are resolved through ``var_map`` (mini-language name → Python
+expression), so the caller decides whether ``cnt`` lives in a local, a
+``self._st_*`` attribute, or an inport variable.  Runtime helpers are
+referenced by the fixed names ``_safe_div`` / ``_safe_mod`` / ``_f_<name>``
+which :mod:`repro.codegen.runtime` injects into the generated module's
+globals — keeping emitted code free of imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CodegenError
+from .ast import Bin, Call, ConditionRef, Expr, Name, Num, Unary, CMP_OPS
+from .ops import BUILTIN_IMPLS
+
+__all__ = ["emit_expr"]
+
+_ARITH = {"+": "+", "-": "-", "*": "*"}
+
+
+def emit_expr(
+    node: Expr,
+    var_map: Dict[str, str],
+    cond_names: Optional[List[str]] = None,
+) -> str:
+    """Lower an expression AST to a Python expression string.
+
+    ``cond_names`` supplies the Python variables standing in for
+    :class:`~repro.lang.ast.ConditionRef` placeholders when emitting a
+    guard *skeleton* (they hold 0/1 ints computed from the atoms).
+    """
+    if isinstance(node, Num):
+        return repr(node.value)
+    if isinstance(node, Name):
+        try:
+            return var_map[node.id]
+        except KeyError:
+            raise CodegenError("unmapped variable %r" % (node.id,)) from None
+    if isinstance(node, ConditionRef):
+        if cond_names is None:
+            raise CodegenError("ConditionRef outside guard skeleton")
+        return cond_names[node.index]
+    if isinstance(node, Unary):
+        operand = emit_expr(node.operand, var_map, cond_names)
+        if node.op == "-":
+            return "(-%s)" % operand
+        return "(0 if %s else 1)" % operand  # '!'
+    if isinstance(node, Bin):
+        left = emit_expr(node.left, var_map, cond_names)
+        right = emit_expr(node.right, var_map, cond_names)
+        return _emit_bin(node.op, left, right)
+    if isinstance(node, Call):
+        if node.func not in BUILTIN_IMPLS:
+            raise CodegenError("unknown function %r" % (node.func,))
+        args = ", ".join(emit_expr(a, var_map, cond_names) for a in node.args)
+        return "_f_%s(%s)" % (node.func, args)
+    raise CodegenError("cannot emit node %r" % (node,))
+
+
+def _emit_bin(op: str, left: str, right: str) -> str:
+    if op in _ARITH:
+        return "(%s %s %s)" % (left, _ARITH[op], right)
+    if op == "/":
+        return "_safe_div(%s, %s)" % (left, right)
+    if op == "%":
+        return "_safe_mod(%s, %s)" % (left, right)
+    if op in CMP_OPS:
+        return "(1 if %s %s %s else 0)" % (left, op, right)
+    if op == "&&":
+        return "(1 if (%s and %s) else 0)" % (left, right)
+    if op == "||":
+        return "(1 if (%s or %s) else 0)" % (left, right)
+    if op == "&":
+        return "(int(%s) & int(%s))" % (left, right)
+    if op == "|":
+        return "(int(%s) | int(%s))" % (left, right)
+    raise CodegenError("unknown operator %r" % (op,))

@@ -1,0 +1,32 @@
+"""Simulink-like model intermediate representation.
+
+A :class:`~repro.model.model.Model` is a block diagram: named blocks wired
+by connections from output ports to input ports, possibly nested through
+subsystem blocks.  This package is the substrate that replaces the Simulink
+modeling environment in this reproduction (see DESIGN.md).
+
+The public surface:
+
+* :class:`Model`, :class:`Connection` — the diagram container.
+* :class:`Block` — base class for all block templates.
+* :class:`ModelBuilder` — fluent construction API used by the benchmark
+  models and the examples.
+* ``repro.model.blocks`` — the block library (50+ templates).
+"""
+
+from .block import Block, BlockBranches, block_registry, register_block
+from .model import Connection, Model
+from .builder import ModelBuilder
+
+# Importing the block library registers every block template.
+from . import blocks  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Block",
+    "BlockBranches",
+    "Connection",
+    "Model",
+    "ModelBuilder",
+    "block_registry",
+    "register_block",
+]

@@ -1,0 +1,189 @@
+"""Block base class and the block template registry.
+
+Every Simulink-like block type is a subclass of :class:`Block` registered
+under its type name.  A block template defines, in one place, everything the
+rest of the pipeline needs:
+
+* structural facts — port counts, direct feedthrough, output data types;
+* **branch elements** — the decisions / conditions / MCDC groups the block
+  contributes to the model-level BranchDB (paper §3.1.2, modes (a)–(d));
+* **interpreted semantics** — ``output`` / ``update`` used by the dynamic
+  simulation engine (the SimCoTest/SLDV substrate);
+* **code templates** — ``emit_output`` / ``emit_update`` used by the code
+  synthesis pipeline (the CFTCG substrate).
+
+Keeping both executable semantics next to each other lets the test suite
+cross-validate them, mirroring the paper's "verified the correctness of the
+generated code by comparing simulation results with code execution results".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..dtypes import DType
+from ..errors import ModelError
+
+__all__ = ["Block", "BlockBranches", "register_block", "block_registry"]
+
+
+class BlockBranches:
+    """The branch elements one block instance contributes to the BranchDB.
+
+    Filled in by :meth:`Block.declare_branches` via the declarator passed to
+    it; consumed positionally (in declaration order) by both the interpreter
+    and the code generator so probe ids always line up.
+    """
+
+    def __init__(self):
+        self.decisions = []  # list[Decision]
+        self.conditions = []  # list[Condition]
+        self.mcdc_groups = []  # list[McdcGroup]
+
+    @property
+    def empty(self) -> bool:
+        return not (self.decisions or self.conditions or self.mcdc_groups)
+
+
+class Block:
+    """Base class for all block templates.
+
+    Subclasses set :attr:`type_name` and override the structural and
+    semantic hooks.  Instances are identified inside a model by ``name``
+    and carry a ``params`` dict (already-validated block parameters).
+    """
+
+    #: canonical type name used in the registry and the SLX serialization
+    type_name: str = ""
+
+    #: default number of input/output ports (overridable per instance)
+    n_in: int = 1
+    n_out: int = 1
+
+    #: True if this block keeps state across steps (has an update phase)
+    has_state: bool = False
+
+    def __init__(self, name: str, **params):
+        if not name or "/" in name:
+            raise ModelError("invalid block name: %r" % (name,))
+        self.name = name
+        self.params = params
+        self.validate_params()
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def validate_params(self) -> None:
+        """Check ``self.params``; raise :class:`ModelError` on bad values."""
+
+    def n_inputs(self) -> int:
+        return self.params.get("n_in", self.n_in)
+
+    def n_outputs(self) -> int:
+        return self.params.get("n_out", self.n_out)
+
+    def direct_feedthrough(self, in_idx: int) -> bool:
+        """Whether output values this step depend on input ``in_idx``."""
+        return True
+
+    def hierarchical_feedthrough(self, child_schedules, in_idx: int) -> bool:
+        """Feedthrough for blocks with child models (subsystem family).
+
+        ``child_schedules`` is the list of built child
+        :class:`~repro.schedule.schedule.ModelSchedule` objects; the default
+        ignores them and defers to :meth:`direct_feedthrough`.
+        """
+        return self.direct_feedthrough(in_idx)
+
+    def needs_input_dtypes(self) -> bool:
+        """Whether :meth:`output_dtypes` requires every input dtype.
+
+        State blocks with an explicit ``dtype`` parameter return False so
+        they can resolve inside feedback loops; they must then tolerate
+        ``None`` entries in ``in_dtypes``.
+        """
+        return True
+
+    def output_dtypes(self, in_dtypes: Sequence[DType]) -> List[DType]:
+        """Data types of the outputs given resolved input types.
+
+        The default propagates the common type of all inputs, or double for
+        source-like blocks.  ``in_dtypes`` entries are never None.
+        """
+        from ..dtypes import DOUBLE, common_dtype
+
+        if not in_dtypes:
+            return [DOUBLE] * self.n_outputs()
+        dt = in_dtypes[0]
+        for other in in_dtypes[1:]:
+            dt = common_dtype(dt, other)
+        return [dt] * self.n_outputs()
+
+    # ------------------------------------------------------------------ #
+    # branch elements (paper §3.1.2)
+    # ------------------------------------------------------------------ #
+    def declare_branches(self, decl) -> None:
+        """Register this block's decisions/conditions/MCDC groups.
+
+        ``decl`` is a :class:`repro.schedule.branches.BranchDeclarator`
+        scoped to this block's hierarchical path.  The default declares
+        nothing (most plumbing blocks have no branch logic).
+        """
+
+    # ------------------------------------------------------------------ #
+    # interpreted semantics (dynamic simulation engine)
+    # ------------------------------------------------------------------ #
+    def init_state(self) -> Optional[dict]:
+        """Fresh state dict for one instance, or None for stateless blocks."""
+        return None
+
+    def output(self, ctx, inputs: list) -> list:
+        """Compute output values for this step.
+
+        ``inputs[i]`` is the value on input port ``i``; entries for
+        non-feedthrough ports may be ``None`` (not yet computed) and must
+        not be read.  ``ctx`` is a :class:`repro.simulate.interpreter
+        .BlockContext` giving access to state and coverage recording.
+        """
+        raise NotImplementedError(self.type_name)
+
+    def update(self, ctx, inputs: list) -> None:
+        """Advance state at the end of the step (full inputs available)."""
+
+    # ------------------------------------------------------------------ #
+    # code templates (code synthesis pipeline)
+    # ------------------------------------------------------------------ #
+    def emit_output(self, ctx, invars: List[str]) -> List[str]:
+        """Emit output-phase code; return the output variable names.
+
+        ``ctx`` is a :class:`repro.codegen.context.EmitContext`; ``invars``
+        are expressions (variable names) holding the input port values.
+        """
+        raise NotImplementedError(self.type_name)
+
+    def emit_update(self, ctx, invars: List[str]) -> None:
+        """Emit update-phase code (state advance)."""
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+_REGISTRY: Dict[str, Type[Block]] = {}
+
+
+def register_block(cls: Type[Block]) -> Type[Block]:
+    """Class decorator adding a block template to the global registry."""
+    if not cls.type_name:
+        raise ModelError("block class %s lacks type_name" % cls.__name__)
+    if cls.type_name in _REGISTRY:
+        raise ModelError("duplicate block type: %s" % cls.type_name)
+    _REGISTRY[cls.type_name] = cls
+    return cls
+
+
+def block_registry() -> Dict[str, Type[Block]]:
+    """A copy of the type-name → block-class registry."""
+    return dict(_REGISTRY)

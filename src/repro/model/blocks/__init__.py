@@ -1,0 +1,118 @@
+"""The block template library (50+ Simulink-like block types).
+
+Importing this package registers every template in the global registry;
+``repro.model`` does so on import, so building models never requires
+importing block classes directly — use type names with
+:class:`~repro.model.builder.ModelBuilder`.
+"""
+
+from . import (  # noqa: F401  (imports register the blocks)
+    chart,
+    conversion,
+    discrete,
+    logic,
+    lookup,
+    math_ops,
+    matlab_fn,
+    nonlinear,
+    routing,
+    sinks,
+    sources,
+    subsystem,
+    waveforms,
+)
+
+from .chart import Chart
+from .conversion import DataTypeConversion
+from .discrete import (
+    Delay,
+    DiscreteIntegrator,
+    Memory,
+    PulseGenerator,
+    StepCounter,
+    UnitDelay,
+    ZeroOrderHold,
+)
+from .logic import CompareToConstant, CompareToZero, Logical, NotBlock, Relational
+from .lookup import Lookup1D, Lookup2D
+from .math_ops import (
+    Abs,
+    Bias,
+    Gain,
+    MathFunction,
+    MinMax,
+    Product,
+    Rounding,
+    Sign,
+    Sqrt,
+    Sum,
+    UnaryMinus,
+)
+from .matlab_fn import MatlabFunction
+from .nonlinear import DeadZone, Quantizer, RateLimiter, Relay, Saturation
+from .routing import MultiportSwitch, SignalPassthrough, Switch
+from .sinks import Outport, Scope, Terminator
+from .sources import Constant, Ground, Inport
+from .waveforms import Decrement, Increment, RampSource, SineWave, StepSource
+from .subsystem import (
+    EnabledSubsystem,
+    IfBlock,
+    SwitchCase,
+    Subsystem,
+    TriggeredSubsystem,
+)
+
+__all__ = [
+    "Abs",
+    "Bias",
+    "Chart",
+    "CompareToConstant",
+    "CompareToZero",
+    "Constant",
+    "Decrement",
+    "DataTypeConversion",
+    "DeadZone",
+    "Delay",
+    "DiscreteIntegrator",
+    "EnabledSubsystem",
+    "Gain",
+    "Ground",
+    "IfBlock",
+    "Increment",
+    "Inport",
+    "Logical",
+    "Lookup1D",
+    "Lookup2D",
+    "MathFunction",
+    "MatlabFunction",
+    "Memory",
+    "MinMax",
+    "MultiportSwitch",
+    "NotBlock",
+    "Outport",
+    "Product",
+    "PulseGenerator",
+    "Quantizer",
+    "RampSource",
+    "RateLimiter",
+    "Relational",
+    "Relay",
+    "Rounding",
+    "Saturation",
+    "Scope",
+    "Sign",
+    "SineWave",
+    "SignalPassthrough",
+    "Sqrt",
+    "StepCounter",
+    "StepSource",
+    "Subsystem",
+    "Sum",
+    "Switch",
+    "SwitchCase",
+    "Terminator",
+    "TriggeredSubsystem",
+    "UnaryMinus",
+    "UnitDelay",
+    "ZeroOrderHold",
+]

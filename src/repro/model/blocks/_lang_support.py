@@ -1,0 +1,270 @@
+"""Shared machinery for blocks that embed mini-language code.
+
+Charts, MATLAB Function blocks and the If action group all contain guards
+and statement bodies written in :mod:`repro.lang`.  Their branch elements
+must be *declared* (into the BranchDB), *hit* (by the interpreter) and
+*emitted* (by the code generator) in exactly the same order — this module
+is the single implementation of that traversal.
+
+The sink pattern: :func:`build_guard_info` / :func:`build_program_info`
+walk the source structure once, pulling Decision/Condition/McdcGroup
+records from a *sink*.  With a :class:`DeclareSink` the walk declares new
+records; with a :class:`CursorSink` it re-reads the already-declared
+records positionally.  Both executors therefore reconstruct an identical
+structured view from the flat BranchDB lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import CodegenError
+from ...lang.analysis import extract_conditions
+from ...lang.ast import Expr, If, Program
+from ...lang.interp import eval_guard, exec_program
+from ...lang.pyemit import emit_expr
+
+__all__ = [
+    "DeclareSink",
+    "CursorSink",
+    "GuardInfo",
+    "IfInfo",
+    "ProgramInfo",
+    "build_guard_info",
+    "build_program_info",
+    "run_guard",
+    "run_program",
+    "emit_guard",
+    "emit_program",
+    "truth_vector",
+]
+
+
+# ---------------------------------------------------------------------- #
+# sinks
+# ---------------------------------------------------------------------- #
+class DeclareSink:
+    """Sink that declares records through a BranchDeclarator."""
+
+    def __init__(self, declarator):
+        self._decl = declarator
+
+    def decision(self, label, outcomes, control_flow=True):
+        return self._decl.decision(label, outcomes, control_flow=control_flow)
+
+    def condition(self, label):
+        return self._decl.condition(label)
+
+    def group(self, label, conditions, outcome_kind="bool"):
+        return self._decl.mcdc_group(label, conditions, outcome_kind=outcome_kind)
+
+
+class CursorSink:
+    """Sink that replays records from an existing BlockBranches in order."""
+
+    def __init__(self, branches):
+        self._branches = branches
+        self._d = 0
+        self._c = 0
+        self._g = 0
+
+    def decision(self, label, outcomes, control_flow=True):
+        dec = self._branches.decisions[self._d]
+        self._d += 1
+        return dec
+
+    def condition(self, label):
+        cond = self._branches.conditions[self._c]
+        self._c += 1
+        return cond
+
+    def group(self, label, conditions, outcome_kind="bool"):
+        grp = self._branches.mcdc_groups[self._g]
+        self._g += 1
+        return grp
+
+
+# ---------------------------------------------------------------------- #
+# structured views
+# ---------------------------------------------------------------------- #
+@dataclass
+class GuardInfo:
+    """One decomposed guard: atoms, skeleton, and its BranchDB records."""
+
+    atoms: List[Expr]
+    skeleton: Expr
+    conditions: List[object]
+    group: Optional[object]
+
+
+@dataclass
+class IfInfo:
+    """One If statement: its decision plus per-branch guard infos."""
+
+    decision: object
+    guards: List[GuardInfo]
+
+
+@dataclass
+class ProgramInfo:
+    """A statement body with all its If statements resolved."""
+
+    program: Program
+    ifs: List[IfInfo] = field(default_factory=list)
+
+
+def build_guard_info(sink, guard: Expr, label: str) -> GuardInfo:
+    """Declare/replay the condition probes + MCDC group of one guard."""
+    atoms, skeleton = extract_conditions(guard)
+    conditions = [
+        sink.condition("%s/c%d" % (label, i)) for i in range(len(atoms))
+    ]
+    group = sink.group(label, conditions) if conditions else None
+    return GuardInfo(atoms, skeleton, conditions, group)
+
+
+def build_program_info(sink, program: Program, label: str) -> ProgramInfo:
+    """Declare/replay all branch elements of a statement body.
+
+    Walks If statements in static source order (the same numbering
+    :func:`repro.lang.interp.number_ifs` assigned), declaring one decision
+    per If plus guard conditions/MCDC groups per branch.
+    """
+    info = ProgramInfo(program)
+
+    def walk(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, If):
+                n = len(stmt.branches)
+                if_label = "%s/if%d" % (label, stmt._if_index)
+                decision = sink.decision(
+                    if_label,
+                    ["branch%d" % i for i in range(n)] + ["else"],
+                    control_flow=True,
+                )
+                guards = [
+                    build_guard_info(sink, guard, "%s/g%d" % (if_label, bi))
+                    for bi, (guard, _) in enumerate(stmt.branches)
+                ]
+                # keep ifs indexable by the static if index
+                while len(info.ifs) <= stmt._if_index:
+                    info.ifs.append(None)
+                info.ifs[stmt._if_index] = IfInfo(decision, guards)
+                for _, body in stmt.branches:
+                    walk(body)
+                walk(stmt.orelse)
+
+    walk(program.body)
+    return info
+
+
+def truth_vector(truths: List[int]) -> int:
+    """Pack condition truth values into the MCDC vector bits."""
+    vec = 0
+    for i, truth in enumerate(truths):
+        if truth:
+            vec |= 1 << i
+    return vec
+
+
+# ---------------------------------------------------------------------- #
+# interpreted execution with probe recording
+# ---------------------------------------------------------------------- #
+def run_guard(ctx, info: GuardInfo, env: Dict[str, object]):
+    """Evaluate one guard, hitting its probes; returns (outcome, margin)."""
+    outcome, truths, margin, _atom_margins = eval_guard(
+        info.atoms, info.skeleton, env
+    )
+    for cond, truth in zip(info.conditions, truths):
+        ctx.hit_condition(cond, truth)
+    if info.group is not None:
+        ctx.hit_mcdc(info.group, truth_vector(truths), outcome)
+    return outcome, margin
+
+
+def run_program(ctx, info: ProgramInfo, env: Dict[str, object], wrap_map=None):
+    """Execute a statement body, hitting decision/condition/MCDC probes."""
+
+    def hook(if_index, taken, guards_evaluated):
+        if_info = info.ifs[if_index]
+        margins = {}
+        for bi, result in enumerate(guards_evaluated):
+            outcome, truths, margin, _ = result
+            guard = if_info.guards[bi]
+            for cond, truth in zip(guard.conditions, truths):
+                ctx.hit_condition(cond, truth)
+            if guard.group is not None:
+                ctx.hit_mcdc(guard.group, truth_vector(truths), outcome)
+            margins[bi] = margin
+        ctx.hit_decision(if_info.decision, taken, margins)
+
+    exec_program(info.program, env, if_hook=hook, wrap_map=wrap_map)
+
+
+# ---------------------------------------------------------------------- #
+# code emission with probe instrumentation
+# ---------------------------------------------------------------------- #
+def emit_guard(ctx, info: GuardInfo, var_map: Dict[str, str]) -> str:
+    """Emit guard evaluation code; returns the 0/1 guard variable name.
+
+    Every condition atom becomes its own local with a condition probe hit
+    (instrumentation mode (a)/(d)); the MCDC vector record follows.  All
+    atoms are evaluated unconditionally, like Simulink's dataflow logic.
+    """
+    cond_vars = []
+    for i, atom in enumerate(info.atoms):
+        cv = ctx.tmp("c")
+        ctx.line("%s = 1 if %s else 0" % (cv, emit_expr(atom, var_map)))
+        ctx.hit_condition(info.conditions[i], cv)
+        cond_vars.append(cv)
+    guard_var = ctx.tmp("g")
+    ctx.line(
+        "%s = %s"
+        % (guard_var, emit_expr(info.skeleton, var_map, cond_names=cond_vars))
+    )
+    if info.group is not None:
+        vec = " | ".join(
+            "(%s << %d)" % (cv, i) if i else cv for i, cv in enumerate(cond_vars)
+        )
+        ctx.hit_mcdc(info.group, "(%s)" % vec, guard_var)
+    return guard_var
+
+
+def emit_program(ctx, info: ProgramInfo, var_map: Dict[str, str], wrap_map=None):
+    """Emit a statement body with full branch instrumentation."""
+    _emit_stmts(ctx, info, info.program.body, var_map, wrap_map or {})
+
+
+def _emit_stmts(ctx, info, stmts, var_map, wrap_map):
+    from ...lang.ast import Assign
+
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            if stmt.target not in var_map:
+                raise CodegenError("unmapped assignment target %r" % (stmt.target,))
+            value = emit_expr(stmt.value, var_map)
+            dtype = wrap_map.get(stmt.target)
+            ctx.line("%s = %s" % (var_map[stmt.target], ctx.wrap(value, dtype)))
+        elif isinstance(stmt, If):
+            _emit_if(ctx, info, stmt, var_map, wrap_map)
+        else:  # pragma: no cover - defensive
+            raise CodegenError("cannot emit statement %r" % (stmt,))
+
+
+def _emit_if(ctx, info, stmt, var_map, wrap_map):
+    if_info = info.ifs[stmt._if_index]
+
+    def emit_branch(bi):
+        if bi < len(stmt.branches):
+            guard_var = emit_guard(ctx, if_info.guards[bi], var_map)
+            with ctx.suite("if %s:" % guard_var):
+                ctx.hit_decision(if_info.decision, bi)
+                _emit_stmts(ctx, info, stmt.branches[bi][1], var_map, wrap_map)
+            with ctx.suite("else:"):
+                emit_branch(bi + 1)
+        else:
+            ctx.hit_decision(if_info.decision, len(stmt.branches))
+            _emit_stmts(ctx, info, stmt.orelse, var_map, wrap_map)
+
+    emit_branch(0)

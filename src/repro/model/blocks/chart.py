@@ -1,0 +1,300 @@
+"""Stateflow-like chart block: a flat state machine with guarded
+transitions and mini-language actions.
+
+This block supplies the "diverse internal states" of the paper's benchmark
+models (PV-panel charge states, protocol handshakes, task queues).  Branch
+elements (instrumentation mode (d)):
+
+* one N-outcome decision for which state is active each step;
+* one fired/skip decision per transition, plus condition probes and an
+  MCDC group for each transition guard;
+* decisions/conditions for every ``if`` inside entry/during/transition
+  actions.
+
+Chart semantics per step: evaluate the active state's outgoing transitions
+in priority (declaration) order; the first true guard fires — run its
+action, switch state, run the destination's entry action.  If none fires,
+run the active state's during action.  All chart data (``locals``) is
+persistent and typed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...dtypes import dtype_by_name, wrap
+from ...errors import ModelError
+from ...lang.interp import number_ifs
+from ...lang.parser import parse_expr, parse_program
+from ..block import Block, register_block
+from ._lang_support import (
+    CursorSink,
+    DeclareSink,
+    build_guard_info,
+    build_program_info,
+    emit_guard,
+    emit_program,
+    run_guard,
+    run_program,
+)
+
+__all__ = ["Chart"]
+
+
+class _TransitionDef:
+    """One parsed transition: guard AST + optional action program."""
+
+    def __init__(self, index, src, dst, guard, action):
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.guard = guard
+        self.action = action
+
+
+@register_block
+class Chart(Block):
+    """Flat Stateflow-style chart.
+
+    Params:
+        states: state names.
+        initial: initial state name.
+        inputs: input variable names (bound to input ports in order).
+        outputs: list of (name, dtype_name); each name must be a local.
+        locals: dict name -> (dtype_name, init) of persistent chart data.
+        transitions: list of dicts with keys src, dst, guard and an
+            optional action (mini-language source strings).
+        entry: optional dict state -> action source (on state entry).
+        during: optional dict state -> action source (steps with no fire).
+        exit: optional dict state -> action source (on leaving a state;
+            runs before the transition action, Stateflow order).
+    """
+
+    type_name = "Chart"
+    has_state = True
+
+    def validate_params(self) -> None:
+        params = self.params
+        states = params.get("states")
+        if not states or len(set(states)) != len(states):
+            raise ModelError("Chart %r needs distinct states" % (self.name,))
+        if params.get("initial") not in states:
+            raise ModelError("Chart %r: bad initial state" % (self.name,))
+        inputs = list(params.get("inputs", ()))
+        locals_ = dict(params.get("locals", {}))
+        if set(inputs) & set(locals_):
+            raise ModelError(
+                "Chart %r: inputs and locals must be disjoint" % (self.name,)
+            )
+        outputs = list(params.get("outputs", ()))
+        if not outputs:
+            raise ModelError("Chart %r needs outputs" % (self.name,))
+        for out_name, _dtype in outputs:
+            if out_name not in locals_:
+                raise ModelError(
+                    "Chart %r: output %r must be a local" % (self.name, out_name)
+                )
+        params["n_in"] = len(inputs)
+        params["n_out"] = len(outputs)
+
+        self._states: List[str] = list(states)
+        self._state_index: Dict[str, int] = {s: i for i, s in enumerate(states)}
+        self._inputs = inputs
+        self._outputs = [(n, dtype_by_name(d) if isinstance(d, str) else d) for n, d in outputs]
+        self._locals = {
+            name: (dtype_by_name(d) if isinstance(d, str) else d, init)
+            for name, (d, init) in locals_.items()
+        }
+
+        self._transitions: List[_TransitionDef] = []
+        for i, tr in enumerate(params.get("transitions", ())):
+            for key in ("src", "dst"):
+                if tr.get(key) not in self._state_index:
+                    raise ModelError(
+                        "Chart %r: transition %d has bad %s" % (self.name, i, key)
+                    )
+            guard = parse_expr(tr.get("guard", "1"))
+            action = None
+            if tr.get("action"):
+                action = parse_program(tr["action"])
+                number_ifs(action)
+            self._transitions.append(
+                _TransitionDef(i, tr["src"], tr["dst"], guard, action)
+            )
+
+        def parse_actions(key):
+            table = {}
+            for state, source in (params.get(key) or {}).items():
+                if state not in self._state_index:
+                    raise ModelError(
+                        "Chart %r: %s action for unknown state %r"
+                        % (self.name, key, state)
+                    )
+                program = parse_program(source)
+                number_ifs(program)
+                table[state] = program
+            return table
+
+        self._entry = parse_actions("entry")
+        self._during = parse_actions("during")
+        self._exit = parse_actions("exit")
+        #: wrap map applied to every mini-language assignment
+        self._wrap_map = {name: dt for name, (dt, _) in self._locals.items()}
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def output_dtypes(self, in_dtypes):
+        return [dtype for _, dtype in self._outputs]
+
+    def _outgoing(self, state: str) -> List[_TransitionDef]:
+        return [t for t in self._transitions if t.src == state]
+
+    # ------------------------------------------------------------------ #
+    # branch elements — single traversal via the sink pattern
+    # ------------------------------------------------------------------ #
+    def _build_infos(self, sink):
+        infos = {
+            # a single-state chart has no state-activity decision
+            "state_decision": sink.decision(
+                "state", list(self._states), control_flow=True
+            )
+            if len(self._states) >= 2
+            else None,
+            "transitions": {},  # transition index -> (decision, guard, action info)
+            "entry": {},
+            "during": {},
+            "exit": {},
+        }
+        for state in self._states:
+            for tr in self._outgoing(state):
+                label = "t%d:%s->%s" % (tr.index, tr.src, tr.dst)
+                decision = sink.decision(label, ("fired", "skip"), control_flow=True)
+                guard_info = build_guard_info(sink, tr.guard, label)
+                action_info = None
+                if tr.action is not None:
+                    action_info = build_program_info(sink, tr.action, label + "/act")
+                infos["transitions"][tr.index] = (decision, guard_info, action_info)
+        for state in self._states:
+            if state in self._entry:
+                infos["entry"][state] = build_program_info(
+                    sink, self._entry[state], "entry:%s" % state
+                )
+        for state in self._states:
+            if state in self._during:
+                infos["during"][state] = build_program_info(
+                    sink, self._during[state], "during:%s" % state
+                )
+        for state in self._states:
+            if state in self._exit:
+                infos["exit"][state] = build_program_info(
+                    sink, self._exit[state], "exit:%s" % state
+                )
+        return infos
+
+    def declare_branches(self, decl) -> None:
+        self._build_infos(DeclareSink(decl))
+
+    # ------------------------------------------------------------------ #
+    # interpreted semantics
+    # ------------------------------------------------------------------ #
+    def init_state(self):
+        return {
+            "state": self._state_index[self.params["initial"]],
+            "locals": {
+                name: wrap(init, dtype) for name, (dtype, init) in self._locals.items()
+            },
+        }
+
+    def output(self, ctx, inputs):
+        infos = self._build_infos(CursorSink(ctx.branches))
+        env = dict(ctx.state["locals"])
+        for name, value in zip(self._inputs, inputs):
+            env[name] = value
+
+        active_idx = ctx.state["state"]
+        active = self._states[active_idx]
+        if infos["state_decision"] is not None:
+            ctx.hit_decision(infos["state_decision"], active_idx)
+
+        fired = None
+        for tr in self._outgoing(active):
+            decision, guard_info, action_info = infos["transitions"][tr.index]
+            outcome, margin = run_guard(ctx, guard_info, env)
+            ctx.hit_decision(
+                decision, 0 if outcome else 1, margins={0: margin, 1: -margin}
+            )
+            if outcome:
+                fired = (tr, action_info)
+                break
+        if fired is not None:
+            tr, action_info = fired
+            if active in infos["exit"]:
+                run_program(ctx, infos["exit"][active], env, wrap_map=self._wrap_map)
+            if action_info is not None:
+                run_program(ctx, action_info, env, wrap_map=self._wrap_map)
+            ctx.state["state"] = self._state_index[tr.dst]
+            if tr.dst in infos["entry"]:
+                run_program(ctx, infos["entry"][tr.dst], env, wrap_map=self._wrap_map)
+        elif active in infos["during"]:
+            run_program(ctx, infos["during"][active], env, wrap_map=self._wrap_map)
+
+        for name in self._locals:
+            ctx.state["locals"][name] = env[name]
+        return [wrap(env[name], dtype) for name, dtype in self._outputs]
+
+    # ------------------------------------------------------------------ #
+    # code template
+    # ------------------------------------------------------------------ #
+    def emit_output(self, ctx, invars):
+        infos = self._build_infos(CursorSink(ctx.branches))
+        state_attr = ctx.state(
+            "state", repr(self._state_index[self.params["initial"]])
+        )
+        var_map = {}
+        for name, (dtype, init) in self._locals.items():
+            var_map[name] = ctx.state("loc_%s" % name, repr(wrap(init, dtype)))
+        for name, var in zip(self._inputs, invars):
+            var_map[name] = var
+
+        if infos["state_decision"] is not None:
+            ctx.decision_hit_expr(infos["state_decision"], state_attr)
+
+        def emit_transition_chain(transitions, state):
+            if not transitions:
+                if state in infos["during"]:
+                    emit_program(
+                        ctx, infos["during"][state], var_map, wrap_map=self._wrap_map
+                    )
+                return
+            tr = transitions[0]
+            decision, guard_info, action_info = infos["transitions"][tr.index]
+            guard_var = emit_guard(ctx, guard_info, var_map)
+            with ctx.suite("if %s:" % guard_var):
+                ctx.hit_decision(decision, 0)
+                if state in infos["exit"]:
+                    emit_program(
+                        ctx, infos["exit"][state], var_map, wrap_map=self._wrap_map
+                    )
+                if action_info is not None:
+                    emit_program(ctx, action_info, var_map, wrap_map=self._wrap_map)
+                ctx.line("%s = %d" % (state_attr, self._state_index[tr.dst]))
+                if tr.dst in infos["entry"]:
+                    emit_program(
+                        ctx, infos["entry"][tr.dst], var_map, wrap_map=self._wrap_map
+                    )
+            with ctx.suite("else:"):
+                ctx.hit_decision(decision, 1)
+                emit_transition_chain(transitions[1:], state)
+
+        for idx, state in enumerate(self._states):
+            header = ("if" if idx == 0 else "elif") + " %s == %d:" % (state_attr, idx)
+            with ctx.suite(header):
+                emit_transition_chain(self._outgoing(state), state)
+
+        outs = []
+        for name, dtype in self._outputs:
+            out = ctx.tmp("o")
+            ctx.line("%s = %s" % (out, ctx.wrap(var_map[name], dtype)))
+            outs.append(out)
+        return outs

@@ -1,0 +1,49 @@
+"""Type conversion blocks."""
+
+from __future__ import annotations
+
+from ...dtypes import dtype_by_name, saturate_cast, wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["DataTypeConversion"]
+
+
+@register_block
+class DataTypeConversion(Block):
+    """Casts the input to ``dtype``.
+
+    Params:
+        dtype: target type name.
+        saturate: True for saturating integer conversion (Simulink's
+            "saturate on integer overflow"), False for C wrapping.
+    """
+
+    type_name = "DataTypeConversion"
+
+    def validate_params(self) -> None:
+        dtype = self.params.get("dtype")
+        if dtype is None:
+            raise ModelError(
+                "DataTypeConversion %r needs 'dtype'" % (self.name,)
+            )
+        if isinstance(dtype, str):
+            self.params["dtype"] = dtype_by_name(dtype)
+        self.params.setdefault("saturate", False)
+
+    def output_dtypes(self, in_dtypes):
+        return [self.params["dtype"]]
+
+    def output(self, ctx, inputs):
+        if self.params["saturate"]:
+            return [saturate_cast(inputs[0], self.params["dtype"])]
+        return [wrap(inputs[0], self.params["dtype"])]
+
+    def emit_output(self, ctx, invars):
+        from ...codegen.runtime import sat_name, wrapper_name
+
+        dtype = self.params["dtype"]
+        helper = sat_name(dtype) if self.params["saturate"] else wrapper_name(dtype)
+        out = ctx.tmp("o")
+        ctx.line("%s = %s(%s)" % (out, helper, invars[0]))
+        return [out]

@@ -1,0 +1,378 @@
+"""Discrete-state blocks: delays, memory, integrator, counters.
+
+These blocks give models the *internal state across iterations* that the
+paper's Iteration Difference Coverage metric is designed to explore: their
+output phase reads state (no direct feedthrough), their update phase
+advances it, so reaching deep logic requires long, structured input
+sequences — precisely what makes constraint solvers unroll and simulators
+crawl.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import DOUBLE, dtype_by_name, wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = [
+    "UnitDelay",
+    "Memory",
+    "Delay",
+    "DiscreteIntegrator",
+    "ZeroOrderHold",
+    "StepCounter",
+    "PulseGenerator",
+]
+
+
+class _SingleStateDelay(Block):
+    """Shared implementation of UnitDelay and Memory (1-step delay)."""
+
+    has_state = True
+
+    def validate_params(self) -> None:
+        self.params.setdefault("init", 0)
+        dtype = self.params.get("dtype")
+        if isinstance(dtype, str):
+            self.params["dtype"] = dtype_by_name(dtype)
+
+    def direct_feedthrough(self, in_idx: int) -> bool:
+        return False
+
+    def needs_input_dtypes(self) -> bool:
+        return False
+
+    def output_dtypes(self, in_dtypes):
+        if self.params.get("dtype") is not None:
+            return [self.params["dtype"]]
+        if in_dtypes and in_dtypes[0] is not None:
+            return [in_dtypes[0]]
+        return [None]
+
+    def init_state(self):
+        return {"x": self.params["init"]}
+
+    def output(self, ctx, inputs):
+        return [ctx.state["x"]]
+
+    def update(self, ctx, inputs):
+        ctx.state["x"] = wrap(inputs[0], ctx.out_dtype(0))
+
+    def emit_output(self, ctx, invars):
+        attr = ctx.state("x", repr(self.params["init"]))
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, attr))
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        ctx.line(
+            "%s = %s" % (ctx.scratch["attr"], ctx.wrap(invars[0], ctx.out_dtype(0)))
+        )
+
+
+@register_block
+class UnitDelay(_SingleStateDelay):
+    """One-step delay: y[k] = u[k-1].
+
+    Params:
+        init: initial output (default 0).
+        dtype: optional explicit type (needed inside feedback loops).
+    """
+
+    type_name = "UnitDelay"
+
+
+@register_block
+class Memory(_SingleStateDelay):
+    """Previous-step memory; semantically a UnitDelay in discrete time."""
+
+    type_name = "Memory"
+
+
+@register_block
+class Delay(Block):
+    """N-step delay with an internal shift buffer.
+
+    Params:
+        steps: delay length N (>= 1).
+        init: initial buffer fill (default 0).
+        dtype: optional explicit type.
+    """
+
+    type_name = "Delay"
+    has_state = True
+
+    def validate_params(self) -> None:
+        steps = self.params.get("steps", 1)
+        if not isinstance(steps, int) or steps < 1:
+            raise ModelError("Delay %r needs steps >= 1" % (self.name,))
+        self.params["steps"] = steps
+        self.params.setdefault("init", 0)
+        dtype = self.params.get("dtype")
+        if isinstance(dtype, str):
+            self.params["dtype"] = dtype_by_name(dtype)
+
+    def direct_feedthrough(self, in_idx: int) -> bool:
+        return False
+
+    def needs_input_dtypes(self) -> bool:
+        return False
+
+    def output_dtypes(self, in_dtypes):
+        if self.params.get("dtype") is not None:
+            return [self.params["dtype"]]
+        if in_dtypes and in_dtypes[0] is not None:
+            return [in_dtypes[0]]
+        return [None]
+
+    def init_state(self):
+        return {"buf": [self.params["init"]] * self.params["steps"]}
+
+    def output(self, ctx, inputs):
+        return [ctx.state["buf"][0]]
+
+    def update(self, ctx, inputs):
+        buf = ctx.state["buf"]
+        buf.pop(0)
+        buf.append(wrap(inputs[0], ctx.out_dtype(0)))
+
+    def emit_output(self, ctx, invars):
+        init = "[%r] * %d" % (self.params["init"], self.params["steps"])
+        attr = ctx.state("buf", init)
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line("%s = %s[0]" % (out, attr))
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        ctx.line(
+            "%s = %s[1:] + [%s]"
+            % (attr, attr, ctx.wrap(invars[0], ctx.out_dtype(0)))
+        )
+
+
+@register_block
+class DiscreteIntegrator(Block):
+    """Forward-Euler discrete integrator with optional output limits.
+
+    y[k] = x[k];  x[k+1] = clamp(x[k] + gain * ts * u[k]).
+
+    Params:
+        gain: integration gain (default 1.0).
+        ts: sample time (default 1.0).
+        init: initial state (default 0.0).
+        lower / upper: optional saturation limits (both or neither).
+    """
+
+    type_name = "DiscreteIntegrator"
+    has_state = True
+
+    def validate_params(self) -> None:
+        self.params.setdefault("gain", 1.0)
+        self.params.setdefault("ts", 1.0)
+        self.params.setdefault("init", 0.0)
+        lower = self.params.get("lower")
+        upper = self.params.get("upper")
+        if (lower is None) != (upper is None):
+            raise ModelError(
+                "DiscreteIntegrator %r: give both limits or neither" % (self.name,)
+            )
+        if lower is not None and not lower < upper:
+            raise ModelError(
+                "DiscreteIntegrator %r needs lower < upper" % (self.name,)
+            )
+
+    def direct_feedthrough(self, in_idx: int) -> bool:
+        return False
+
+    def needs_input_dtypes(self) -> bool:
+        return False
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    @property
+    def _limited(self) -> bool:
+        return self.params.get("lower") is not None
+
+    def declare_branches(self, decl) -> None:
+        if self._limited:
+            decl.decision("upper", ("limited", "free"), control_flow=False)
+            decl.decision("lower", ("limited", "free"), control_flow=False)
+
+    def init_state(self):
+        return {"x": float(self.params["init"])}
+
+    def output(self, ctx, inputs):
+        return [ctx.state["x"]]
+
+    def update(self, ctx, inputs):
+        step = self.params["gain"] * self.params["ts"] * inputs[0]
+        value = ctx.state["x"] + step
+        if self._limited:
+            lower, upper = self.params["lower"], self.params["upper"]
+            hi = value >= upper
+            lo = value <= lower
+            margin_hi = float(value) - float(upper)
+            margin_lo = float(lower) - float(value)
+            ctx.hit_decision(
+                ctx.branches.decisions[0],
+                0 if hi else 1,
+                margins={0: margin_hi if margin_hi != 0 else 0.5, 1: -margin_hi},
+            )
+            ctx.hit_decision(
+                ctx.branches.decisions[1],
+                0 if lo else 1,
+                margins={0: margin_lo if margin_lo != 0 else 0.5, 1: -margin_lo},
+            )
+            value = upper if hi else (lower if lo else value)
+        ctx.state["x"] = float(value)
+
+    def emit_output(self, ctx, invars):
+        attr = ctx.state("x", repr(float(self.params["init"])))
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, attr))
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        value = ctx.tmp("x")
+        ctx.line(
+            "%s = %s + %r * %s"
+            % (value, attr, self.params["gain"] * self.params["ts"], invars[0])
+        )
+        if self._limited:
+            lower, upper = self.params["lower"], self.params["upper"]
+            ctx.decision_hit_expr(
+                ctx.branches.decisions[0], "(0 if %s >= %r else 1)" % (value, upper)
+            )
+            ctx.decision_hit_expr(
+                ctx.branches.decisions[1], "(0 if %s <= %r else 1)" % (value, lower)
+            )
+            ctx.line(
+                "%s = (%r if %s >= %r else (%r if %s <= %r else %s))"
+                % (value, upper, value, upper, lower, value, lower, value)
+            )
+        ctx.line("%s = float(%s)" % (attr, value))
+
+
+@register_block
+class ZeroOrderHold(Block):
+    """Identity in single-rate discrete time."""
+
+    type_name = "ZeroOrderHold"
+
+    def output(self, ctx, inputs):
+        return [inputs[0]]
+
+    def emit_output(self, ctx, invars):
+        return [invars[0]]
+
+
+@register_block
+class StepCounter(Block):
+    """Free-running step counter 0..limit, then wraps to 0.
+
+    Params:
+        limit: largest value before rollover (default 2**31 - 1).
+        dtype: output type (default int32).
+    """
+
+    type_name = "StepCounter"
+    n_in = 0
+    has_state = True
+
+    def validate_params(self) -> None:
+        self.params.setdefault("limit", 2**31 - 1)
+        dtype = self.params.get("dtype", "int32")
+        if isinstance(dtype, str):
+            dtype = dtype_by_name(dtype)
+        self.params["dtype"] = dtype
+        if self.params["limit"] < 1:
+            raise ModelError("StepCounter %r needs limit >= 1" % (self.name,))
+
+    def output_dtypes(self, in_dtypes):
+        return [self.params["dtype"]]
+
+    def init_state(self):
+        return {"n": 0}
+
+    def output(self, ctx, inputs):
+        return [ctx.state["n"]]
+
+    def update(self, ctx, inputs):
+        nxt = ctx.state["n"] + 1
+        ctx.state["n"] = 0 if nxt > self.params["limit"] else nxt
+
+    def emit_output(self, ctx, invars):
+        attr = ctx.state("n", "0")
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, attr))
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        ctx.line(
+            "%s = 0 if %s + 1 > %r else %s + 1"
+            % (attr, attr, self.params["limit"], attr)
+        )
+
+
+@register_block
+class PulseGenerator(Block):
+    """Periodic pulse source: ``amplitude`` for ``duty`` steps per period.
+
+    Params:
+        period: steps per cycle (>= 2).
+        duty: high steps per cycle (1 <= duty < period).
+        amplitude: high value (default 1).
+    """
+
+    type_name = "PulseGenerator"
+    n_in = 0
+    has_state = True
+
+    def validate_params(self) -> None:
+        period = self.params.get("period", 2)
+        duty = self.params.get("duty", 1)
+        if period < 2 or not 1 <= duty < period:
+            raise ModelError(
+                "PulseGenerator %r needs period >= 2, 1 <= duty < period"
+                % (self.name,)
+            )
+        self.params["period"] = period
+        self.params["duty"] = duty
+        self.params.setdefault("amplitude", 1)
+
+    def output_dtypes(self, in_dtypes):
+        from ...dtypes import INT32
+
+        return [INT32 if isinstance(self.params["amplitude"], int) else DOUBLE]
+
+    def init_state(self):
+        return {"n": 0}
+
+    def output(self, ctx, inputs):
+        high = ctx.state["n"] < self.params["duty"]
+        return [self.params["amplitude"] if high else 0]
+
+    def update(self, ctx, inputs):
+        ctx.state["n"] = (ctx.state["n"] + 1) % self.params["period"]
+
+    def emit_output(self, ctx, invars):
+        attr = ctx.state("n", "0")
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = %r if %s < %r else 0"
+            % (out, self.params["amplitude"], attr, self.params["duty"])
+        )
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        ctx.line("%s = (%s + 1) %% %r" % (attr, attr, self.params["period"]))

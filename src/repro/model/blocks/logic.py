@@ -1,0 +1,246 @@
+"""Boolean and relational blocks.
+
+The Logical block is instrumentation mode (a) from the paper: every input
+gets an if/else-style true/false condition probe, and the block's inputs
+form one MCDC group whose outcome is the block output.  A C compiler turns
+these dataflow boolean ops into branchless bitwise code — which is exactly
+why code-level ("Fuzz Only") instrumentation misses them.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import BOOLEAN
+from ...errors import ModelError
+from ..block import Block, register_block
+from ._lang_support import truth_vector
+
+__all__ = ["Logical", "Relational", "CompareToConstant", "CompareToZero", "NotBlock"]
+
+_LOGIC_OPS = ("AND", "OR", "XOR", "NAND", "NOR")
+_REL_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+def _apply_logic(op: str, truths) -> int:
+    if op == "AND":
+        return 1 if all(truths) else 0
+    if op == "OR":
+        return 1 if any(truths) else 0
+    if op == "XOR":
+        return sum(truths) & 1
+    if op == "NAND":
+        return 0 if all(truths) else 1
+    return 0 if any(truths) else 1  # NOR
+
+
+@register_block
+class Logical(Block):
+    """N-ary logic operator (AND/OR/XOR/NAND/NOR).
+
+    Params:
+        op: operator name.
+        n_in: number of inputs (default 2).
+    """
+
+    type_name = "Logical"
+
+    def validate_params(self) -> None:
+        op = self.params.get("op", "AND")
+        if op not in _LOGIC_OPS:
+            raise ModelError("Logical %r: bad op %r" % (self.name, op))
+        self.params["op"] = op
+        self.params.setdefault("n_in", 2)
+        if self.params["n_in"] < 2:
+            raise ModelError("Logical %r needs n_in >= 2" % (self.name,))
+
+    def output_dtypes(self, in_dtypes):
+        return [BOOLEAN]
+
+    def declare_branches(self, decl) -> None:
+        conditions = [
+            decl.condition("in%d" % (i + 1)) for i in range(self.params["n_in"])
+        ]
+        decl.mcdc_group(self.params["op"], conditions)
+
+    def output(self, ctx, inputs):
+        truths = [1 if v else 0 for v in inputs]
+        for cond, truth in zip(ctx.branches.conditions, truths):
+            ctx.hit_condition(cond, truth)
+        result = _apply_logic(self.params["op"], truths)
+        ctx.hit_mcdc(ctx.branches.mcdc_groups[0], truth_vector(truths), result)
+        return [result]
+
+    def emit_output(self, ctx, invars):
+        cond_vars = []
+        for i, var in enumerate(invars):
+            cv = ctx.tmp("c")
+            ctx.line("%s = 1 if %s else 0" % (cv, var))
+            ctx.hit_condition(ctx.branches.conditions[i], cv)
+            cond_vars.append(cv)
+        out = ctx.tmp("o")
+        op = self.params["op"]
+        if op == "AND":
+            expr = "1 if (%s) else 0" % " and ".join(cond_vars)
+        elif op == "OR":
+            expr = "1 if (%s) else 0" % " or ".join(cond_vars)
+        elif op == "XOR":
+            expr = "(%s) & 1" % " + ".join(cond_vars)
+        elif op == "NAND":
+            expr = "0 if (%s) else 1" % " and ".join(cond_vars)
+        else:  # NOR
+            expr = "0 if (%s) else 1" % " or ".join(cond_vars)
+        ctx.line("%s = %s" % (out, expr))
+        vec = " | ".join(
+            "(%s << %d)" % (cv, i) if i else cv for i, cv in enumerate(cond_vars)
+        )
+        ctx.hit_mcdc(ctx.branches.mcdc_groups[0], "(%s)" % vec, out)
+        return [out]
+
+
+@register_block
+class NotBlock(Block):
+    """Logical NOT; a single condition probe pair on its input."""
+
+    type_name = "Not"
+    n_in = 1
+
+    def output_dtypes(self, in_dtypes):
+        return [BOOLEAN]
+
+    def declare_branches(self, decl) -> None:
+        decl.condition("in1")
+
+    def output(self, ctx, inputs):
+        truth = 1 if inputs[0] else 0
+        ctx.hit_condition(ctx.branches.conditions[0], truth)
+        return [0 if truth else 1]
+
+    def emit_output(self, ctx, invars):
+        cv = ctx.tmp("c")
+        ctx.line("%s = 1 if %s else 0" % (cv, invars[0]))
+        ctx.hit_condition(ctx.branches.conditions[0], cv)
+        out = ctx.tmp("o")
+        ctx.line("%s = 0 if %s else 1" % (out, cv))
+        return [out]
+
+
+@register_block
+class Relational(Block):
+    """Binary comparison; boolean output, no branch elements of its own.
+
+    (Its result typically becomes a *condition* of a downstream Logical
+    block or Switch criterion, where the probes live.)
+    """
+
+    type_name = "Relational"
+    n_in = 2
+
+    def validate_params(self) -> None:
+        op = self.params.get("op", "<")
+        if op not in _REL_OPS:
+            raise ModelError("Relational %r: bad op %r" % (self.name, op))
+        self.params["op"] = op
+
+    def output_dtypes(self, in_dtypes):
+        return [BOOLEAN]
+
+    def output(self, ctx, inputs):
+        left, right = inputs
+        op = self.params["op"]
+        result = {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "==": left == right,
+            "!=": left != right,
+        }[op]
+        return [1 if result else 0]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = 1 if %s %s %s else 0"
+            % (out, invars[0], self.params["op"], invars[1])
+        )
+        return [out]
+
+
+@register_block
+class CompareToConstant(Block):
+    """Comparison against a constant parameter; boolean output.
+
+    Params:
+        op: relational operator.
+        value: the constant to compare against.
+    """
+
+    type_name = "CompareToConstant"
+    n_in = 1
+
+    def validate_params(self) -> None:
+        op = self.params.get("op", "==")
+        if op not in _REL_OPS:
+            raise ModelError("CompareToConstant %r: bad op %r" % (self.name, op))
+        if "value" not in self.params:
+            raise ModelError("CompareToConstant %r needs 'value'" % (self.name,))
+        self.params["op"] = op
+
+    def output_dtypes(self, in_dtypes):
+        return [BOOLEAN]
+
+    def output(self, ctx, inputs):
+        left = inputs[0]
+        right = self.params["value"]
+        op = self.params["op"]
+        result = {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "==": left == right,
+            "!=": left != right,
+        }[op]
+        return [1 if result else 0]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = 1 if %s %s %r else 0"
+            % (out, invars[0], self.params["op"], self.params["value"])
+        )
+        return [out]
+
+
+@register_block
+class CompareToZero(Block):
+    """Comparison against zero; boolean output."""
+
+    type_name = "CompareToZero"
+    n_in = 1
+
+    def validate_params(self) -> None:
+        op = self.params.get("op", "~=")
+        if op not in _REL_OPS + ("~=",):
+            raise ModelError("CompareToZero %r: bad op %r" % (self.name, op))
+        self.params["op"] = "!=" if op == "~=" else op
+
+    def output_dtypes(self, in_dtypes):
+        return [BOOLEAN]
+
+    def output(self, ctx, inputs):
+        left = inputs[0]
+        op = self.params["op"]
+        result = {
+            "<": left < 0,
+            "<=": left <= 0,
+            ">": left > 0,
+            ">=": left >= 0,
+            "==": left == 0,
+            "!=": left != 0,
+        }[op]
+        return [1 if result else 0]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = 1 if %s %s 0 else 0" % (out, invars[0], self.params["op"]))
+        return [out]

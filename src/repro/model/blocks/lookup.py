@@ -1,0 +1,136 @@
+"""Lookup table blocks (1-D and 2-D, linear interpolation, clamped ends).
+
+Both execution backends call the same interpolation routines from
+:mod:`repro.lang.ops`-style shared helpers (here: local functions exported
+through the codegen runtime), so simulation and generated code agree
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import DOUBLE
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["Lookup1D", "Lookup2D", "interp1d", "interp2d"]
+
+
+def interp1d(value, breakpoints, table):
+    """Piecewise-linear interpolation with end clamping."""
+    value = float(value)
+    if value <= breakpoints[0]:
+        return float(table[0])
+    if value >= breakpoints[-1]:
+        return float(table[-1])
+    for i in range(len(breakpoints) - 1):
+        if value <= breakpoints[i + 1]:
+            x0, x1 = breakpoints[i], breakpoints[i + 1]
+            y0, y1 = table[i], table[i + 1]
+            return float(y0) + (float(y1) - float(y0)) * (value - x0) / (x1 - x0)
+    return float(table[-1])  # pragma: no cover - unreachable
+
+
+def interp2d(u, v, row_bp, col_bp, table):
+    """Bilinear interpolation over a row-major 2-D table, clamped."""
+    row_cuts = [interp1d(v, col_bp, row) for row in table]
+    return interp1d(u, row_bp, row_cuts)
+
+
+def _check_breakpoints(name, breakpoints):
+    if len(breakpoints) < 2:
+        raise ModelError("%s: need >= 2 breakpoints" % (name,))
+    if any(nxt <= prev for prev, nxt in zip(breakpoints, breakpoints[1:])):
+        raise ModelError("%s: breakpoints must be strictly increasing" % (name,))
+
+
+@register_block
+class Lookup1D(Block):
+    """1-D lookup table.
+
+    Params:
+        breakpoints: strictly increasing abscissae.
+        table: ordinates (same length).
+    """
+
+    type_name = "Lookup1D"
+
+    def validate_params(self) -> None:
+        breakpoints = self.params.get("breakpoints")
+        table = self.params.get("table")
+        if not breakpoints or not table or len(breakpoints) != len(table):
+            raise ModelError(
+                "Lookup1D %r needs matching breakpoints/table" % (self.name,)
+            )
+        _check_breakpoints("Lookup1D %r" % self.name, breakpoints)
+        self.params["breakpoints"] = tuple(float(b) for b in breakpoints)
+        self.params["table"] = tuple(float(t) for t in table)
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def output(self, ctx, inputs):
+        return [interp1d(inputs[0], self.params["breakpoints"], self.params["table"])]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = _lookup1d(%s, %r, %r)"
+            % (out, invars[0], self.params["breakpoints"], self.params["table"])
+        )
+        return [out]
+
+
+@register_block
+class Lookup2D(Block):
+    """2-D lookup table (inputs: row coordinate, column coordinate).
+
+    Params:
+        row_breakpoints / col_breakpoints: strictly increasing abscissae.
+        table: row-major list of rows.
+    """
+
+    type_name = "Lookup2D"
+    n_in = 2
+
+    def validate_params(self) -> None:
+        rows = self.params.get("row_breakpoints")
+        cols = self.params.get("col_breakpoints")
+        table = self.params.get("table")
+        if not rows or not cols or not table:
+            raise ModelError("Lookup2D %r missing parameters" % (self.name,))
+        _check_breakpoints("Lookup2D %r" % self.name, rows)
+        _check_breakpoints("Lookup2D %r" % self.name, cols)
+        if len(table) != len(rows) or any(len(row) != len(cols) for row in table):
+            raise ModelError("Lookup2D %r: table shape mismatch" % (self.name,))
+        self.params["row_breakpoints"] = tuple(float(b) for b in rows)
+        self.params["col_breakpoints"] = tuple(float(b) for b in cols)
+        self.params["table"] = tuple(tuple(float(t) for t in row) for row in table)
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def output(self, ctx, inputs):
+        return [
+            interp2d(
+                inputs[0],
+                inputs[1],
+                self.params["row_breakpoints"],
+                self.params["col_breakpoints"],
+                self.params["table"],
+            )
+        ]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = _lookup2d(%s, %s, %r, %r, %r)"
+            % (
+                out,
+                invars[0],
+                invars[1],
+                self.params["row_breakpoints"],
+                self.params["col_breakpoints"],
+                self.params["table"],
+            )
+        )
+        return [out]

@@ -1,0 +1,355 @@
+"""Arithmetic blocks: Sum, Product, Gain, Abs, Sign, Bias, MinMax, ...
+
+Integer results wrap with two's-complement semantics (the generated C
+code's behaviour); ``single`` results round through 32-bit storage.  Abs,
+Sign and MinMax carry decision points per Simulink's model coverage rules,
+but they are *not* control-flow decisions — a C compiler emits branchless
+fabs/cmov/fmin code for them, which is why the "Fuzz Only" ablation cannot
+see them (paper Fig. 8 discussion).
+"""
+
+from __future__ import annotations
+
+from ...dtypes import DOUBLE, wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = [
+    "Sum",
+    "Product",
+    "Gain",
+    "Abs",
+    "Sign",
+    "Bias",
+    "MinMax",
+    "MathFunction",
+    "Rounding",
+    "UnaryMinus",
+    "Sqrt",
+]
+
+
+@register_block
+class Sum(Block):
+    """Adds/subtracts its inputs according to the ``signs`` string.
+
+    Params:
+        signs: e.g. ``"++-"``; its length sets the input count.
+    """
+
+    type_name = "Sum"
+
+    def validate_params(self) -> None:
+        signs = self.params.get("signs", "++")
+        if not signs or any(ch not in "+-" for ch in signs):
+            raise ModelError("Sum %r: bad signs %r" % (self.name, signs))
+        self.params["signs"] = signs
+        self.params["n_in"] = len(signs)
+
+    def output(self, ctx, inputs):
+        total = 0
+        for sign, value in zip(self.params["signs"], inputs):
+            total = total + value if sign == "+" else total - value
+        return [wrap(total, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        parts = []
+        for sign, var in zip(self.params["signs"], invars):
+            parts.append(("+ " if sign == "+" else "- ") + var)
+        expr = " ".join(parts)
+        if expr.startswith("+ "):
+            expr = expr[2:]
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap("(%s)" % expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Product(Block):
+    """Multiplies/divides its inputs according to the ``ops`` string.
+
+    Params:
+        ops: e.g. ``"**/"``; division is total (0 on zero divisor).
+    """
+
+    type_name = "Product"
+
+    def validate_params(self) -> None:
+        ops = self.params.get("ops", "**")
+        if not ops or ops[0] != "*" or any(ch not in "*/" for ch in ops):
+            raise ModelError("Product %r: bad ops %r" % (self.name, ops))
+        self.params["ops"] = ops
+        self.params["n_in"] = len(ops)
+
+    def output(self, ctx, inputs):
+        from ...lang.ops import safe_div
+
+        result = inputs[0]
+        for op, value in zip(self.params["ops"][1:], inputs[1:]):
+            result = result * value if op == "*" else safe_div(result, value)
+        return [wrap(result, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        expr = invars[0]
+        for op, var in zip(self.params["ops"][1:], invars[1:]):
+            if op == "*":
+                expr = "(%s * %s)" % (expr, var)
+            else:
+                expr = "_safe_div(%s, %s)" % (expr, var)
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Gain(Block):
+    """Multiplies by a constant ``gain``; output keeps the input type."""
+
+    type_name = "Gain"
+
+    def validate_params(self) -> None:
+        if "gain" not in self.params:
+            raise ModelError("Gain %r needs 'gain'" % (self.name,))
+
+    def output(self, ctx, inputs):
+        return [wrap(inputs[0] * self.params["gain"], ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        expr = "(%s * %r)" % (invars[0], self.params["gain"])
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Abs(Block):
+    """Absolute value; one (branchless) decision: input negative or not."""
+
+    type_name = "Abs"
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("abs", ("negative", "non-negative"), control_flow=False)
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        negative = value < 0
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if negative else 1,
+            margins={0: -float(value), 1: float(value) + 0.5},
+        )
+        return [wrap(-value if negative else value, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        dec = ctx.branches.decisions[0]
+        ctx.decision_hit_expr(dec, "(0 if %s < 0 else 1)" % invars[0])
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap("abs(%s)" % invars[0], ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Sign(Block):
+    """Signum; one 3-outcome decision (negative / zero / positive)."""
+
+    type_name = "Sign"
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("sign", ("negative", "zero", "positive"), control_flow=False)
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        outcome = 0 if value < 0 else (1 if value == 0 else 2)
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            outcome,
+            margins={0: -float(value), 1: -abs(float(value)) + 0.5, 2: float(value)},
+        )
+        result = -1 if value < 0 else (0 if value == 0 else 1)
+        return [wrap(result, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        dec = ctx.branches.decisions[0]
+        ctx.decision_hit_expr(
+            dec, "(0 if %s < 0 else (1 if %s == 0 else 2))" % (invars[0], invars[0])
+        )
+        out = ctx.tmp("o")
+        expr = "(-1 if %s < 0 else (0 if %s == 0 else 1))" % (invars[0], invars[0])
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Bias(Block):
+    """Adds a constant ``bias``."""
+
+    type_name = "Bias"
+
+    def validate_params(self) -> None:
+        if "bias" not in self.params:
+            raise ModelError("Bias %r needs 'bias'" % (self.name,))
+
+    def output(self, ctx, inputs):
+        return [wrap(inputs[0] + self.params["bias"], ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        expr = "(%s + %r)" % (invars[0], self.params["bias"])
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class MinMax(Block):
+    """Min or max over ``n_in`` inputs; decision = which input wins.
+
+    Params:
+        mode: ``"min"`` or ``"max"``.
+        n_in: number of inputs (>= 1).
+    """
+
+    type_name = "MinMax"
+
+    def validate_params(self) -> None:
+        mode = self.params.get("mode", "min")
+        if mode not in ("min", "max"):
+            raise ModelError("MinMax %r: bad mode %r" % (self.name, mode))
+        self.params["mode"] = mode
+        self.params.setdefault("n_in", 2)
+        if self.params["n_in"] < 1:
+            raise ModelError("MinMax %r needs n_in >= 1" % (self.name,))
+
+    def declare_branches(self, decl) -> None:
+        n = self.params["n_in"]
+        if n >= 2:
+            decl.decision(
+                self.params["mode"],
+                ["input%d" % (i + 1) for i in range(n)],
+                control_flow=False,
+            )
+
+    def output(self, ctx, inputs):
+        mode = self.params["mode"]
+        best_idx = 0
+        best = inputs[0]
+        for i, value in enumerate(inputs[1:], start=1):
+            if (value < best) if mode == "min" else (value > best):
+                best, best_idx = value, i
+        if ctx.branches.decisions:
+            margins = {
+                i: -abs(float(v) - float(best)) + (0.5 if i == best_idx else 0.0)
+                for i, v in enumerate(inputs)
+            }
+            ctx.hit_decision(ctx.branches.decisions[0], best_idx, margins=margins)
+        return [wrap(best, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        fn = self.params["mode"]  # "min" or "max" builtin
+        out = ctx.tmp("o")
+        if len(invars) == 1:
+            ctx.line("%s = %s" % (out, ctx.wrap(invars[0], ctx.out_dtype(0))))
+            return [out]
+        expr = "%s(%s)" % (fn, ", ".join(invars))
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        if ctx.branches.decisions:
+            dec = ctx.branches.decisions[0]
+            # first-wins index, mirroring the interpreted argmin/argmax
+            idx = ctx.tmp("i")
+            values = "(%s)" % ", ".join(invars)
+            ctx.line(
+                "%s = %s.index(%s(%s))" % (idx, values, fn, ", ".join(invars))
+            )
+            ctx.decision_hit_expr(dec, idx)
+        return [out]
+
+
+@register_block
+class MathFunction(Block):
+    """Unary math function (sqrt, exp, sin, cos, tan); output is double.
+
+    Params:
+        fn: function name from the runtime builtin set.
+    """
+
+    type_name = "MathFunction"
+    _ALLOWED = ("sqrt", "exp", "sin", "cos", "tan")
+
+    def validate_params(self) -> None:
+        fn = self.params.get("fn")
+        if fn not in self._ALLOWED:
+            raise ModelError(
+                "MathFunction %r: fn must be one of %s" % (self.name, self._ALLOWED)
+            )
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def output(self, ctx, inputs):
+        from ...lang.ops import BUILTIN_IMPLS
+
+        return [float(BUILTIN_IMPLS[self.params["fn"]](inputs[0]))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = float(_f_%s(%s))" % (out, self.params["fn"], invars[0]))
+        return [out]
+
+
+@register_block
+class Rounding(Block):
+    """floor / ceil / round; output keeps the input type."""
+
+    type_name = "Rounding"
+    _ALLOWED = ("floor", "ceil", "round")
+
+    def validate_params(self) -> None:
+        fn = self.params.get("fn", "floor")
+        if fn not in self._ALLOWED:
+            raise ModelError("Rounding %r: bad fn %r" % (self.name, fn))
+        self.params["fn"] = fn
+
+    def output(self, ctx, inputs):
+        from ...lang.ops import BUILTIN_IMPLS
+
+        return [wrap(BUILTIN_IMPLS[self.params["fn"]](inputs[0]), ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        expr = "_f_%s(%s)" % (self.params["fn"], invars[0])
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class UnaryMinus(Block):
+    """Negation."""
+
+    type_name = "UnaryMinus"
+
+    def output(self, ctx, inputs):
+        return [wrap(-inputs[0], ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap("(-%s)" % invars[0], ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Sqrt(Block):
+    """Square root (total: 0 for negative input); output is double."""
+
+    type_name = "Sqrt"
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def output(self, ctx, inputs):
+        from ...lang.ops import safe_sqrt
+
+        return [safe_sqrt(inputs[0])]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = _f_sqrt(%s)" % (out, invars[0]))
+        return [out]

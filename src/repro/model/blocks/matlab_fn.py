@@ -1,0 +1,141 @@
+"""MATLAB Function block: a typed mini-language function per step.
+
+Instrumentation mode (d): every ``if`` in the body is a decision with a
+completed implicit else, every guard atom a condition, every guard an MCDC
+group.  ``persistent`` variables give the block cross-iteration state,
+like MATLAB's ``persistent`` keyword.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import dtype_by_name, wrap
+from ...errors import ModelError
+from ...lang.analysis import assigned_names, used_names
+from ...lang.interp import number_ifs
+from ...lang.parser import parse_program
+from ..block import Block, register_block
+from ._lang_support import (
+    CursorSink,
+    DeclareSink,
+    build_program_info,
+    emit_program,
+    run_program,
+)
+
+__all__ = ["MatlabFunction"]
+
+
+@register_block
+class MatlabFunction(Block):
+    """A function block written in the mini action language.
+
+    Params:
+        inputs: input variable names, bound to input ports in order.
+        outputs: list of (name, dtype_name) return variables.
+        body: mini-language source.
+        locals: optional dict name -> (dtype_name, init); fresh per call.
+        persistent: optional dict name -> (dtype_name, init); kept across
+            steps (makes the block stateful).
+    """
+
+    type_name = "MatlabFunction"
+
+    def validate_params(self) -> None:
+        params = self.params
+        inputs = list(params.get("inputs", ()))
+        outputs = list(params.get("outputs", ()))
+        if not outputs:
+            raise ModelError("MatlabFunction %r needs outputs" % (self.name,))
+        if "body" not in params:
+            raise ModelError("MatlabFunction %r needs 'body'" % (self.name,))
+
+        self._inputs = inputs
+        self._outputs = [
+            (n, dtype_by_name(d) if isinstance(d, str) else d) for n, d in outputs
+        ]
+        self._locals = {
+            name: (dtype_by_name(d) if isinstance(d, str) else d, init)
+            for name, (d, init) in dict(params.get("locals", {})).items()
+        }
+        self._persistent = {
+            name: (dtype_by_name(d) if isinstance(d, str) else d, init)
+            for name, (d, init) in dict(params.get("persistent", {})).items()
+        }
+        self.has_state = bool(self._persistent)
+
+        self._program = parse_program(params["body"])
+        number_ifs(self._program)
+
+        known = (
+            set(inputs)
+            | set(self._locals)
+            | set(self._persistent)
+            | {n for n, _ in self._outputs}
+        )
+        assigned = assigned_names(self._program)
+        for name in used_names(self._program):
+            if name not in known and name not in assigned:
+                raise ModelError(
+                    "MatlabFunction %r: undefined variable %r" % (self.name, name)
+                )
+
+        params["n_in"] = len(inputs)
+        params["n_out"] = len(outputs)
+        self._wrap_map = {n: dt for n, (dt, _) in self._locals.items()}
+        self._wrap_map.update({n: dt for n, (dt, _) in self._persistent.items()})
+        self._wrap_map.update({n: dt for n, dt in self._outputs})
+
+    def output_dtypes(self, in_dtypes):
+        return [dtype for _, dtype in self._outputs]
+
+    def declare_branches(self, decl) -> None:
+        build_program_info(DeclareSink(decl), self._program, "body")
+
+    def init_state(self):
+        if not self._persistent:
+            return None
+        return {
+            name: wrap(init, dtype)
+            for name, (dtype, init) in self._persistent.items()
+        }
+
+    def output(self, ctx, inputs):
+        info = build_program_info(CursorSink(ctx.branches), self._program, "body")
+        env = {}
+        for name, (dtype, init) in self._locals.items():
+            env[name] = wrap(init, dtype)
+        for name, dtype in self._outputs:
+            env.setdefault(name, dtype.zero())
+        if self._persistent:
+            env.update(ctx.state)
+        for name, value in zip(self._inputs, inputs):
+            env[name] = value
+        run_program(ctx, info, env, wrap_map=self._wrap_map)
+        if self._persistent:
+            for name in self._persistent:
+                ctx.state[name] = env[name]
+        return [wrap(env[name], dtype) for name, dtype in self._outputs]
+
+    def emit_output(self, ctx, invars):
+        info = build_program_info(CursorSink(ctx.branches), self._program, "body")
+        var_map = {}
+        for name, var in zip(self._inputs, invars):
+            var_map[name] = var
+        for name, (dtype, init) in self._locals.items():
+            local = ctx.tmp("l")
+            ctx.line("%s = %r" % (local, wrap(init, dtype)))
+            var_map[name] = local
+        for name, (dtype, init) in self._persistent.items():
+            var_map[name] = ctx.state("p_%s" % name, repr(wrap(init, dtype)))
+        for name, dtype in self._outputs:
+            if name not in var_map:
+                local = ctx.tmp("y")
+                ctx.line("%s = %r" % (local, dtype.zero()))
+                var_map[name] = local
+        emit_program(ctx, info, var_map, wrap_map=self._wrap_map)
+        outs = []
+        for name, dtype in self._outputs:
+            out = ctx.tmp("o")
+            ctx.line("%s = %s" % (out, ctx.wrap(var_map[name], dtype)))
+            outs.append(out)
+        return outs

@@ -1,0 +1,328 @@
+"""Nonlinear blocks: Saturation, DeadZone, RateLimiter, Relay, Quantizer.
+
+These are the paper's mode-(d) examples: conditional judgments *inside*
+blocks.  The instrumentation completes every implicit else branch, so both
+the "limit active" and the "limit inactive" outcomes carry probes.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["Saturation", "DeadZone", "RateLimiter", "Relay", "Quantizer"]
+
+
+@register_block
+class Saturation(Block):
+    """Clamps the input to [lower, upper].
+
+    Two always-evaluated decisions ("upper limited?", "lower limited?"),
+    branchless in optimized C (fmin/fmax), hence ``control_flow=False``.
+    """
+
+    type_name = "Saturation"
+
+    def validate_params(self) -> None:
+        lower = self.params.get("lower")
+        upper = self.params.get("upper")
+        if lower is None or upper is None or not lower < upper:
+            raise ModelError(
+                "Saturation %r needs lower < upper" % (self.name,)
+            )
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("upper", ("limited", "free"), control_flow=False)
+        decl.decision("lower", ("limited", "free"), control_flow=False)
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        lower, upper = self.params["lower"], self.params["upper"]
+        hi = value >= upper
+        lo = value <= lower
+        margin_hi = float(value) - float(upper)
+        margin_lo = float(lower) - float(value)
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if hi else 1,
+            margins={0: margin_hi if margin_hi != 0 else 0.5, 1: -margin_hi},
+        )
+        ctx.hit_decision(
+            ctx.branches.decisions[1],
+            0 if lo else 1,
+            margins={0: margin_lo if margin_lo != 0 else 0.5, 1: -margin_lo},
+        )
+        result = upper if hi else (lower if lo else value)
+        return [wrap(result, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        lower, upper = self.params["lower"], self.params["upper"]
+        u = invars[0]
+        ctx.decision_hit_expr(
+            ctx.branches.decisions[0], "(0 if %s >= %r else 1)" % (u, upper)
+        )
+        ctx.decision_hit_expr(
+            ctx.branches.decisions[1], "(0 if %s <= %r else 1)" % (u, lower)
+        )
+        out = ctx.tmp("o")
+        expr = "(%r if %s >= %r else (%r if %s <= %r else %s))" % (
+            upper, u, upper, lower, u, lower, u,
+        )
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class DeadZone(Block):
+    """Outputs 0 inside [start, end], offset-shifted input outside.
+
+    Generated C uses a real if/elseif chain, so its decisions are
+    control-flow visible; the second check only runs when the first fails.
+    """
+
+    type_name = "DeadZone"
+
+    def validate_params(self) -> None:
+        start = self.params.get("start")
+        end = self.params.get("end")
+        if start is None or end is None or not start < end:
+            raise ModelError("DeadZone %r needs start < end" % (self.name,))
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("above", ("yes", "no"), control_flow=True)
+        decl.decision("below", ("yes", "no"), control_flow=True)
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        start, end = self.params["start"], self.params["end"]
+        margin_above = float(value) - float(end)
+        above = value > end
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if above else 1,
+            margins={0: margin_above if margin_above != 0 else -0.5, 1: -margin_above},
+        )
+        if above:
+            return [wrap(value - end, ctx.out_dtype(0))]
+        below = value < start
+        margin_below = float(start) - float(value)
+        ctx.hit_decision(
+            ctx.branches.decisions[1],
+            0 if below else 1,
+            margins={0: margin_below if margin_below != 0 else -0.5, 1: -margin_below},
+        )
+        if below:
+            return [wrap(value - start, ctx.out_dtype(0))]
+        return [wrap(0, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        start, end = self.params["start"], self.params["end"]
+        u = invars[0]
+        out = ctx.tmp("o")
+        with ctx.suite("if %s > %r:" % (u, end)):
+            ctx.hit_decision(ctx.branches.decisions[0], 0)
+            ctx.line("%s = %s" % (out, ctx.wrap("(%s - %r)" % (u, end), ctx.out_dtype(0))))
+        with ctx.suite("else:"):
+            ctx.hit_decision(ctx.branches.decisions[0], 1)
+            with ctx.suite("if %s < %r:" % (u, start)):
+                ctx.hit_decision(ctx.branches.decisions[1], 0)
+                ctx.line(
+                    "%s = %s" % (out, ctx.wrap("(%s - %r)" % (u, start), ctx.out_dtype(0)))
+                )
+            with ctx.suite("else:"):
+                ctx.hit_decision(ctx.branches.decisions[1], 1)
+                ctx.line("%s = %s" % (out, ctx.wrap("0", ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class RateLimiter(Block):
+    """Limits the per-step change of the signal.
+
+    Params:
+        rising: maximum positive change per step (> 0).
+        falling: maximum negative change per step (< 0).
+    """
+
+    type_name = "RateLimiter"
+    has_state = True
+
+    def validate_params(self) -> None:
+        rising = self.params.get("rising")
+        falling = self.params.get("falling")
+        if rising is None or falling is None or rising <= 0 or falling >= 0:
+            raise ModelError(
+                "RateLimiter %r needs rising > 0 > falling" % (self.name,)
+            )
+        self.params.setdefault("init", 0.0)
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("rising", ("limited", "free"), control_flow=True)
+        decl.decision("falling", ("limited", "free"), control_flow=True)
+
+    def init_state(self):
+        return {"prev": self.params["init"]}
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        prev = ctx.state["prev"]
+        rising, falling = self.params["rising"], self.params["falling"]
+        rate = value - prev
+        margin_up = float(rate) - float(rising)
+        up = rate > rising
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if up else 1,
+            margins={0: margin_up if margin_up != 0 else -0.5, 1: -margin_up},
+        )
+        if up:
+            result = prev + rising
+        else:
+            down = rate < falling
+            margin_down = float(falling) - float(rate)
+            ctx.hit_decision(
+                ctx.branches.decisions[1],
+                0 if down else 1,
+                margins={0: margin_down if margin_down != 0 else -0.5, 1: -margin_down},
+            )
+            result = prev + falling if down else value
+        result = wrap(result, ctx.out_dtype(0))
+        ctx.scratch["pending"] = result
+        return [result]
+
+    def update(self, ctx, inputs):
+        ctx.state["prev"] = ctx.scratch["pending"]
+
+    def emit_output(self, ctx, invars):
+        rising, falling = self.params["rising"], self.params["falling"]
+        prev = ctx.state("prev", repr(self.params["init"]))
+        rate = ctx.tmp("r")
+        out = ctx.tmp("o")
+        ctx.line("%s = %s - %s" % (rate, invars[0], prev))
+        with ctx.suite("if %s > %r:" % (rate, rising)):
+            ctx.hit_decision(ctx.branches.decisions[0], 0)
+            ctx.line("%s = %s + %r" % (out, prev, rising))
+        with ctx.suite("else:"):
+            ctx.hit_decision(ctx.branches.decisions[0], 1)
+            with ctx.suite("if %s < %r:" % (rate, falling)):
+                ctx.hit_decision(ctx.branches.decisions[1], 0)
+                ctx.line("%s = %s + %r" % (out, prev, falling))
+            with ctx.suite("else:"):
+                ctx.hit_decision(ctx.branches.decisions[1], 1)
+                ctx.line("%s = %s" % (out, invars[0]))
+        wrapped = ctx.tmp("o")
+        ctx.line("%s = %s" % (wrapped, ctx.wrap(out, ctx.out_dtype(0))))
+        ctx.scratch["pending_var"] = wrapped
+        ctx.scratch["prev_attr"] = prev
+        return [wrapped]
+
+    def emit_update(self, ctx, invars):
+        ctx.line("%s = %s" % (ctx.scratch["prev_attr"], ctx.scratch["pending_var"]))
+
+
+@register_block
+class Relay(Block):
+    """Hysteresis switch: on at ``on_point``, off at ``off_point``.
+
+    Params:
+        on_point / off_point: thresholds (off_point < on_point).
+        on_value / off_value: emitted values (defaults 1 / 0).
+    """
+
+    type_name = "Relay"
+    has_state = True
+
+    def validate_params(self) -> None:
+        on_point = self.params.get("on_point")
+        off_point = self.params.get("off_point")
+        if on_point is None or off_point is None or not off_point < on_point:
+            raise ModelError(
+                "Relay %r needs off_point < on_point" % (self.name,)
+            )
+        self.params.setdefault("on_value", 1)
+        self.params.setdefault("off_value", 0)
+        self.params.setdefault("init_on", False)
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("turn-on", ("yes", "no"), control_flow=True)
+        decl.decision("turn-off", ("yes", "no"), control_flow=True)
+
+    def init_state(self):
+        return {"on": 1 if self.params["init_on"] else 0}
+
+    def output(self, ctx, inputs):
+        value = inputs[0]
+        on = ctx.state["on"]
+        if on:
+            margin = float(self.params["off_point"]) - float(value)
+            turn_off = value <= self.params["off_point"]
+            ctx.hit_decision(
+                ctx.branches.decisions[1],
+                0 if turn_off else 1,
+                margins={0: margin if margin != 0 else 0.5, 1: -margin},
+            )
+            if turn_off:
+                on = 0
+        else:
+            margin = float(value) - float(self.params["on_point"])
+            turn_on = value >= self.params["on_point"]
+            ctx.hit_decision(
+                ctx.branches.decisions[0],
+                0 if turn_on else 1,
+                margins={0: margin if margin != 0 else 0.5, 1: -margin},
+            )
+            if turn_on:
+                on = 1
+        ctx.scratch["pending"] = on
+        result = self.params["on_value"] if on else self.params["off_value"]
+        return [wrap(result, ctx.out_dtype(0))]
+
+    def update(self, ctx, inputs):
+        ctx.state["on"] = ctx.scratch["pending"]
+
+    def emit_output(self, ctx, invars):
+        on = ctx.state("on", repr(1 if self.params["init_on"] else 0))
+        u = invars[0]
+        with ctx.suite("if %s:" % on):
+            with ctx.suite("if %s <= %r:" % (u, self.params["off_point"])):
+                ctx.hit_decision(ctx.branches.decisions[1], 0)
+                ctx.line("%s = 0" % on)
+            with ctx.suite("else:"):
+                ctx.hit_decision(ctx.branches.decisions[1], 1)
+        with ctx.suite("else:"):
+            with ctx.suite("if %s >= %r:" % (u, self.params["on_point"])):
+                ctx.hit_decision(ctx.branches.decisions[0], 0)
+                ctx.line("%s = 1" % on)
+            with ctx.suite("else:"):
+                ctx.hit_decision(ctx.branches.decisions[0], 1)
+        out = ctx.tmp("o")
+        expr = "(%r if %s else %r)" % (
+            self.params["on_value"], on, self.params["off_value"],
+        )
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Quantizer(Block):
+    """Quantizes to multiples of ``interval``."""
+
+    type_name = "Quantizer"
+
+    def validate_params(self) -> None:
+        interval = self.params.get("interval")
+        if not interval or interval <= 0:
+            raise ModelError("Quantizer %r needs interval > 0" % (self.name,))
+
+    def output(self, ctx, inputs):
+        interval = self.params["interval"]
+        result = interval * round(float(inputs[0]) / interval)
+        return [wrap(result, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        interval = self.params["interval"]
+        out = ctx.tmp("o")
+        expr = "(%r * _f_round(float(%s) / %r))" % (interval, invars[0], interval)
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]

@@ -1,0 +1,148 @@
+"""Signal routing blocks: Switch, MultiportSwitch, passthroughs.
+
+Data switch/select blocks are instrumentation mode (b) from the paper:
+each data-selection alternative gets a decision-outcome probe.
+"""
+
+from __future__ import annotations
+
+from ...dtypes import common_dtype, wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["Switch", "MultiportSwitch", "SignalPassthrough"]
+
+
+@register_block
+class Switch(Block):
+    """Passes input 1 or input 3 depending on the control input 2.
+
+    Params:
+        criterion: ``">="`` (default), ``">"`` or ``"~=0"``.
+        threshold: numeric threshold for the relational criteria.
+
+    Inputs: (data-if-true, control, data-if-false).
+    """
+
+    type_name = "Switch"
+    n_in = 3
+
+    def validate_params(self) -> None:
+        criterion = self.params.get("criterion", ">=")
+        if criterion not in (">=", ">", "~=0"):
+            raise ModelError("Switch %r: bad criterion %r" % (self.name, criterion))
+        self.params["criterion"] = criterion
+        if criterion != "~=0":
+            self.params.setdefault("threshold", 0)
+
+    def output_dtypes(self, in_dtypes):
+        return [common_dtype(in_dtypes[0], in_dtypes[2])]
+
+    def declare_branches(self, decl) -> None:
+        # realized as a conditional move by an optimizing compiler
+        decl.decision("switch", ("pass-first", "pass-third"), control_flow=False)
+
+    def _criterion_value(self, control):
+        criterion = self.params["criterion"]
+        if criterion == "~=0":
+            return control != 0, (1.0 if control != 0 else -1.0)
+        threshold = self.params["threshold"]
+        margin = float(control) - float(threshold)
+        if criterion == ">=":
+            return control >= threshold, (margin if margin != 0 else 0.5)
+        return control > threshold, (margin if margin != 0 else -0.5)
+
+    def output(self, ctx, inputs):
+        passed, margin = self._criterion_value(inputs[1])
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if passed else 1,
+            margins={0: margin, 1: -margin},
+        )
+        value = inputs[0] if passed else inputs[2]
+        return [wrap(value, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        criterion = self.params["criterion"]
+        if criterion == "~=0":
+            test = "%s != 0" % invars[1]
+        else:
+            test = "%s %s %r" % (invars[1], criterion, self.params["threshold"])
+        flag = ctx.tmp("sw")
+        ctx.line("%s = 1 if %s else 0" % (flag, test))
+        ctx.decision_hit_expr(ctx.branches.decisions[0], "(0 if %s else 1)" % flag)
+        out = ctx.tmp("o")
+        expr = "(%s if %s else %s)" % (invars[0], flag, invars[2])
+        ctx.line("%s = %s" % (out, ctx.wrap(expr, ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class MultiportSwitch(Block):
+    """Selects one of N data inputs by a 1-based integer control input.
+
+    Out-of-range selectors clamp to the nearest case (Simulink's
+    "clamped" index option).  Inputs: (selector, data1..dataN).
+
+    Params:
+        n_cases: number of data inputs.
+    """
+
+    type_name = "MultiportSwitch"
+
+    def validate_params(self) -> None:
+        n_cases = self.params.get("n_cases", 2)
+        if n_cases < 2:
+            raise ModelError("MultiportSwitch %r needs n_cases >= 2" % (self.name,))
+        self.params["n_cases"] = n_cases
+        self.params["n_in"] = 1 + n_cases
+
+    def output_dtypes(self, in_dtypes):
+        dtype = in_dtypes[1]
+        for other in in_dtypes[2:]:
+            dtype = common_dtype(dtype, other)
+        return [dtype]
+
+    def declare_branches(self, decl) -> None:
+        # realized as a real switch statement in generated C
+        decl.decision(
+            "case",
+            ["case%d" % (i + 1) for i in range(self.params["n_cases"])],
+            control_flow=True,
+        )
+
+    def output(self, ctx, inputs):
+        n_cases = self.params["n_cases"]
+        selector = int(inputs[0])
+        case = min(max(selector, 1), n_cases) - 1
+        margins = {
+            i: -abs(float(selector) - (i + 1)) + (0.5 if i == case else 0.0)
+            for i in range(n_cases)
+        }
+        ctx.hit_decision(ctx.branches.decisions[0], case, margins=margins)
+        return [wrap(inputs[1 + case], ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        n_cases = self.params["n_cases"]
+        case = ctx.tmp("sel")
+        ctx.line(
+            "%s = min(max(int(%s), 1), %d) - 1" % (case, invars[0], n_cases)
+        )
+        ctx.decision_hit_expr(ctx.branches.decisions[0], case)
+        out = ctx.tmp("o")
+        values = "(%s)" % ", ".join(invars[1:])
+        ctx.line("%s = %s" % (out, ctx.wrap("%s[%s]" % (values, case), ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class SignalPassthrough(Block):
+    """Identity block (signal specification / rate transition stand-in)."""
+
+    type_name = "SignalPassthrough"
+
+    def output(self, ctx, inputs):
+        return [inputs[0]]
+
+    def emit_output(self, ctx, invars):
+        return [invars[0]]

@@ -1,0 +1,66 @@
+"""Sink blocks: Outport, Terminator, Scope.
+
+Outport values become the model step function's return tuple — the fuzz
+driver's "Model Output Variable" slots in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["Outport", "Terminator", "Scope"]
+
+
+@register_block
+class Outport(Block):
+    """A top-level or subsystem output port.
+
+    Params:
+        index: 1-based port index (dense per model level).
+    """
+
+    type_name = "Outport"
+    n_in = 1
+    n_out = 0
+
+    def validate_params(self) -> None:
+        index = self.params.get("index")
+        if not isinstance(index, int) or index < 1:
+            raise ModelError("Outport %r needs a positive 'index'" % (self.name,))
+
+    def output(self, ctx, inputs):  # engines read the driving signal directly
+        return []
+
+    def emit_output(self, ctx, invars):
+        return []
+
+
+@register_block
+class Terminator(Block):
+    """Discards its input (keeps diagrams fully connected)."""
+
+    type_name = "Terminator"
+    n_in = 1
+    n_out = 0
+
+    def output(self, ctx, inputs):
+        return []
+
+    def emit_output(self, ctx, invars):
+        return []
+
+
+@register_block
+class Scope(Block):
+    """A display sink; semantically identical to Terminator here."""
+
+    type_name = "Scope"
+    n_in = 1
+    n_out = 0
+
+    def output(self, ctx, inputs):
+        return []
+
+    def emit_output(self, ctx, invars):
+        return []

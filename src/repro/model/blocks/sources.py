@@ -1,0 +1,115 @@
+"""Source blocks: Inport, Constant, Ground.
+
+Inport is the fuzzing interface: its ``dtype`` parameter defines one field
+of the input tuple (paper §3.1.1, "Generating data segmentation code").
+"""
+
+from __future__ import annotations
+
+from ...dtypes import dtype_by_name, wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["Inport", "Constant", "Ground"]
+
+
+@register_block
+class Inport(Block):
+    """A top-level or subsystem input port.
+
+    Params:
+        index: 1-based port index (dense per model level).
+        dtype: signal data type name (authoritative; incoming values are
+            wrapped to it at the boundary).
+        range: optional (low, high) tester-declared value range used by
+            the range-constrained mutation mode (paper §5).
+    """
+
+    type_name = "Inport"
+    n_in = 0
+    n_out = 1
+
+    def validate_params(self) -> None:
+        index = self.params.get("index")
+        if not isinstance(index, int) or index < 1:
+            raise ModelError("Inport %r needs a positive 'index'" % (self.name,))
+        self.params["dtype"] = _as_dtype(self.params.get("dtype", "double"))
+        vrange = self.params.get("range")
+        if vrange is not None:
+            if len(vrange) != 2 or not vrange[0] < vrange[1]:
+                raise ModelError(
+                    "Inport %r: range must be (low, high) with low < high"
+                    % (self.name,)
+                )
+
+    def output_dtypes(self, in_dtypes):
+        return [self.params["dtype"]]
+
+    # The execution engines bind Inport values directly from the caller's
+    # arguments; these hooks exist only for API completeness.
+    def output(self, ctx, inputs):  # pragma: no cover - engines special-case
+        raise ModelError("Inport values are bound by the engine")
+
+    def emit_output(self, ctx, invars):  # pragma: no cover - engines special-case
+        raise ModelError("Inport values are bound by the emitter")
+
+
+@register_block
+class Constant(Block):
+    """A constant-valued source.
+
+    Params:
+        value: the constant (int/float/bool).
+        dtype: data type name (default ``int32`` for ints, else ``double``).
+    """
+
+    type_name = "Constant"
+    n_in = 0
+    n_out = 1
+
+    def validate_params(self) -> None:
+        if "value" not in self.params:
+            raise ModelError("Constant %r needs 'value'" % (self.name,))
+        default = "int32" if isinstance(self.params["value"], (bool, int)) else "double"
+        self.params["dtype"] = _as_dtype(self.params.get("dtype", default))
+        self.params["value"] = wrap(self.params["value"], self.params["dtype"])
+
+    def output_dtypes(self, in_dtypes):
+        return [self.params["dtype"]]
+
+    def output(self, ctx, inputs):
+        return [self.params["value"]]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("k")
+        ctx.line("%s = %r" % (out, self.params["value"]))
+        return [out]
+
+
+@register_block
+class Ground(Block):
+    """A zero source (ties off unused inputs)."""
+
+    type_name = "Ground"
+    n_in = 0
+    n_out = 1
+
+    def validate_params(self) -> None:
+        self.params["dtype"] = _as_dtype(self.params.get("dtype", "double"))
+
+    def output_dtypes(self, in_dtypes):
+        return [self.params["dtype"]]
+
+    def output(self, ctx, inputs):
+        return [self.params["dtype"].zero()]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("k")
+        ctx.line("%s = %r" % (out, self.params["dtype"].zero()))
+        return [out]
+
+
+def _as_dtype(value):
+    if isinstance(value, str):
+        return dtype_by_name(value)
+    return value

@@ -1,0 +1,515 @@
+"""Hierarchy blocks: Subsystem, EnabledSubsystem, TriggeredSubsystem,
+If and SwitchCase action groups.
+
+The If / SwitchCase blocks bundle the Simulink pattern "If block + If
+Action Subsystems + Merge" into a single block whose children are complete
+child models: the block evaluates its selection logic (a mode-(c) branch
+decision), executes exactly one child, and *holds* its outputs (Merge
+semantics) when no branch runs.  Child state only advances on the steps
+the child executes, exactly like conditionally-executed subsystems in
+Simulink.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...dtypes import wrap
+from ...errors import ModelError
+from ..block import Block, register_block
+from ._lang_support import truth_vector
+
+__all__ = [
+    "Subsystem",
+    "EnabledSubsystem",
+    "TriggeredSubsystem",
+    "IfBlock",
+    "SwitchCase",
+]
+
+
+def _model_ports(child):
+    return len(child.inports()), len(child.outports())
+
+
+class _HierBlock(Block):
+    """Shared helpers for blocks owning child models."""
+
+    def _hold_inits(self) -> List[object]:
+        init = self.params.get("init_outputs", 0)
+        n_out = self.n_outputs()
+        if isinstance(init, (list, tuple)):
+            if len(init) != n_out:
+                raise ModelError(
+                    "%s %r: init_outputs length mismatch" % (self.type_name, self.name)
+                )
+            return list(init)
+        return [init] * n_out
+
+
+@register_block
+class Subsystem(_HierBlock):
+    """A virtual subsystem: pure grouping, always executes.
+
+    Params:
+        child: the child :class:`~repro.model.model.Model`.
+    """
+
+    type_name = "Subsystem"
+
+    def validate_params(self) -> None:
+        child = self.params.get("child")
+        if child is None:
+            raise ModelError("Subsystem %r needs 'child'" % (self.name,))
+
+    def n_inputs(self) -> int:
+        return _model_ports(self.params["child"])[0]
+
+    def n_outputs(self) -> int:
+        return _model_ports(self.params["child"])[1]
+
+    def hierarchical_feedthrough(self, child_schedules, in_idx: int) -> bool:
+        return bool(child_schedules[0].ft_matrix.get(in_idx + 1))
+
+    def output(self, ctx, inputs):
+        return ctx.exec_child_outputs(0, inputs)
+
+    def update(self, ctx, inputs):
+        ctx.exec_child_update(0)
+
+    def emit_output(self, ctx, invars):
+        return ctx.emit_child_outputs(0, invars)
+
+    def emit_update(self, ctx, invars):
+        ctx.emit_child_update(0)
+
+
+class _ConditionalSubsystem(_HierBlock):
+    """Common machinery for enable/trigger-gated subsystems."""
+
+    has_state = True
+
+    def validate_params(self) -> None:
+        child = self.params.get("child")
+        if child is None:
+            raise ModelError("%s %r needs 'child'" % (self.type_name, self.name))
+
+    def n_inputs(self) -> int:
+        return 1 + _model_ports(self.params["child"])[0]
+
+    def n_outputs(self) -> int:
+        return _model_ports(self.params["child"])[1]
+
+    def hierarchical_feedthrough(self, child_schedules, in_idx: int) -> bool:
+        if in_idx == 0:
+            return True
+        return bool(child_schedules[0].ft_matrix.get(in_idx))
+
+    def init_state(self):
+        state = {"hold": self._hold_inits(), "active": 0}
+        self._init_extra_state(state)
+        return state
+
+    def _init_extra_state(self, state) -> None:
+        """Hook for subclasses needing more state (e.g. trigger memory)."""
+
+    # ------------------------------------------------------------------ #
+    # gate evaluation — subclasses implement both backends
+    # ------------------------------------------------------------------ #
+    def _gate(self, ctx, control):  # -> bool
+        raise NotImplementedError
+
+    def _emit_gate(self, ctx, control_var) -> str:  # -> 0/1 variable name
+        raise NotImplementedError
+
+    def output(self, ctx, inputs):
+        if self._gate(ctx, inputs[0]):
+            outs = ctx.exec_child_outputs(0, inputs[1:])
+            outs = [wrap(v, ctx.out_dtype(i)) for i, v in enumerate(outs)]
+            ctx.state["hold"] = outs
+            ctx.state["active"] = 1
+            return list(outs)
+        ctx.state["active"] = 0
+        return list(ctx.state["hold"])
+
+    def update(self, ctx, inputs):
+        if ctx.state["active"]:
+            ctx.exec_child_update(0)
+
+    def emit_output(self, ctx, invars):
+        gate = self._emit_gate(ctx, invars[0])
+        ctx.scratch["gate_var"] = gate
+        holds = [
+            ctx.state("hold%d" % i, repr(init))
+            for i, init in enumerate(self._hold_inits())
+        ]
+        with ctx.suite("if %s:" % gate):
+            child_outs = ctx.emit_child_outputs(0, invars[1:])
+            for hold, out, i in zip(holds, child_outs, range(len(holds))):
+                ctx.line("%s = %s" % (hold, ctx.wrap(out, ctx.out_dtype(i))))
+        return holds
+
+    def emit_update(self, ctx, invars):
+        with ctx.suite("if %s:" % ctx.scratch["gate_var"]):
+            ctx.emit_child_update(0)
+
+
+@register_block
+class EnabledSubsystem(_ConditionalSubsystem):
+    """Executes its child while the enable input is positive.
+
+    Inputs: (enable, child inputs...).  Outputs hold while disabled.
+
+    Params:
+        child: the child model.
+        init_outputs: held output value(s) before first activation.
+    """
+
+    type_name = "EnabledSubsystem"
+
+    def declare_branches(self, decl) -> None:
+        cond = decl.condition("enable")
+        decl.mcdc_group("enable", [cond])
+        decl.decision("enabled", ("enabled", "disabled"), control_flow=True)
+
+    def _gate(self, ctx, control) -> bool:
+        enabled = control > 0
+        truth = 1 if enabled else 0
+        ctx.hit_condition(ctx.branches.conditions[0], truth)
+        ctx.hit_mcdc(ctx.branches.mcdc_groups[0], truth_vector([truth]), truth)
+        margin = float(control)
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if enabled else 1,
+            margins={0: margin if margin != 0 else -0.5, 1: -margin},
+        )
+        return enabled
+
+    def _emit_gate(self, ctx, control_var) -> str:
+        gate = ctx.tmp("en")
+        ctx.line("%s = 1 if %s > 0 else 0" % (gate, control_var))
+        ctx.hit_condition(ctx.branches.conditions[0], gate)
+        ctx.hit_mcdc(ctx.branches.mcdc_groups[0], gate, gate)
+        ctx.decision_hit_expr(ctx.branches.decisions[0], "(0 if %s else 1)" % gate)
+        return gate
+
+
+@register_block
+class TriggeredSubsystem(_ConditionalSubsystem):
+    """Executes its child on rising edges of the trigger input.
+
+    Inputs: (trigger, child inputs...).  Outputs hold between triggers.
+    """
+
+    type_name = "TriggeredSubsystem"
+
+    def declare_branches(self, decl) -> None:
+        decl.decision("trigger", ("fired", "idle"), control_flow=True)
+
+    def _init_extra_state(self, state) -> None:
+        state["prev_trig"] = 0
+
+    def _gate(self, ctx, control) -> bool:
+        fired = control > 0 and ctx.state["prev_trig"] <= 0
+        ctx.state["prev_trig"] = 1 if control > 0 else 0
+        margin = float(control) if ctx.state["prev_trig"] == 0 else -1.0
+        ctx.hit_decision(
+            ctx.branches.decisions[0],
+            0 if fired else 1,
+            margins={0: 1.0 if fired else margin, 1: -1.0 if fired else 1.0},
+        )
+        return fired
+
+    def _emit_gate(self, ctx, control_var) -> str:
+        prev = ctx.state("prev_trig", "0")
+        gate = ctx.tmp("trig")
+        ctx.line(
+            "%s = 1 if (%s > 0 and %s <= 0) else 0" % (gate, control_var, prev)
+        )
+        ctx.line("%s = 1 if %s > 0 else 0" % (prev, control_var))
+        ctx.decision_hit_expr(ctx.branches.decisions[0], "(0 if %s else 1)" % gate)
+        return gate
+
+
+class _BranchGroup(_HierBlock):
+    """Common machinery for If / SwitchCase action groups."""
+
+    has_state = True
+
+    def _children_list(self) -> List:
+        raise NotImplementedError
+
+    def _n_select_inputs(self) -> int:
+        raise NotImplementedError
+
+    def validate_params(self) -> None:
+        children = self._children_list()
+        if not children:
+            raise ModelError("%s %r needs children" % (self.type_name, self.name))
+        n_in, n_out = _model_ports(children[0])
+        for child in children[1:]:
+            if _model_ports(child) != (n_in, n_out):
+                raise ModelError(
+                    "%s %r: children port signatures differ"
+                    % (self.type_name, self.name)
+                )
+        if n_out < 1:
+            raise ModelError(
+                "%s %r: children need at least one outport"
+                % (self.type_name, self.name)
+            )
+
+    def n_inputs(self) -> int:
+        return self._n_select_inputs() + _model_ports(self._children_list()[0])[0]
+
+    def n_outputs(self) -> int:
+        return _model_ports(self._children_list()[0])[1]
+
+    def hierarchical_feedthrough(self, child_schedules, in_idx: int) -> bool:
+        n_sel = self._n_select_inputs()
+        if in_idx < n_sel:
+            return True
+        data_port = in_idx - n_sel + 1
+        return any(bool(cs.ft_matrix.get(data_port)) for cs in child_schedules)
+
+    def init_state(self):
+        return {"hold": self._hold_inits(), "active": -1}
+
+    # shared run-one-child helpers ------------------------------------- #
+    def _run_child(self, ctx, child_idx, data_inputs):
+        outs = ctx.exec_child_outputs(child_idx, data_inputs)
+        outs = [wrap(v, ctx.out_dtype(i)) for i, v in enumerate(outs)]
+        ctx.state["hold"] = outs
+        ctx.state["active"] = child_idx
+        return list(outs)
+
+    def update(self, ctx, inputs):
+        if ctx.state["active"] >= 0:
+            ctx.exec_child_update(ctx.state["active"])
+        ctx.state["active"] = -1
+
+    def _emit_run_child(self, ctx, child_idx, data_invars, holds, taken_var):
+        child_outs = ctx.emit_child_outputs(child_idx, data_invars)
+        for i, (hold, out) in enumerate(zip(holds, child_outs)):
+            ctx.line("%s = %s" % (hold, ctx.wrap(out, ctx.out_dtype(i))))
+        ctx.line("%s = %d" % (taken_var, child_idx))
+
+    def emit_update(self, ctx, invars):
+        taken_var = ctx.scratch["taken_var"]
+        n_children = ctx.scratch["n_children"]
+        for idx in range(n_children):
+            header = ("if" if idx == 0 else "elif") + " %s == %d:" % (taken_var, idx)
+            with ctx.suite(header):
+                ctx.emit_child_update(idx)
+
+
+@register_block
+class IfBlock(_BranchGroup):
+    """If / elseif / else action group (paper mode (c)).
+
+    Inputs: (cond1..condN, data inputs...).  The first true condition's
+    child runs; otherwise the else child (if present); otherwise outputs
+    hold.  Conditions are instrumented (mode (a)) and form an MCDC group
+    whose outcome is the taken branch.
+
+    Params:
+        children: one child model per condition.
+        else_child: optional else model.
+        init_outputs: held output value(s).
+    """
+
+    type_name = "If"
+
+    def _children_list(self):
+        children = list(self.params.get("children", ()))
+        if self.params.get("else_child") is not None:
+            children.append(self.params["else_child"])
+        return children
+
+    def _n_select_inputs(self) -> int:
+        return len(self.params.get("children", ()))
+
+    def declare_branches(self, decl) -> None:
+        n = self._n_select_inputs()
+        conditions = [decl.condition("u%d" % (i + 1)) for i in range(n)]
+        decl.mcdc_group("if", conditions, outcome_kind="branch")
+        decl.decision(
+            "if",
+            ["branch%d" % (i + 1) for i in range(n)] + ["else"],
+            control_flow=True,
+        )
+
+    def output(self, ctx, inputs):
+        n = self._n_select_inputs()
+        truths = [1 if v else 0 for v in inputs[:n]]
+        for cond, truth in zip(ctx.branches.conditions, truths):
+            ctx.hit_condition(cond, truth)
+        taken = n
+        for i, truth in enumerate(truths):
+            if truth:
+                taken = i
+                break
+        ctx.hit_mcdc(ctx.branches.mcdc_groups[0], truth_vector(truths), taken)
+        margins = {
+            i: (1.0 if truths[i] else -1.0) for i in range(n)
+        }
+        margins[n] = 1.0 if taken == n else -1.0
+        ctx.hit_decision(ctx.branches.decisions[0], taken, margins=margins)
+        data = inputs[n:]
+        if taken < n:
+            return self._run_child(ctx, taken, data)
+        if self.params.get("else_child") is not None:
+            return self._run_child(ctx, n, data)
+        ctx.state["active"] = -1
+        return list(ctx.state["hold"])
+
+    def emit_output(self, ctx, invars):
+        n = self._n_select_inputs()
+        has_else = self.params.get("else_child") is not None
+        holds = [
+            ctx.state("hold%d" % i, repr(init))
+            for i, init in enumerate(self._hold_inits())
+        ]
+        taken_var = ctx.tmp("taken")
+        ctx.scratch["taken_var"] = taken_var
+        ctx.scratch["n_children"] = n + (1 if has_else else 0)
+        ctx.line("%s = -1" % taken_var)
+        cond_vars = []
+        for i in range(n):
+            cv = ctx.tmp("c")
+            ctx.line("%s = 1 if %s else 0" % (cv, invars[i]))
+            ctx.hit_condition(ctx.branches.conditions[i], cv)
+            cond_vars.append(cv)
+        data = invars[n:]
+        dec = ctx.branches.decisions[0]
+
+        def emit_chain(i):
+            if i < n:
+                with ctx.suite("if %s:" % cond_vars[i]):
+                    ctx.hit_decision(dec, i)
+                    self._emit_run_child(ctx, i, data, holds, taken_var)
+                with ctx.suite("else:"):
+                    emit_chain(i + 1)
+            else:
+                ctx.hit_decision(dec, n)
+                if has_else:
+                    self._emit_run_child(ctx, n, data, holds, taken_var)
+
+        emit_chain(0)
+        if ctx.level == "model":
+            vec = " | ".join(
+                "(%s << %d)" % (cv, i) if i else cv
+                for i, cv in enumerate(cond_vars)
+            )
+            # the MCDC outcome is the taken branch index (else == n); with
+            # no else child taken_var stays -1, which also means "else"
+            first_true = ctx.tmp("ft")
+            ctx.line(
+                "%s = %s if 0 <= %s < %d else %d"
+                % (first_true, taken_var, taken_var, n, n)
+            )
+            ctx.hit_mcdc(ctx.branches.mcdc_groups[0], "(%s)" % vec, first_true)
+        return holds
+
+
+@register_block
+class SwitchCase(_BranchGroup):
+    """Switch-case action group: an integer selector picks the child.
+
+    Inputs: (selector, data inputs...).
+
+    Params:
+        children: one child model per case.
+        case_values: list of value-lists, one per child.
+        default_child: optional default model.
+        init_outputs: held output value(s).
+    """
+
+    type_name = "SwitchCase"
+
+    def _children_list(self):
+        children = list(self.params.get("children", ()))
+        if self.params.get("default_child") is not None:
+            children.append(self.params["default_child"])
+        return children
+
+    def _n_select_inputs(self) -> int:
+        return 1
+
+    def validate_params(self) -> None:
+        super().validate_params()
+        cases = self.params.get("case_values")
+        n_children = len(self.params.get("children", ()))
+        if not cases or len(cases) != n_children:
+            raise ModelError(
+                "SwitchCase %r: case_values must match children" % (self.name,)
+            )
+        seen = set()
+        for values in cases:
+            if not values:
+                raise ModelError("SwitchCase %r: empty case" % (self.name,))
+            for value in values:
+                if value in seen:
+                    raise ModelError(
+                        "SwitchCase %r: duplicate case value %r" % (self.name, value)
+                    )
+                seen.add(value)
+
+    def declare_branches(self, decl) -> None:
+        n = len(self.params["children"])
+        decl.decision(
+            "case",
+            ["case%d" % (i + 1) for i in range(n)] + ["default"],
+            control_flow=True,
+        )
+
+    def output(self, ctx, inputs):
+        selector = int(inputs[0])
+        cases = self.params["case_values"]
+        n = len(cases)
+        taken = n
+        for i, values in enumerate(cases):
+            if selector in values:
+                taken = i
+                break
+        margins = {
+            i: -min(abs(float(selector) - float(v)) for v in values)
+            + (0.5 if i == taken else 0.0)
+            for i, values in enumerate(cases)
+        }
+        margins[n] = 0.5 if taken == n else -1.0
+        ctx.hit_decision(ctx.branches.decisions[0], taken, margins=margins)
+        data = inputs[1:]
+        if taken < n:
+            return self._run_child(ctx, taken, data)
+        if self.params.get("default_child") is not None:
+            return self._run_child(ctx, n, data)
+        ctx.state["active"] = -1
+        return list(ctx.state["hold"])
+
+    def emit_output(self, ctx, invars):
+        cases = self.params["case_values"]
+        n = len(cases)
+        has_default = self.params.get("default_child") is not None
+        holds = [
+            ctx.state("hold%d" % i, repr(init))
+            for i, init in enumerate(self._hold_inits())
+        ]
+        taken_var = ctx.tmp("taken")
+        ctx.scratch["taken_var"] = taken_var
+        ctx.scratch["n_children"] = n + (1 if has_default else 0)
+        ctx.line("%s = -1" % taken_var)
+        selector = ctx.tmp("sel")
+        ctx.line("%s = int(%s)" % (selector, invars[0]))
+        data = invars[1:]
+        dec = ctx.branches.decisions[0]
+        for i, values in enumerate(cases):
+            test = "%s in %r" % (selector, tuple(values))
+            with ctx.suite(("if" if i == 0 else "elif") + " %s:" % test):
+                ctx.hit_decision(dec, i)
+                self._emit_run_child(ctx, i, data, holds, taken_var)
+        with ctx.suite("else:"):
+            ctx.hit_decision(dec, n)
+            if has_default:
+                self._emit_run_child(ctx, n, data, holds, taken_var)
+        return holds

@@ -1,0 +1,187 @@
+"""Time-based waveform sources: Step, Ramp, SineWave.
+
+Discrete-time sources driven by an internal step counter, matching the
+Simulink source blocks of the same names (single-rate, sample time 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...dtypes import DOUBLE
+from ...errors import ModelError
+from ..block import Block, register_block
+
+__all__ = ["StepSource", "RampSource", "SineWave", "Increment", "Decrement"]
+
+
+class _TimeSource(Block):
+    """Shared step-counter machinery for time-based sources."""
+
+    n_in = 0
+    has_state = True
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def init_state(self):
+        return {"k": 0}
+
+    def update(self, ctx, inputs):
+        ctx.state["k"] = ctx.state["k"] + 1
+
+    def _emit_counter(self, ctx) -> str:
+        attr = ctx.state("k", "0")
+        ctx.scratch["attr"] = attr
+        return attr
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        ctx.line("%s = %s + 1" % (attr, attr))
+
+
+@register_block
+class StepSource(Block):
+    """Outputs ``before`` until step ``at``, then ``after``.
+
+    Params:
+        at: step index of the transition (default 1).
+        before / after: output levels (defaults 0.0 / 1.0).
+    """
+
+    type_name = "Step"
+    n_in = 0
+    has_state = True
+
+    def validate_params(self) -> None:
+        self.params.setdefault("at", 1)
+        self.params.setdefault("before", 0.0)
+        self.params.setdefault("after", 1.0)
+        if self.params["at"] < 0:
+            raise ModelError("Step %r needs at >= 0" % (self.name,))
+
+    def output_dtypes(self, in_dtypes):
+        return [DOUBLE]
+
+    def init_state(self):
+        return {"k": 0}
+
+    def output(self, ctx, inputs):
+        before, after = self.params["before"], self.params["after"]
+        return [float(after if ctx.state["k"] >= self.params["at"] else before)]
+
+    def update(self, ctx, inputs):
+        ctx.state["k"] = ctx.state["k"] + 1
+
+    def emit_output(self, ctx, invars):
+        attr = ctx.state("k", "0")
+        ctx.scratch["attr"] = attr
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = float(%r if %s >= %r else %r)"
+            % (out, self.params["after"], attr, self.params["at"], self.params["before"])
+        )
+        return [out]
+
+    def emit_update(self, ctx, invars):
+        attr = ctx.scratch["attr"]
+        ctx.line("%s = %s + 1" % (attr, attr))
+
+
+@register_block
+class RampSource(_TimeSource):
+    """Outputs ``start + slope * k`` for step index k.
+
+    Params:
+        slope: per-step increment (default 1.0).
+        start: initial value (default 0.0).
+    """
+
+    type_name = "Ramp"
+
+    def validate_params(self) -> None:
+        self.params.setdefault("slope", 1.0)
+        self.params.setdefault("start", 0.0)
+
+    def output(self, ctx, inputs):
+        return [float(self.params["start"] + self.params["slope"] * ctx.state["k"])]
+
+    def emit_output(self, ctx, invars):
+        attr = self._emit_counter(ctx)
+        out = ctx.tmp("o")
+        ctx.line(
+            "%s = float(%r + %r * %s)"
+            % (out, self.params["start"], self.params["slope"], attr)
+        )
+        return [out]
+
+
+@register_block
+class SineWave(_TimeSource):
+    """Outputs ``amplitude * sin(2*pi*k/period) + bias``.
+
+    Params:
+        amplitude: default 1.0.
+        period: steps per cycle (default 16, >= 2).
+        bias: default 0.0.
+    """
+
+    type_name = "SineWave"
+
+    def validate_params(self) -> None:
+        self.params.setdefault("amplitude", 1.0)
+        self.params.setdefault("period", 16)
+        self.params.setdefault("bias", 0.0)
+        if self.params["period"] < 2:
+            raise ModelError("SineWave %r needs period >= 2" % (self.name,))
+
+    def output(self, ctx, inputs):
+        k = ctx.state["k"]
+        value = self.params["amplitude"] * math.sin(
+            2.0 * math.pi * k / self.params["period"]
+        ) + self.params["bias"]
+        return [float(value)]
+
+    def emit_output(self, ctx, invars):
+        attr = self._emit_counter(ctx)
+        out = ctx.tmp("o")
+        omega = 2.0 * math.pi / self.params["period"]
+        ctx.line(
+            "%s = float(%r * _f_sin(%r * %s) + %r)"
+            % (out, self.params["amplitude"], omega, attr, self.params["bias"])
+        )
+        return [out]
+
+
+@register_block
+class Increment(Block):
+    """y = u + 1, wrapped to the input type."""
+
+    type_name = "Increment"
+
+    def output(self, ctx, inputs):
+        from ...dtypes import wrap
+
+        return [wrap(inputs[0] + 1, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap("(%s + 1)" % invars[0], ctx.out_dtype(0))))
+        return [out]
+
+
+@register_block
+class Decrement(Block):
+    """y = u - 1, wrapped to the input type."""
+
+    type_name = "Decrement"
+
+    def output(self, ctx, inputs):
+        from ...dtypes import wrap
+
+        return [wrap(inputs[0] - 1, ctx.out_dtype(0))]
+
+    def emit_output(self, ctx, invars):
+        out = ctx.tmp("o")
+        ctx.line("%s = %s" % (out, ctx.wrap("(%s - 1)" % invars[0], ctx.out_dtype(0))))
+        return [out]

@@ -1,0 +1,146 @@
+"""Fluent construction API for models.
+
+The benchmark models and the examples build diagrams through
+:class:`ModelBuilder`, which removes the port-index bookkeeping of the raw
+:class:`~repro.model.model.Model` API:
+
+>>> from repro.model import ModelBuilder
+>>> b = ModelBuilder("demo")
+>>> enable = b.inport("Enable", "boolean")
+>>> power = b.inport("Power", "int32")
+>>> limited = b.block("Saturation", "Limit", lower=0, upper=1000)(power)
+>>> gated = b.block("Switch", "Gate", threshold=1)(limited, enable, b.const(0))
+>>> b.outport("Out", gated)
+>>> model = b.build()
+
+Calling the object returned by :meth:`block` wires its inputs and returns
+the block's output signal handle (or a tuple of handles for multi-output
+blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import ModelError
+from .block import block_registry
+from .model import Model
+
+__all__ = ["ModelBuilder", "Signal"]
+
+
+class Signal:
+    """A handle to one block output port inside a builder."""
+
+    __slots__ = ("builder", "block_name", "port")
+
+    def __init__(self, builder: "ModelBuilder", block_name: str, port: int):
+        self.builder = builder
+        self.block_name = block_name
+        self.port = port
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Signal %s:%d>" % (self.block_name, self.port)
+
+
+class _BlockHandle:
+    """Callable wrapper returned by :meth:`ModelBuilder.block`."""
+
+    def __init__(self, builder: "ModelBuilder", block_name: str):
+        self._builder = builder
+        self._block_name = block_name
+
+    def __call__(self, *inputs: Signal) -> Union[Signal, Tuple[Signal, ...]]:
+        return self._builder.wire(self._block_name, list(inputs))
+
+    def out(self, port: int) -> Signal:
+        """Handle to a specific output port (for multi-output blocks)."""
+        return Signal(self._builder, self._block_name, port)
+
+
+class ModelBuilder:
+    """Builds a :class:`Model` incrementally; see module docstring."""
+
+    def __init__(self, name: str):
+        self.model = Model(name)
+        self._registry = block_registry()
+        self._anon_counter = 0
+        self._inport_index = 0
+        self._outport_index = 0
+
+    # ------------------------------------------------------------------ #
+    # block creation
+    # ------------------------------------------------------------------ #
+    def block(self, type_name: str, name: Optional[str] = None, **params) -> _BlockHandle:
+        """Add a block of ``type_name``; returns a callable wiring handle."""
+        if type_name not in self._registry:
+            raise ModelError("unknown block type: %r" % (type_name,))
+        if name is None:
+            self._anon_counter += 1
+            name = "%s_%d" % (type_name, self._anon_counter)
+        block = self._registry[type_name](name, **params)
+        self.model.add_block(block)
+        return _BlockHandle(self, name)
+
+    def inport(self, name: str, dtype: str = "double", **params) -> Signal:
+        """Add a top-level Inport and return its output signal.
+
+        Extra keyword params (e.g. ``range=(low, high)`` for the
+        tester-declared value range) pass through to the Inport block.
+        """
+        self._inport_index += 1
+        handle = self.block(
+            "Inport", name, index=self._inport_index, dtype=dtype, **params
+        )
+        return handle.out(0)
+
+    def outport(self, name: str, signal: Signal) -> None:
+        """Add an Outport fed by ``signal``."""
+        self._outport_index += 1
+        handle = self.block("Outport", name, index=self._outport_index)
+        handle(signal)
+
+    def const(self, value, dtype: str = None, name: Optional[str] = None) -> Signal:
+        """Add a Constant block and return its output signal.
+
+        The data type defaults to ``int32`` for integral Python values and
+        ``double`` otherwise.
+        """
+        if dtype is None:
+            dtype = "int32" if isinstance(value, (int, bool)) else "double"
+        handle = self.block("Constant", name, value=value, dtype=dtype)
+        return handle.out(0)
+
+    def subsystem(self, name: str, child: Model, *inputs: Signal, type_name: str = "Subsystem", **params):
+        """Add a subsystem block around an already-built child model."""
+        handle = self.block(type_name, name, child=child, **params)
+        return handle(*inputs)
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def wire(self, block_name: str, inputs: List[Signal]) -> Union[Signal, Tuple[Signal, ...]]:
+        """Connect ``inputs`` to ``block_name``'s ports in order."""
+        block = self.model.blocks[block_name]
+        if len(inputs) != block.n_inputs():
+            raise ModelError(
+                "block %r expects %d inputs, got %d"
+                % (block_name, block.n_inputs(), len(inputs))
+            )
+        for i, sig in enumerate(inputs):
+            if sig.builder is not self:
+                raise ModelError("signal from a different builder")
+            self.model.connect(sig.block_name, sig.port, block_name, i)
+        outs = tuple(Signal(self, block_name, i) for i in range(block.n_outputs()))
+        if len(outs) == 1:
+            return outs[0]
+        return outs
+
+    # ------------------------------------------------------------------ #
+    # finalization
+    # ------------------------------------------------------------------ #
+    def build(self, validate: bool = True) -> Model:
+        """Return the built model, validated by default."""
+        if validate:
+            self.model.validate()
+        return self.model

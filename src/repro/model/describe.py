@@ -1,0 +1,104 @@
+"""Human-readable model descriptions (the CLI's ``show`` command).
+
+Renders a model as an indented tree of blocks with their key parameters,
+plus a summary of the branch elements the schedule extracts — the quick
+orientation a tester needs before pointing a generator at a model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import Model, child_models
+
+__all__ = ["describe_model", "describe_schedule"]
+
+#: parameters worth surfacing inline, per block type
+_KEY_PARAMS = {
+    "Inport": ("index", "dtype", "range"),
+    "Outport": ("index",),
+    "Constant": ("value",),
+    "Gain": ("gain",),
+    "Bias": ("bias",),
+    "Sum": ("signs",),
+    "Product": ("ops",),
+    "Saturation": ("lower", "upper"),
+    "DeadZone": ("start", "end"),
+    "RateLimiter": ("rising", "falling"),
+    "Relay": ("on_point", "off_point"),
+    "Switch": ("criterion", "threshold"),
+    "MultiportSwitch": ("n_cases",),
+    "Logical": ("op", "n_in"),
+    "Relational": ("op",),
+    "CompareToConstant": ("op", "value"),
+    "UnitDelay": ("init",),
+    "Delay": ("steps",),
+    "DiscreteIntegrator": ("gain", "lower", "upper"),
+    "Chart": ("states", "initial"),
+    "SwitchCase": ("case_values",),
+}
+
+
+def _param_summary(block) -> str:
+    keys = _KEY_PARAMS.get(block.type_name, ())
+    parts = []
+    for key in keys:
+        if key in block.params and block.params[key] is not None:
+            value = block.params[key]
+            text = getattr(value, "name", None) or repr(value)
+            if len(text) > 40:
+                text = text[:37] + "..."
+            parts.append("%s=%s" % (key, text))
+    return "  [%s]" % ", ".join(parts) if parts else ""
+
+
+def describe_model(model: Model, indent: int = 0) -> str:
+    """An indented tree of blocks (children nested under their owner)."""
+    pad = "  " * indent
+    lines: List[str] = []
+    if indent == 0:
+        lines.append(
+            "%s (%d blocks, %d connections)"
+            % (model.name, model.block_count(), len(model.connections))
+        )
+    for block in model.blocks.values():
+        lines.append(
+            "%s- %s: %s%s" % (pad, block.name, block.type_name, _param_summary(block))
+        )
+        for child in child_models(block):
+            lines.append("%s    <%s>" % (pad, child.model_name if hasattr(child, "model_name") else child.name))
+            lines.append(describe_model(child, indent + 3))
+    return "\n".join(lines)
+
+
+def describe_schedule(schedule) -> str:
+    """Branch-element summary of a converted schedule."""
+    db = schedule.branch_db
+    lines = [
+        "model %r" % schedule.model.name,
+        "  inport tuple: %d bytes" % schedule.layout.size,
+    ]
+    for field in schedule.layout.fields:
+        extra = "  range=%s" % (field.vrange,) if field.vrange else ""
+        lines.append(
+            "    %-16s %-8s offset %d%s"
+            % (field.name, field.dtype.name, field.offset, extra)
+        )
+    lines.append(
+        "  branch elements: %d decisions (%d outcomes), %d conditions, "
+        "%d MCDC groups, %d probes"
+        % (
+            len(db.decisions),
+            db.n_decision_outcomes,
+            len(db.conditions),
+            len(db.mcdc_groups),
+            db.n_probes,
+        )
+    )
+    for decision in db.decisions:
+        lines.append(
+            "    decision %-34s %s"
+            % ("%s:%s" % (decision.block_path, decision.label),
+               "/".join(decision.outcomes))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""The Model container: named blocks plus connections.
+
+A model is one level of a block diagram.  Hierarchy is expressed by
+``Subsystem``-family blocks whose ``child`` parameter is another
+:class:`Model`.  The container is deliberately dumb — scheduling, typing
+and branch extraction live in :mod:`repro.schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ModelError
+from .block import Block
+
+__all__ = ["Connection", "Model", "child_models"]
+
+
+def child_models(block: Block) -> List["Model"]:
+    """The child models nested inside a block, in a deterministic order.
+
+    Subsystem-family blocks store one child under ``params["child"]``;
+    If/SwitchCase action groups store a list under ``params["children"]``
+    plus an optional ``params["else_child"]`` / ``params["default_child"]``.
+    """
+    children: List[Model] = []
+    child = block.params.get("child")
+    if isinstance(child, Model):
+        children.append(child)
+    for item in block.params.get("children", ()):
+        if isinstance(item, Model):
+            children.append(item)
+    for key in ("else_child", "default_child"):
+        extra = block.params.get(key)
+        if isinstance(extra, Model):
+            children.append(extra)
+    return children
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A signal line from ``src`` block's output port to ``dst``'s input."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s:%d -> %s:%d" % (self.src, self.src_port, self.dst, self.dst_port)
+
+
+class Model:
+    """One level of a block diagram.
+
+    Attributes:
+        name: model (or subsystem) name.
+        blocks: insertion-ordered mapping of block name → block instance.
+        connections: list of :class:`Connection`.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ModelError("model name must be non-empty")
+        self.name = name
+        self.blocks: Dict[str, Block] = {}
+        self.connections: List[Connection] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_block(self, block: Block) -> Block:
+        if block.name in self.blocks:
+            raise ModelError(
+                "duplicate block name %r in model %r" % (block.name, self.name)
+            )
+        self.blocks[block.name] = block
+        return block
+
+    def connect(self, src: str, src_port: int, dst: str, dst_port: int) -> Connection:
+        """Wire ``src:src_port`` to ``dst:dst_port`` with validation."""
+        for name, role in ((src, "source"), (dst, "destination")):
+            if name not in self.blocks:
+                raise ModelError(
+                    "unknown %s block %r in model %r" % (role, name, self.name)
+                )
+        if not 0 <= src_port < self.blocks[src].n_outputs():
+            raise ModelError(
+                "bad output port %d on block %r" % (src_port, src)
+            )
+        if not 0 <= dst_port < self.blocks[dst].n_inputs():
+            raise ModelError("bad input port %d on block %r" % (dst_port, dst))
+        if self.driver_of(dst, dst_port) is not None:
+            raise ModelError(
+                "input port %s:%d already driven" % (dst, dst_port)
+            )
+        conn = Connection(src, src_port, dst, dst_port)
+        self.connections.append(conn)
+        return conn
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def driver_of(self, dst: str, dst_port: int) -> Optional[Tuple[str, int]]:
+        """The (block, port) driving an input port, or None if unconnected."""
+        for conn in self.connections:
+            if conn.dst == dst and conn.dst_port == dst_port:
+                return (conn.src, conn.src_port)
+        return None
+
+    def consumers_of(self, src: str, src_port: int) -> List[Tuple[str, int]]:
+        """All (block, port) inputs fed by an output port."""
+        return [
+            (c.dst, c.dst_port)
+            for c in self.connections
+            if c.src == src and c.src_port == src_port
+        ]
+
+    def blocks_of_type(self, type_name: str) -> List[Block]:
+        """Blocks (this level only) whose template type is ``type_name``."""
+        return [b for b in self.blocks.values() if b.type_name == type_name]
+
+    def inports(self) -> List[Block]:
+        """Inport blocks of this level, sorted by their port ``index``."""
+        ports = self.blocks_of_type("Inport")
+        return sorted(ports, key=lambda b: b.params["index"])
+
+    def outports(self) -> List[Block]:
+        """Outport blocks of this level, sorted by their port ``index``."""
+        ports = self.blocks_of_type("Outport")
+        return sorted(ports, key=lambda b: b.params["index"])
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, Block]]:
+        """Yield ``(hierarchical_path, block)`` over this model and children."""
+        for block in self.blocks.values():
+            path = prefix + block.name
+            yield path, block
+            for child in child_models(block):
+                yield from child.walk(path + "/" + child.name + "/")
+
+    def block_count(self) -> int:
+        """Total number of blocks including nested subsystems."""
+        return sum(1 for _ in self.walk())
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Structural validation of this level and all children.
+
+        Checks that every input port is driven, that Inport/Outport indices
+        are dense, and recurses into subsystem children.
+        """
+        for block in self.blocks.values():
+            for i in range(block.n_inputs()):
+                if self.driver_of(block.name, i) is None:
+                    raise ModelError(
+                        "unconnected input %s:%d in model %r"
+                        % (block.name, i, self.name)
+                    )
+        for role, ports in (("Inport", self.inports()), ("Outport", self.outports())):
+            indices = [p.params["index"] for p in ports]
+            if indices != list(range(1, len(indices) + 1)):
+                raise ModelError(
+                    "%s indices of model %r must be 1..N, got %s"
+                    % (role, self.name, indices)
+                )
+        for block in self.blocks.values():
+            for child in child_models(block):
+                child.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Model %r: %d blocks, %d connections>" % (
+            self.name,
+            len(self.blocks),
+            len(self.connections),
+        )

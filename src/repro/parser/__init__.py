@@ -1,0 +1,18 @@
+"""Model Parser stage (paper Fig. 2, left column).
+
+Turns a loaded SLX-like XML document into the model IR and extracts the
+**inport information** that drives fuzz driver generation: the ordered,
+typed field layout of one model iteration's input data (one *tuple* in the
+paper's terminology).
+"""
+
+from .inport_info import InportField, TupleLayout, tuple_layout
+from .model_parser import model_from_xml, model_to_xml
+
+__all__ = [
+    "InportField",
+    "TupleLayout",
+    "tuple_layout",
+    "model_from_xml",
+    "model_to_xml",
+]

@@ -1,0 +1,126 @@
+"""Inport field extraction.
+
+The fuzz driver splits the fuzzer's byte stream into *tuples*: one tuple
+carries the data for all top-level inports of one model iteration, fields
+laid out in inport-index order (exactly the ``memcpy`` offsets of the
+paper's Figure 3 driver).  :class:`TupleLayout` is that layout, shared by
+the fuzz driver generator, the field-wise mutator and the CSV converter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..dtypes import DType, dtype_by_name
+from ..errors import ModelError
+
+__all__ = ["InportField", "TupleLayout", "tuple_layout"]
+
+
+@dataclass(frozen=True)
+class InportField:
+    """One top-level inport's slot inside a tuple.
+
+    ``vrange`` is the optional tester-declared value range of the inport
+    (paper §5, "Validity of randomized values"): when present, the
+    field-wise mutator constrains generated values to it, shrinking the
+    random exploration space.
+    """
+
+    name: str
+    dtype: DType
+    offset: int
+    vrange: object = None  # Optional[(low, high)]
+
+    @property
+    def size(self) -> int:
+        return self.dtype.size
+
+    def clamp(self, value):
+        """Clamp a value into the declared range (identity when unset)."""
+        if self.vrange is None:
+            return value
+        low, high = self.vrange
+        if value < low:
+            return low
+        if value > high:
+            return high
+        return value
+
+
+class TupleLayout:
+    """Ordered field layout of one model-iteration input tuple.
+
+    A source-only model (no inports) has an empty layout of size 0; such
+    models can be scheduled, compiled and simulated, but the fuzzing
+    engine rejects them (there is nothing to mutate).
+    """
+
+    def __init__(self, fields: List[InportField]):
+        self.fields = list(fields)
+        self.size = fields[-1].offset + fields[-1].size if fields else 0
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[InportField]:
+        return iter(self.fields)
+
+    def __getitem__(self, index: int) -> InportField:
+        return self.fields[index]
+
+    # ------------------------------------------------------------------ #
+    # value <-> bytes
+    # ------------------------------------------------------------------ #
+    def pack_tuple(self, values: Tuple) -> bytes:
+        """Pack one iteration's inport values into tuple bytes."""
+        if len(values) != len(self.fields):
+            raise ModelError(
+                "expected %d values, got %d" % (len(self.fields), len(values))
+            )
+        return b"".join(
+            field.dtype.pack(value) for field, value in zip(self.fields, values)
+        )
+
+    def unpack_tuple(self, data: bytes, base: int = 0) -> Tuple:
+        """Unpack one tuple's field values from ``data`` at ``base``."""
+        return tuple(
+            field.dtype.unpack(data, base + field.offset) for field in self.fields
+        )
+
+    def iter_tuples(self, data: bytes) -> Iterator[Tuple]:
+        """Yield decoded tuples; a trailing partial tuple is discarded.
+
+        This is the driver's data segmentation rule: "the remaining data
+        should be discarded" when the stream cannot fill all ports.
+        """
+        if self.size == 0:
+            return
+        count = len(data) // self.size
+        for i in range(count):
+            yield self.unpack_tuple(data, i * self.size)
+
+    def pack_stream(self, rows: List[Tuple]) -> bytes:
+        """Pack a whole test case (list of per-iteration value tuples)."""
+        return b"".join(self.pack_tuple(row) for row in rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join("%s:%s" % (f.name, f.dtype.name) for f in self.fields)
+        return "<TupleLayout %d bytes [%s]>" % (self.size, parts)
+
+
+def tuple_layout(model) -> TupleLayout:
+    """Compute the tuple layout from a model's top-level inports."""
+    fields: List[InportField] = []
+    offset = 0
+    for port in model.inports():
+        dtype = port.params["dtype"]
+        if isinstance(dtype, str):
+            dtype = dtype_by_name(dtype)
+        vrange = port.params.get("range")
+        if vrange is not None:
+            vrange = (vrange[0], vrange[1])
+        fields.append(InportField(port.name, dtype, offset, vrange))
+        offset += dtype.size
+    return TupleLayout(fields)

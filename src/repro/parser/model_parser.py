@@ -1,0 +1,140 @@
+"""Model document ⇄ model IR conversion.
+
+Document shape (one ``<Model>`` element per diagram level)::
+
+    <Model name="SolarPV">
+      <Block type="Inport" name="Enable">
+        <P name="index">1</P>
+        <P name="dtype">"boolean"</P>      <!-- JSON-encoded values -->
+      </Block>
+      <Block type="Subsystem" name="Ctl">
+        <Child key="child"><Model name="inner">...</Model></Child>
+      </Block>
+      <Line src="Enable" srcPort="0" dst="Ctl" dstPort="0"/>
+    </Model>
+
+Parameter values are JSON; :class:`~repro.dtypes.DType` objects serialize
+as their names (every dtype-valued parameter accepts a name string, so the
+round trip is lossless).  Child models nest as ``<Child key="...">`` for
+single-child params and ``<Children key="...">`` for child lists.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dtypes import DType
+from ..errors import ParseError
+from ..model.block import block_registry
+from ..model.model import Model
+from ..slx.xmlparse import XmlNode
+
+__all__ = ["model_to_xml", "model_from_xml"]
+
+#: parameters holding a single child model / a list of child models
+_CHILD_KEYS = ("child", "else_child", "default_child")
+_CHILDREN_KEYS = ("children",)
+#: parameters never serialized.  NB: ``n_in``/``n_out`` ARE serialized —
+#: for some blocks (Logical, MinMax, MultiportSwitch) they are real user
+#: parameters; validators that derive them simply overwrite on reload.
+_SKIP_KEYS = ()
+
+
+def _encode_value(value):
+    """JSON-encode a param value, mapping DTypes to their names."""
+    def default(obj):
+        if isinstance(obj, DType):
+            return obj.name
+        raise TypeError("unserializable param value: %r" % (obj,))
+
+    if isinstance(value, DType):
+        return json.dumps(value.name)
+    return json.dumps(value, default=default)
+
+
+def model_to_xml(model: Model) -> XmlNode:
+    """Serialize a model (and all nested children) to a document tree."""
+    node = XmlNode("Model", {"name": model.name})
+    for block in model.blocks.values():
+        block_node = node.add(
+            XmlNode("Block", {"type": block.type_name, "name": block.name})
+        )
+        for key, value in block.params.items():
+            if key in _SKIP_KEYS:
+                continue
+            if key in _CHILD_KEYS and isinstance(value, Model):
+                child = block_node.add(XmlNode("Child", {"key": key}))
+                child.add(model_to_xml(value))
+            elif key in _CHILDREN_KEYS:
+                children = block_node.add(XmlNode("Children", {"key": key}))
+                for item in value:
+                    children.add(model_to_xml(item))
+            else:
+                param = block_node.add(XmlNode("P", {"name": key}))
+                param.text = _encode_value(value)
+    for conn in model.connections:
+        node.add(
+            XmlNode(
+                "Line",
+                {
+                    "src": conn.src,
+                    "srcPort": str(conn.src_port),
+                    "dst": conn.dst,
+                    "dstPort": str(conn.dst_port),
+                },
+            )
+        )
+    return node
+
+
+def model_from_xml(node: XmlNode) -> Model:
+    """Parse a document tree back into a model IR (blocks re-validated)."""
+    if node.tag != "Model":
+        raise ParseError("expected <Model>, got <%s>" % node.tag)
+    name = node.attrs.get("name")
+    if not name:
+        raise ParseError("<Model> missing name attribute")
+    registry = block_registry()
+    model = Model(name)
+    for block_node in node.find_all("Block"):
+        type_name = block_node.attrs.get("type")
+        block_name = block_node.attrs.get("name")
+        if type_name not in registry:
+            raise ParseError("unknown block type %r" % (type_name,))
+        params = {}
+        for param in block_node.find_all("P"):
+            key = param.attrs.get("name")
+            try:
+                params[key] = _decode_json(param.text)
+            except ValueError as exc:
+                raise ParseError(
+                    "bad value for param %s of block %s: %s" % (key, block_name, exc)
+                ) from None
+        for child_node in block_node.find_all("Child"):
+            inner = child_node.find("Model")
+            if inner is None:
+                raise ParseError("<Child> without <Model>")
+            params[child_node.attrs["key"]] = model_from_xml(inner)
+        for children_node in block_node.find_all("Children"):
+            params[children_node.attrs["key"]] = [
+                model_from_xml(inner) for inner in children_node.find_all("Model")
+            ]
+        model.add_block(registry[type_name](block_name, **params))
+    for line in node.find_all("Line"):
+        model.connect(
+            line.attrs["src"],
+            int(line.attrs["srcPort"]),
+            line.attrs["dst"],
+            int(line.attrs["dstPort"]),
+        )
+    return model
+
+
+def _decode_json(text: str):
+    value = json.loads(text)
+    return _lists_to_tuples_where_needed(value)
+
+
+def _lists_to_tuples_where_needed(value):
+    """JSON has no tuples; block validators normalize, so pass through."""
+    return value

@@ -1,0 +1,28 @@
+"""Schedule Convert stage (paper Fig. 2): execution ordering + BranchDB.
+
+Converts a model into an executable schedule — a topological ordering of
+each diagram level over direct-feedthrough edges, with separate output and
+update phases — and extracts the **model-level branch information** used
+for instrumentation: every decision, condition and MCDC group, each mapped
+to coverage probe ids.
+"""
+
+from .branches import (
+    BranchDB,
+    BranchDeclarator,
+    Condition,
+    Decision,
+    McdcGroup,
+)
+from .schedule import ModelSchedule, Schedule, convert
+
+__all__ = [
+    "BranchDB",
+    "BranchDeclarator",
+    "Condition",
+    "Decision",
+    "McdcGroup",
+    "ModelSchedule",
+    "Schedule",
+    "convert",
+]

@@ -1,0 +1,85 @@
+"""Dependency-graph utilities for one diagram level.
+
+The execution order of a level is a topological sort of its blocks over
+*direct-feedthrough* edges only: an edge src→dst exists when dst reads the
+src signal in its output phase.  State blocks (UnitDelay, Memory, ...)
+read their inputs only in the update phase, which is what legally breaks
+feedback loops; a cycle over feedthrough edges is an algebraic loop and is
+rejected, as Simulink's discrete scheduler would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..errors import ScheduleError
+
+__all__ = ["topological_order", "reachable_inports"]
+
+
+def topological_order(
+    block_names: Sequence[str],
+    edges: Dict[str, Set[str]],
+) -> List[str]:
+    """Kahn's algorithm with insertion-order tie-breaking.
+
+    ``edges[src]`` is the set of blocks that must run after ``src``.
+    Deterministic: among ready blocks, the one earliest in ``block_names``
+    runs first, so schedules (and therefore probe ids and generated code)
+    are stable across runs.
+    """
+    indegree = {name: 0 for name in block_names}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            indegree[dst] += 1
+    order: List[str] = []
+    ready = [name for name in block_names if indegree[name] == 0]
+    while ready:
+        current = ready.pop(0)
+        order.append(current)
+        newly_ready = []
+        for dst in edges.get(current, ()):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                newly_ready.append(dst)
+        # preserve global insertion order among the newly ready
+        if newly_ready:
+            ready.extend(newly_ready)
+            position = {name: i for i, name in enumerate(block_names)}
+            ready.sort(key=lambda name: position[name])
+    if len(order) != len(block_names):
+        stuck = sorted(set(block_names) - set(order))
+        raise ScheduleError(
+            "algebraic loop involving blocks: %s" % ", ".join(stuck)
+        )
+    return order
+
+
+def reachable_inports(
+    order: Sequence[str],
+    feedthrough_inputs: Dict[str, List[bool]],
+    drivers: Dict[tuple, tuple],
+    inport_indices: Dict[str, int],
+) -> Dict[str, Set[int]]:
+    """Which level inports each block's outputs depend on via feedthrough.
+
+    Used to build a subsystem's inport→outport feedthrough matrix.
+    ``drivers[(block, in_port)]`` is the (src_block, src_port) pair;
+    ``inport_indices`` maps Inport block names to their 1-based index.
+    Returns block name → set of inport indices (all outputs of a block are
+    treated uniformly, a safe over-approximation).
+    """
+    depends: Dict[str, Set[int]] = {}
+    for name in order:
+        if name in inport_indices:
+            depends[name] = {inport_indices[name]}
+            continue
+        deps: Set[int] = set()
+        for in_idx, is_feedthrough in enumerate(feedthrough_inputs[name]):
+            if not is_feedthrough:
+                continue
+            src = drivers.get((name, in_idx))
+            if src is not None:
+                deps |= depends.get(src[0], set())
+        depends[name] = deps
+    return depends

@@ -1,0 +1,23 @@
+"""Dynamic model simulation (the interpreted execution path).
+
+This engine walks the schedule block-by-block each step — the Python
+analogue of Simulink's interpretive simulation.  It is deliberately the
+*slow* path: the SimCoTest and SLDV baselines are built on it, while CFTCG
+runs generated code, reproducing the speed asymmetry at the heart of the
+paper's evaluation.
+
+It is also the semantic reference: the test suite cross-validates compiled
+programs against this interpreter on random models and inputs (the
+paper's "comparing simulation results with code execution results").
+"""
+
+from .interpreter import BlockContext, ModelInstance
+from .signals import SignalSpec, render_signal, signal_catalog
+
+__all__ = [
+    "BlockContext",
+    "ModelInstance",
+    "SignalSpec",
+    "render_signal",
+    "signal_catalog",
+]

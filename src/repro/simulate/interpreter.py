@@ -1,0 +1,234 @@
+"""The interpreted execution engine.
+
+:class:`ModelInstance` executes a converted schedule step by step: per
+level, every block's output phase in schedule order, then (at step end)
+every block's update phase.  Hierarchical blocks execute their children
+through context callbacks, so conditional-execution semantics live in the
+block templates, shared with the code generator.
+
+Coverage probes are recorded into a :class:`CoverageRecorder`; an optional
+``distance_hook`` receives per-decision branch-distance margins — the
+feedback channel of the constraint-directed (SLDV-like) baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..coverage.recorder import CoverageRecorder
+from ..dtypes import wrap
+from ..errors import SimulationError
+from ..schedule.schedule import ModelSchedule, Schedule
+
+__all__ = ["BlockContext", "ModelInstance"]
+
+
+class BlockContext:
+    """Execution context bound to one block instance (one path)."""
+
+    __slots__ = (
+        "block",
+        "path",
+        "branches",
+        "state",
+        "scratch",
+        "_recorder",
+        "_distance_hook",
+        "_in_dtypes",
+        "_out_dtypes",
+        "_child_rts",
+    )
+
+    def __init__(self, block, path, branches, recorder, distance_hook,
+                 in_dtypes, out_dtypes, child_rts):
+        self.block = block
+        self.path = path
+        self.branches = branches
+        self.state = block.init_state() or {}
+        self.scratch: dict = {}
+        self._recorder = recorder
+        self._distance_hook = distance_hook
+        self._in_dtypes = in_dtypes
+        self._out_dtypes = out_dtypes
+        self._child_rts = child_rts
+
+    # ------------------------------------------------------------------ #
+    # probes
+    # ------------------------------------------------------------------ #
+    def hit_decision(self, decision, outcome_idx: int, margins=None) -> None:
+        if self._recorder is not None:
+            self._recorder.hit(decision.probe(outcome_idx))
+        if self._distance_hook is not None:
+            self._distance_hook(decision, outcome_idx, margins)
+
+    def hit_condition(self, condition, value) -> None:
+        if self._recorder is not None:
+            self._recorder.hit(condition.probe(1 if value else 0))
+
+    def hit_mcdc(self, group, vector: int, outcome: int) -> None:
+        if self._recorder is not None:
+            self._recorder.record_mcdc(group.id, vector, outcome)
+
+    # ------------------------------------------------------------------ #
+    # dtypes
+    # ------------------------------------------------------------------ #
+    def out_dtype(self, port: int = 0):
+        return self._out_dtypes[port] if port < len(self._out_dtypes) else None
+
+    def in_dtype(self, port: int):
+        return self._in_dtypes[port] if port < len(self._in_dtypes) else None
+
+    # ------------------------------------------------------------------ #
+    # hierarchy
+    # ------------------------------------------------------------------ #
+    def exec_child_outputs(self, child_idx: int, inputs: List) -> List:
+        return self._child_rts[child_idx].run_output_phase(inputs)
+
+    def exec_child_update(self, child_idx: int) -> None:
+        self._child_rts[child_idx].run_update_phase()
+
+    def reset(self) -> None:
+        """Re-run model initialization for this block."""
+        self.state = self.block.init_state() or {}
+        self.scratch = {}
+        for child in self._child_rts or ():
+            child.reset()
+
+
+class _LevelRuntime:
+    """Runtime state of one diagram level."""
+
+    def __init__(self, sched: ModelSchedule, prefix: str, recorder,
+                 distance_hook, branch_db, monitor=None):
+        self.sched = sched
+        self.prefix = prefix
+        self.monitor = monitor
+        self.contexts: Dict[str, BlockContext] = {}
+        self._values: Dict[Tuple[str, int], object] = {}
+        model = sched.model
+        self._inports = model.inports()
+        self._outport_srcs = [
+            sched.drivers[(port.name, 0)] for port in model.outports()
+        ]
+        self._exec_order = [
+            name
+            for name in sched.order
+            if model.blocks[name].type_name not in ("Inport", "Outport")
+        ]
+        for name in self._exec_order:
+            block = model.blocks[name]
+            path = prefix + name
+            kids = sched.children.get(name)
+            child_rts = None
+            if kids:
+                child_rts = [
+                    _LevelRuntime(
+                        child,
+                        path + "/" + child.model.name + "/",
+                        recorder,
+                        distance_hook,
+                        branch_db,
+                        monitor,
+                    )
+                    for child in kids
+                ]
+            self.contexts[name] = BlockContext(
+                block,
+                path,
+                branch_db.block_branches(path),
+                recorder,
+                distance_hook,
+                sched.input_dtypes(name),
+                [sched.dtypes.get((name, o)) for o in range(block.n_outputs())],
+                child_rts,
+            )
+
+    # ------------------------------------------------------------------ #
+    def run_output_phase(self, inputs: List) -> List:
+        values = self._values
+        values.clear()
+        drivers = self.sched.drivers
+        for k, port in enumerate(self._inports):
+            values[(port.name, 0)] = wrap(inputs[k], port.params["dtype"])
+        for name in self._exec_order:
+            ctx = self.contexts[name]
+            block = ctx.block
+            ins = [
+                values.get(drivers.get((name, i)))
+                for i in range(block.n_inputs())
+            ]
+            outs = block.output(ctx, ins)
+            if len(outs) != block.n_outputs():
+                raise SimulationError(
+                    "block %s produced %d outputs, expected %d"
+                    % (name, len(outs), block.n_outputs())
+                )
+            monitor = self.monitor
+            for o, value in enumerate(outs):
+                values[(name, o)] = value
+                if monitor is not None:
+                    monitor.record(self.prefix, name, o, value)
+        return [values[src] for src in self._outport_srcs]
+
+    def run_update_phase(self) -> None:
+        values = self._values
+        drivers = self.sched.drivers
+        for name in self._exec_order:
+            ctx = self.contexts[name]
+            block = ctx.block
+            ins = [
+                values.get(drivers.get((name, i)))
+                for i in range(block.n_inputs())
+            ]
+            block.update(ctx, ins)
+
+    def reset(self) -> None:
+        self._values.clear()
+        for ctx in self.contexts.values():
+            ctx.reset()
+
+
+class ModelInstance:
+    """An executable interpreted model.
+
+    >>> schedule = convert(model)
+    >>> instance = ModelInstance(schedule)
+    >>> instance.init()
+    >>> outputs = instance.step(1, 250, 3)
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        recorder: Optional[CoverageRecorder] = None,
+        distance_hook: Optional[Callable] = None,
+        monitor="default",
+    ):
+        """``monitor``: a :class:`~repro.simulate.monitor.SignalMonitor`,
+        ``"default"`` to create one (Simulink-style signal logging, the
+        normal simulation workload), or None to disable."""
+        from .monitor import SignalMonitor
+
+        if monitor == "default":
+            monitor = SignalMonitor()
+        self.schedule = schedule
+        self.recorder = recorder
+        self.monitor = monitor
+        self._root = _LevelRuntime(
+            schedule.root, "", recorder, distance_hook, schedule.branch_db, monitor
+        )
+        self._n_inputs = len(schedule.root.model.inports())
+
+    def init(self) -> None:
+        """Model initialization (run before every test input)."""
+        self._root.reset()
+
+    def step(self, *inputs) -> Tuple:
+        """One model iteration: output phase, then update phase."""
+        if len(inputs) != self._n_inputs:
+            raise SimulationError(
+                "expected %d inputs, got %d" % (self._n_inputs, len(inputs))
+            )
+        outputs = self._root.run_output_phase(list(inputs))
+        self._root.run_update_phase()
+        return tuple(outputs)

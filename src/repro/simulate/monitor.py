@@ -1,0 +1,77 @@
+"""Per-signal monitoring for the simulation engine.
+
+Simulink's interpretive simulation does substantial per-step bookkeeping —
+signal logging, min/max tracking for scopes and range checks, sample
+recording.  The monitor reproduces that workload faithfully: every signal
+value of every step updates running statistics and a bounded sample ring.
+It is enabled by default on the interpreted path (disable with
+``ModelInstance(..., monitor=None)``), and is part of why simulation-based
+generation is orders of magnitude slower than running generated code —
+the asymmetry the paper's evaluation is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["SignalMonitor", "SignalStats"]
+
+_RING_SIZE = 32
+
+
+class SignalStats:
+    """Running statistics plus a bounded recent-sample ring for one signal."""
+
+    __slots__ = ("count", "minimum", "maximum", "last", "total", "ring", "_pos")
+
+    def __init__(self):
+        self.count = 0
+        self.minimum = None
+        self.maximum = None
+        self.last = None
+        self.total = 0.0
+        self.ring: List = [0.0] * _RING_SIZE
+        self._pos = 0
+
+    def record(self, value) -> None:
+        numeric = float(value)
+        if self.count == 0:
+            self.minimum = numeric
+            self.maximum = numeric
+        else:
+            if numeric < self.minimum:
+                self.minimum = numeric
+            if numeric > self.maximum:
+                self.maximum = numeric
+        self.count += 1
+        self.last = value
+        self.total += numeric
+        self.ring[self._pos] = numeric
+        self._pos = (self._pos + 1) % _RING_SIZE
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class SignalMonitor:
+    """Signal log for one simulation run (keyed by level-local signal)."""
+
+    def __init__(self):
+        self._stats: Dict[Tuple[str, str, int], SignalStats] = {}
+
+    def record(self, prefix: str, block: str, port: int, value) -> None:
+        key = (prefix, block, port)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = self._stats[key] = SignalStats()
+        stats.record(value)
+
+    def stats(self, prefix: str, block: str, port: int) -> SignalStats:
+        return self._stats[(prefix, block, port)]
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def reset(self) -> None:
+        self._stats.clear()

@@ -1,0 +1,87 @@
+"""Parametric input-signal shapes for simulation-based test generation.
+
+SimCoTest-style generators construct model inputs as *signals* — shaped
+value sequences per inport — rather than raw byte streams.  The catalog
+covers the shapes its search mutates over: constant, step, ramp, pulse
+train, sine, and uniform noise, each rendered over N iterations and
+clipped to the inport's representable range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..dtypes import DType, wrap
+from ..errors import SimulationError
+
+__all__ = ["SignalSpec", "render_signal", "signal_catalog"]
+
+#: shape names available to the search
+signal_catalog = ("constant", "step", "ramp", "pulse", "sine", "noise")
+
+
+@dataclass
+class SignalSpec:
+    """One inport's signal: a shape plus numeric parameters.
+
+    Parameters are interpreted per shape:
+
+    * ``constant`` — ``base`` everywhere.
+    * ``step`` — ``base`` before ``at`` (fraction of the horizon), then
+      ``base + amp``.
+    * ``ramp`` — linear from ``base`` to ``base + amp``.
+    * ``pulse`` — ``base + amp`` for the first ``duty`` fraction of each
+      ``period``-step cycle, else ``base``.
+    * ``sine`` — ``base + amp * sin(2*pi*k/period)``.
+    * ``noise`` — uniform in ``[base - amp, base + amp]`` from ``rng``.
+    """
+
+    shape: str
+    base: float = 0.0
+    amp: float = 0.0
+    at: float = 0.5
+    period: int = 8
+    duty: float = 0.5
+
+    def __post_init__(self):
+        if self.shape not in signal_catalog:
+            raise SimulationError("unknown signal shape %r" % (self.shape,))
+        if self.period < 1:
+            self.period = 1
+
+
+def _clip(value: float, dtype: DType):
+    if dtype.is_bool:
+        return 1 if value > 0 else 0
+    lo, hi = dtype.min_value, dtype.max_value
+    if value < lo:
+        value = lo
+    elif value > hi:
+        value = hi
+    return wrap(value if dtype.is_float else int(value), dtype)
+
+
+def render_signal(spec: SignalSpec, n_steps: int, dtype: DType, rng=None) -> List:
+    """Render a spec into ``n_steps`` typed values."""
+    values = []
+    for k in range(n_steps):
+        if spec.shape == "constant":
+            raw = spec.base
+        elif spec.shape == "step":
+            raw = spec.base + (spec.amp if k >= spec.at * n_steps else 0.0)
+        elif spec.shape == "ramp":
+            frac = k / max(n_steps - 1, 1)
+            raw = spec.base + spec.amp * frac
+        elif spec.shape == "pulse":
+            phase = k % spec.period
+            raw = spec.base + (spec.amp if phase < spec.duty * spec.period else 0.0)
+        elif spec.shape == "sine":
+            raw = spec.base + spec.amp * math.sin(2.0 * math.pi * k / spec.period)
+        else:  # noise
+            if rng is None:
+                raise SimulationError("noise signal needs an rng")
+            raw = spec.base + spec.amp * (2.0 * rng.random() - 1.0)
+        values.append(_clip(raw, dtype))
+    return values

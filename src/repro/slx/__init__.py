@@ -1,0 +1,19 @@
+"""SLX-like model container: a ZIP archive of XML documents.
+
+The paper's tool loads ``.slx`` files with Unzip + TinyXML; this package
+is the equivalent substrate: :mod:`xmlparse` is a small TinyXML-style DOM
+parser/serializer, :mod:`reader`/:mod:`writer` handle the ZIP container
+(extension ``.slxz`` to avoid implying MathWorks compatibility).
+"""
+
+from .xmlparse import XmlNode, parse_xml, serialize_xml
+from .reader import load_container
+from .writer import save_container
+
+__all__ = [
+    "XmlNode",
+    "parse_xml",
+    "serialize_xml",
+    "load_container",
+    "save_container",
+]

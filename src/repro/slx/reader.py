@@ -1,0 +1,38 @@
+"""SLX-like container reading: unzip + XML parse (the Unzip/TinyXML path)."""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Union
+
+from ..errors import ParseError
+from .xmlparse import XmlNode, parse_xml
+
+__all__ = ["load_container"]
+
+MODEL_ENTRY = "simulink/model.xml"
+METADATA_ENTRY = "metadata/info.xml"
+
+
+def load_container(source: Union[str, bytes]) -> XmlNode:
+    """Load the model XML document from a ``.slxz`` container.
+
+    ``source`` is a file path or the raw ZIP bytes.  Returns the parsed
+    root :class:`~repro.slx.xmlparse.XmlNode` of the model document.
+    """
+    if isinstance(source, bytes):
+        handle = io.BytesIO(source)
+    else:
+        handle = source
+    try:
+        with zipfile.ZipFile(handle, "r") as archive:
+            names = archive.namelist()
+            if MODEL_ENTRY not in names:
+                raise ParseError(
+                    "container missing %s (entries: %s)" % (MODEL_ENTRY, names)
+                )
+            text = archive.read(MODEL_ENTRY).decode("utf-8")
+    except zipfile.BadZipFile as exc:
+        raise ParseError("not a valid model container: %s" % exc) from exc
+    return parse_xml(text)

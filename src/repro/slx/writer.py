@@ -1,0 +1,31 @@
+"""SLX-like container writing: XML serialize + zip."""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from typing import Optional
+
+from .reader import MODEL_ENTRY, METADATA_ENTRY
+from .xmlparse import XmlNode, serialize_xml
+
+__all__ = ["save_container"]
+
+_XML_HEADER = '<?xml version="1.0" encoding="utf-8"?>\n'
+
+
+def save_container(model_doc: XmlNode, path: Optional[str] = None) -> bytes:
+    """Write a model document into a ``.slxz`` container.
+
+    Returns the ZIP bytes; also writes them to ``path`` when given.
+    """
+    metadata = XmlNode("ModelInfo", {"format": "repro-slxz", "version": "1"})
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr(MODEL_ENTRY, _XML_HEADER + serialize_xml(model_doc))
+        archive.writestr(METADATA_ENTRY, _XML_HEADER + serialize_xml(metadata))
+    data = buffer.getvalue()
+    if path is not None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+    return data

@@ -1,0 +1,213 @@
+"""A small TinyXML-style XML DOM: parse and serialize.
+
+Supports the subset the model container needs: elements, attributes
+(single or double quoted), text content, comments, processing
+instructions/declarations, and the five predefined entities.  No
+namespaces, CDATA or DTDs — model files never contain them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ParseError
+
+__all__ = ["XmlNode", "parse_xml", "serialize_xml"]
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class XmlNode:
+    """One XML element: tag, attributes, children, text."""
+
+    __slots__ = ("tag", "attrs", "children", "text")
+
+    def __init__(self, tag: str, attrs: Optional[Dict[str, str]] = None):
+        self.tag = tag
+        self.attrs: Dict[str, str] = dict(attrs or {})
+        self.children: List["XmlNode"] = []
+        self.text: str = ""
+
+    def add(self, child: "XmlNode") -> "XmlNode":
+        self.children.append(child)
+        return child
+
+    def find(self, tag: str) -> Optional["XmlNode"]:
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> Iterator["XmlNode"]:
+        return (child for child in self.children if child.tag == tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<XmlNode %s attrs=%r children=%d>" % (
+            self.tag,
+            self.attrs,
+            len(self.children),
+        )
+
+
+def _unescape(text: str) -> str:
+    if "&" not in text:
+        return text
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "&":
+            end = text.find(";", i + 1)
+            if end == -1:
+                raise ParseError("unterminated entity at offset %d" % i)
+            name = text[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise ParseError("unknown entity &%s;" % name)
+            i = end + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _escape(text: str, for_attr: bool = False) -> str:
+    text = text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    if for_attr:
+        text = text.replace('"', "&quot;")
+    return text
+
+
+class _XmlParser:
+    def __init__(self, text: str):
+        self._text = text
+        self._i = 0
+
+    def parse(self) -> XmlNode:
+        self._skip_misc()
+        node = self._element()
+        self._skip_misc()
+        if self._i != len(self._text):
+            raise ParseError("trailing content after root element")
+        return node
+
+    # -------------------------------------------------------------- #
+    def _skip_misc(self) -> None:
+        text = self._text
+        while self._i < len(text):
+            while self._i < len(text) and text[self._i].isspace():
+                self._i += 1
+            if text.startswith("<?", self._i):
+                end = text.find("?>", self._i)
+                if end == -1:
+                    raise ParseError("unterminated declaration")
+                self._i = end + 2
+            elif text.startswith("<!--", self._i):
+                end = text.find("-->", self._i)
+                if end == -1:
+                    raise ParseError("unterminated comment")
+                self._i = end + 3
+            else:
+                return
+
+    def _element(self) -> XmlNode:
+        text = self._text
+        if self._i >= len(text) or text[self._i] != "<":
+            raise ParseError("expected '<' at offset %d" % self._i)
+        self._i += 1
+        tag = self._name()
+        node = XmlNode(tag)
+        while True:
+            self._skip_space()
+            if text.startswith("/>", self._i):
+                self._i += 2
+                return node
+            if text.startswith(">", self._i):
+                self._i += 1
+                break
+            key = self._name()
+            self._skip_space()
+            if not text.startswith("=", self._i):
+                raise ParseError("expected '=' at offset %d" % self._i)
+            self._i += 1
+            self._skip_space()
+            quote = text[self._i]
+            if quote not in "'\"":
+                raise ParseError("expected quote at offset %d" % self._i)
+            end = text.find(quote, self._i + 1)
+            if end == -1:
+                raise ParseError("unterminated attribute value")
+            node.attrs[key] = _unescape(text[self._i + 1 : end])
+            self._i = end + 1
+        # content
+        chunks = []
+        while True:
+            if self._i >= len(text):
+                raise ParseError("unterminated element <%s>" % tag)
+            if text.startswith("</", self._i):
+                self._i += 2
+                close = self._name()
+                if close != tag:
+                    raise ParseError(
+                        "mismatched close tag </%s> for <%s>" % (close, tag)
+                    )
+                self._skip_space()
+                if not text.startswith(">", self._i):
+                    raise ParseError("malformed close tag")
+                self._i += 1
+                node.text = _unescape("".join(chunks))
+                return node
+            if text.startswith("<!--", self._i):
+                end = text.find("-->", self._i)
+                if end == -1:
+                    raise ParseError("unterminated comment")
+                self._i = end + 3
+            elif text.startswith("<", self._i):
+                node.add(self._element())
+            else:
+                next_tag = text.find("<", self._i)
+                if next_tag == -1:
+                    raise ParseError("unterminated element <%s>" % tag)
+                chunks.append(text[self._i : next_tag])
+                self._i = next_tag
+
+    def _name(self) -> str:
+        text = self._text
+        start = self._i
+        while self._i < len(text) and (
+            text[self._i].isalnum() or text[self._i] in "_-.:"
+        ):
+            self._i += 1
+        if self._i == start:
+            raise ParseError("expected name at offset %d" % start)
+        return text[start : self._i]
+
+    def _skip_space(self) -> None:
+        while self._i < len(self._text) and self._text[self._i].isspace():
+            self._i += 1
+
+
+def parse_xml(text: str) -> XmlNode:
+    """Parse an XML document into an :class:`XmlNode` tree."""
+    return _XmlParser(text).parse()
+
+
+def serialize_xml(node: XmlNode, indent: int = 0) -> str:
+    """Serialize a node tree back to XML text (pretty-printed)."""
+    pad = "  " * indent
+    attrs = "".join(
+        ' %s="%s"' % (k, _escape(v, for_attr=True)) for k, v in node.attrs.items()
+    )
+    if not node.children and not node.text:
+        return "%s<%s%s/>" % (pad, node.tag, attrs)
+    if not node.children:
+        return "%s<%s%s>%s</%s>" % (
+            pad, node.tag, attrs, _escape(node.text), node.tag,
+        )
+    inner = "\n".join(serialize_xml(child, indent + 1) for child in node.children)
+    return "%s<%s%s>\n%s\n%s</%s>" % (pad, node.tag, attrs, inner, pad, node.tag)

@@ -1,0 +1,63 @@
+"""Tests for the per-block annotated coverage report."""
+
+from repro import CoverageRecorder, compile_model, convert
+from repro.coverage import annotate_coverage, render_annotated
+
+from conftest import demo_model
+
+
+def _recorder_after(rows):
+    schedule = convert(demo_model())
+    recorder = CoverageRecorder(schedule.branch_db)
+    program, _ = compile_model(schedule, "model").instantiate(recorder)
+    program.init()
+    for row in rows:
+        recorder.reset_curr()
+        program.step(*row)
+        recorder.commit_curr()
+    return recorder
+
+
+class TestAnnotate:
+    def test_blocks_present(self):
+        recorder = _recorder_after([(1, 700)])
+        blocks = annotate_coverage(recorder)
+        assert "Lim" in blocks and "Gate" in blocks and "Ctl" in blocks
+
+    def test_counts_sum_to_report(self):
+        from repro.coverage import compute_report
+
+        recorder = _recorder_after([(1, 700), (0, -100)])
+        blocks = annotate_coverage(recorder)
+        report = compute_report(recorder)
+        assert sum(b.decision_covered for b in blocks.values()) == report.decision_covered
+        assert sum(b.decision_total for b in blocks.values()) == report.decision_total
+        assert sum(b.condition_total for b in blocks.values()) == report.condition_total
+        assert sum(b.mcdc_total for b in blocks.values()) == report.mcdc_total
+
+    def test_missing_items_named(self):
+        recorder = _recorder_after([(1, 700)])
+        blocks = annotate_coverage(recorder)
+        gate = blocks["Gate"]
+        assert any("pass-third" in m for m in gate.missing)
+
+    def test_fully_covered_block(self):
+        recorder = _recorder_after([(1, 700), (1, -700), (0, 2000), (1, 2000)])
+        blocks = annotate_coverage(recorder)
+        assert blocks["Lim"].fully_covered  # saturation: all 4 outcomes
+
+    def test_render_marks_gaps(self):
+        recorder = _recorder_after([(1, 700)])
+        text = render_annotated(recorder)
+        assert "!! " in text
+        assert "never taken" in text
+
+    def test_render_show_covered(self):
+        recorder = _recorder_after([(1, 700), (1, -700), (0, 2000), (1, 2000)])
+        text = render_annotated(recorder, show_covered=True)
+        assert "OK " in text
+
+    def test_percent_bounds(self):
+        recorder = _recorder_after([(1, 700)])
+        for block in annotate_coverage(recorder).values():
+            assert 0.0 <= block.outcome_percent <= 100.0

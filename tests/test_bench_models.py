@@ -1,0 +1,149 @@
+"""Tests for the eight benchmark models (Table 2 suite)."""
+
+import random
+
+import pytest
+
+from repro import CoverageRecorder, ModelInstance, compile_model
+from repro.bench import BENCHMARKS, build_model, build_schedule, model_names
+from repro.errors import ModelError
+
+
+ALL_MODELS = model_names()
+
+
+class TestRegistry:
+    def test_eight_models_in_paper_order(self):
+        assert ALL_MODELS == [
+            "CPUTask", "AFC", "TCP", "RAC", "EVCS", "TWC", "UTPC", "SolarPV",
+        ]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelError):
+            build_model("NoSuchModel")
+
+    def test_schedule_cache(self):
+        a = build_schedule("AFC")
+        b = build_schedule("AFC")
+        assert a is b
+        c = build_schedule("AFC", cached=False)
+        assert c is not a
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_builds_and_validates(self, name):
+        model = build_model(name)
+        assert model.block_count() >= 20
+
+    def test_has_substantial_branch_structure(self, name):
+        db = build_schedule(name).branch_db
+        assert len(db.decisions) >= 20
+        assert len(db.conditions) >= 10
+        assert db.n_probes >= 80
+
+    def test_compiles_at_all_levels(self, name):
+        schedule = build_schedule(name)
+        for level in ("model", "code", "none"):
+            program, _ = compile_model(schedule, level).instantiate()
+            fields = schedule.layout.unpack_tuple(bytes(schedule.layout.size))
+            program.step(*fields)
+
+    def test_engines_agree_on_random_inputs(self, name):
+        schedule = build_schedule(name)
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        instance = ModelInstance(
+            schedule, recorder=CoverageRecorder(schedule.branch_db)
+        )
+        instance.init()
+        rng = random.Random(hash(name) & 0xFFFF)
+        layout = schedule.layout
+        for _ in range(120):
+            raw = bytes(rng.randrange(256) for _ in range(layout.size))
+            fields = layout.unpack_tuple(raw)
+            assert program.step(*fields) == tuple(instance.step(*fields))
+
+    def test_no_crash_on_extreme_inputs(self, name):
+        schedule = build_schedule(name)
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        layout = schedule.layout
+        for pattern in (b"\x00", b"\xff", b"\x80", b"\x7f"):
+            data = pattern * layout.size
+            program.step(*layout.unpack_tuple(data))
+
+    def test_serialization_round_trip(self, name):
+        from repro import model_from_xml, model_to_xml, convert
+
+        model = build_model(name)
+        restored = model_from_xml(model_to_xml(model))
+        assert restored.block_count() == model.block_count()
+        assert (
+            convert(restored).branch_db.n_probes
+            == build_schedule(name).branch_db.n_probes
+        )
+
+    def test_fuzzing_makes_progress(self, name):
+        from repro.fuzzing import Fuzzer, FuzzerConfig
+
+        schedule = build_schedule(name)
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.5, seed=11)).run()
+        assert result.report.decision > 25.0
+        assert len(result.suite) >= 3
+
+
+class TestModelSpecificBehaviour:
+    def test_cputask_queue_full_needs_depth(self):
+        """The paper's anecdote: queue-full logic needs 8 enqueues."""
+        schedule = build_schedule("CPUTask")
+        program, recorder = compile_model(schedule, "model").instantiate()
+        program.init()
+        # cmd=1 (activate), prio=5, budget=10, tick=1
+        for _ in range(8):
+            program.step(1, 5, 10, 1)
+        status, depth = program.step(1, 5, 10, 1)  # 9th enqueue rejected
+        assert depth == 8
+
+    def test_tcp_handshake_reaches_established(self):
+        schedule = build_schedule("TCP")
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        # passive open -> SYN -> valid ACK
+        program.step(0, 0, 0, 2, 4)          # cmd=2: LISTEN
+        program.step(1, 0, 0, 0, 4)          # SYN arrives: SYN_RCVD
+        out = program.step(2, 1, 101, 0, 4)  # ACK with ack in window
+        assert out[1] == 4  # state_code ESTABLISHED
+
+    def test_solarpv_panel_isolation(self):
+        """Panels hold their state while other panels are addressed."""
+        schedule = build_schedule("SolarPV")
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        program.step(1, 1000, 1)  # panel 1 starts charging
+        ret_other = program.step(1, 1000, 2)  # panel 2 addressed
+        ret_back = program.step(1, 0, 1)  # panel 1 again: p<=10 -> Idle
+        assert ret_back != ret_other
+
+    def test_twc_slip_needs_consecutive_samples(self):
+        schedule = build_schedule("TWC")
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        # wheel much slower than train -> sliding; needs 6 consecutive
+        outs = [program.step(100, 200, 50, 0, 1, 0) for _ in range(7)]
+        # brake modifier drops from 100 once slide is confirmed
+        assert outs[0][0] == 50.0  # 50% demand * 100% modifier
+        assert outs[-1][0] < outs[0][0]
+
+    def test_utpc_lockout_requires_deep_discharge(self):
+        schedule = build_schedule("UTPC")
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        # drive battery voltage below every threshold step by step
+        program.step(0, 0, 0, 0, 0, 39, 0, 0)  # Normal -> Low
+        program.step(0, 0, 0, 0, 0, 30, 0, 0)  # Low -> Critical
+        out = program.step(0, 0, 0, 0, 0, 20, 0, 0)  # Critical -> Lockout
+        program.step(0, 0, 0, 0, 0, 20, 0, 0)
+        # budget 0 in lockout: total power collapses to 0
+        final = program.step(50, 50, 50, 50, 0, 20, 0, 0)
+        assert final[0] == 0.0

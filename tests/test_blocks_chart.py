@@ -1,0 +1,209 @@
+"""Tests for the Stateflow-like Chart block."""
+
+import pytest
+
+from repro import ModelBuilder, convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both
+
+
+def traffic_light():
+    """Red -> Green -> Yellow -> Red cycle driven by a 'go' input."""
+    b = ModelBuilder("light")
+    go = b.inport("go", "int32")
+    chart = b.block(
+        "Chart",
+        "Light",
+        states=["Red", "Green", "Yellow"],
+        initial="Red",
+        inputs=["go"],
+        outputs=[("color", "int8")],
+        locals={"color": ("int8", 0), "held": ("int16", 0)},
+        transitions=[
+            {"src": "Red", "dst": "Green", "guard": "go > 0"},
+            {"src": "Green", "dst": "Yellow", "guard": "held >= 2",
+             "action": "held = 0"},
+            {"src": "Yellow", "dst": "Red", "guard": "go <= 0"},
+        ],
+        entry={"Red": "color = 0", "Green": "color = 1", "Yellow": "color = 2"},
+        during={"Green": "held = held + 1"},
+    )(go)
+    b.outport("color", chart)
+    return b.build()
+
+
+class TestChartBasics:
+    def test_initial_state_output(self):
+        assert run_both(traffic_light(), [(0,)]) == [(0,)]
+
+    def test_transition_fires(self):
+        assert [o[0] for o in run_both(traffic_light(), [(1,)])] == [1]
+
+    def test_full_cycle(self):
+        m = traffic_light()
+        rows = [(1,), (1,), (1,), (1,), (0,)]
+        # Red->Green; Green held=1; held=2? during runs only when no fire:
+        # step2 during (held=1), step3 during (held=2), step4 fires Yellow,
+        # step5 go<=0 -> Red
+        outs = [o[0] for o in run_both(m, rows)]
+        assert outs == [1, 1, 1, 2, 0]
+
+    def test_priority_order_first_guard_wins(self):
+        b = ModelBuilder("prio")
+        u = b.inport("u", "int32")
+        chart = b.block(
+            "Chart", "C",
+            states=["A", "B", "C"],
+            initial="A",
+            inputs=["u"],
+            outputs=[("which", "int8")],
+            locals={"which": ("int8", 0)},
+            transitions=[
+                {"src": "A", "dst": "B", "guard": "u > 0"},
+                {"src": "A", "dst": "C", "guard": "u > 0"},  # shadowed
+            ],
+            entry={"B": "which = 1", "C": "which = 2"},
+        )(u)
+        b.outport("y", chart)
+        assert run_both(b.build(), [(5,)]) == [(1,)]
+
+    def test_transition_action_runs_before_entry(self):
+        b = ModelBuilder("order")
+        u = b.inport("u", "int32")
+        chart = b.block(
+            "Chart", "C",
+            states=["A", "B"],
+            initial="A",
+            inputs=["u"],
+            outputs=[("x", "int32")],
+            locals={"x": ("int32", 0)},
+            transitions=[
+                {"src": "A", "dst": "B", "guard": "u > 0", "action": "x = 10"},
+            ],
+            entry={"B": "x = x * 2"},  # sees the action's assignment
+        )(u)
+        b.outport("y", chart)
+        assert run_both(b.build(), [(1,)]) == [(20,)]
+
+    def test_locals_wrap_to_dtype(self):
+        b = ModelBuilder("wrapc")
+        u = b.inport("u", "int32")
+        chart = b.block(
+            "Chart", "C",
+            states=["A"],
+            initial="A",
+            inputs=["u"],
+            outputs=[("n", "int8")],
+            locals={"n": ("int8", 120)},
+            transitions=[],
+            during={"A": "n = n + u"},
+        )(u)
+        b.outport("y", chart)
+        assert run_both(b.build(), [(10,)]) == [(-126,)]  # int8 wrap
+
+    def test_stays_across_steps(self):
+        m = traffic_light()
+        outs = [o[0] for o in run_both(m, [(0,), (0,), (1,)])]
+        assert outs == [0, 0, 1]
+
+
+class TestChartValidation:
+    def _base(self, **overrides):
+        params = dict(
+            states=["A", "B"],
+            initial="A",
+            inputs=["u"],
+            outputs=[("y", "int8")],
+            locals={"y": ("int8", 0)},
+            transitions=[{"src": "A", "dst": "B", "guard": "u > 0"}],
+        )
+        params.update(overrides)
+        b = ModelBuilder("v")
+        u = b.inport("u", "int32")
+        chart = b.block("Chart", "C", **params)(u)
+        b.outport("y", chart)
+        return b.build()
+
+    def test_valid_base(self):
+        self._base()
+
+    def test_duplicate_states(self):
+        with pytest.raises(ModelError):
+            self._base(states=["A", "A"])
+
+    def test_bad_initial(self):
+        with pytest.raises(ModelError):
+            self._base(initial="Z")
+
+    def test_output_must_be_local(self):
+        with pytest.raises(ModelError):
+            self._base(outputs=[("zz", "int8")])
+
+    def test_bad_transition_state(self):
+        with pytest.raises(ModelError):
+            self._base(transitions=[{"src": "A", "dst": "Z", "guard": "1"}])
+
+    def test_inputs_locals_disjoint(self):
+        with pytest.raises(ModelError):
+            self._base(locals={"u": ("int8", 0), "y": ("int8", 0)})
+
+
+class TestChartBranches:
+    def test_branch_inventory(self):
+        schedule = convert(traffic_light())
+        db = schedule.branch_db
+        state_dec = [d for d in db.decisions if d.label == "state"]
+        assert len(state_dec) == 1 and len(state_dec[0].outcomes) == 3
+        transition_decs = [d for d in db.decisions if "->" in d.label]
+        assert len(transition_decs) == 3
+        # one guard atom per transition in this chart
+        assert len(db.conditions) == 3
+
+    def test_state_coverage(self):
+        m = traffic_light()
+        # visit all three states (Yellow must be *active* at a step start)
+        report = coverage_of(m, [(1,), (1,), (1,), (1,), (1,)])
+        missed_states = [
+            d for d in report.missed_decisions if ":state=" in d
+        ]
+        assert not missed_states
+
+    def test_action_if_decisions_declared(self):
+        b = ModelBuilder("act")
+        u = b.inport("u", "int32")
+        chart = b.block(
+            "Chart", "C",
+            states=["A"],
+            initial="A",
+            inputs=["u"],
+            outputs=[("y", "int32")],
+            locals={"y": ("int32", 0)},
+            transitions=[],
+            during={"A": "if u > 5\n y = 1\nelse\n y = 2\nend"},
+        )(u)
+        b.outport("y", chart)
+        db = convert(b.build()).branch_db
+        if_decisions = [d for d in db.decisions if "if" in d.label]
+        assert len(if_decisions) == 1
+        assert len(if_decisions[0].outcomes) == 2
+
+    def test_mcdc_group_per_compound_guard(self):
+        b = ModelBuilder("g")
+        u = b.inport("u", "int32")
+        v = b.inport("v", "int32")
+        chart = b.block(
+            "Chart", "C",
+            states=["A", "B"],
+            initial="A",
+            inputs=["u", "v"],
+            outputs=[("y", "int8")],
+            locals={"y": ("int8", 0)},
+            transitions=[
+                {"src": "A", "dst": "B", "guard": "u > 0 && v > 0"},
+            ],
+        )(u, v)
+        b.outport("y", chart)
+        db = convert(b.build()).branch_db
+        assert len(db.mcdc_groups) == 1
+        assert len(db.mcdc_groups[0].condition_ids) == 2

@@ -1,0 +1,136 @@
+"""Tests for discrete-state blocks (delays, counters, sources)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ModelBuilder, convert
+from repro.errors import ModelError, ScheduleError
+
+from conftest import run_both, single_block_model
+
+
+class TestUnitDelay:
+    def test_delays_one_step(self):
+        m = single_block_model("UnitDelay", {}, ["int32"])
+        assert [o[0] for o in run_both(m, [(1,), (2,), (3,)])] == [0, 1, 2]
+
+    def test_init_value(self):
+        m = single_block_model("UnitDelay", {"init": 9}, ["int32"])
+        assert run_both(m, [(1,)]) == [(9,)]
+
+    def test_wraps_to_dtype(self):
+        m = single_block_model("UnitDelay", {"dtype": "int8"}, ["int32"])
+        assert [o[0] for o in run_both(m, [(200,), (0,)])] == [0, -56]
+
+    def test_breaks_algebraic_loop(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", "int32")
+        delay = b.block("UnitDelay", "d", dtype="int32")
+        total = b.block("Sum", "s", signs="++")(u, delay.out(0))
+        b.wire("d", [total])
+        b.outport("y", total)
+        m = b.build()
+        assert [o[0] for o in run_both(m, [(1,), (1,), (1,)])] == [1, 2, 3]
+
+    def test_direct_loop_rejected(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", "int32")
+        gain = b.block("Gain", "g", gain=1)
+        total = b.block("Sum", "s", signs="++")(u, gain.out(0))
+        b.wire("g", [total])
+        b.outport("y", total)
+        with pytest.raises(ScheduleError):
+            convert(b.build())
+
+    def test_memory_equivalent(self):
+        m = single_block_model("Memory", {}, ["int32"])
+        assert [o[0] for o in run_both(m, [(5,), (6,)])] == [0, 5]
+
+
+class TestDelayN:
+    def test_three_step_delay(self):
+        m = single_block_model("Delay", {"steps": 3}, ["int32"])
+        outs = [o[0] for o in run_both(m, [(1,), (2,), (3,), (4,), (5,)])]
+        assert outs == [0, 0, 0, 1, 2]
+
+    def test_init_fill(self):
+        m = single_block_model("Delay", {"steps": 2, "init": 7}, ["int32"])
+        assert [o[0] for o in run_both(m, [(1,), (2,)])] == [7, 7]
+
+    def test_steps_validation(self):
+        with pytest.raises(ModelError):
+            single_block_model("Delay", {"steps": 0}, ["int32"])
+
+    @given(st.lists(st.integers(-50, 50), min_size=4, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_is_shifted_sequence(self, values):
+        m = single_block_model("Delay", {"steps": 2}, ["int32"])
+        outs = [o[0] for o in run_both(m, [(v,) for v in values])]
+        assert outs == [0, 0] + values[:-2]
+
+
+class TestStepCounter:
+    def test_counts_and_rolls_over(self):
+        m = ModelBuilder("c")
+        counter = m.block("StepCounter", "n", limit=2).out(0)
+        m.outport("y", counter)
+        model = m.build()
+        outs = [o[0] for o in run_both(model, [()] * 7)]
+        assert outs == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_limit_validation(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("c").block("StepCounter", "n", limit=0)
+
+
+class TestPulseGenerator:
+    def test_waveform(self):
+        m = ModelBuilder("p")
+        pulse = m.block("PulseGenerator", "p", period=4, duty=2, amplitude=5).out(0)
+        m.outport("y", pulse)
+        outs = [o[0] for o in run_both(m.build(), [()] * 8)]
+        assert outs == [5, 5, 0, 0, 5, 5, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("p").block("PulseGenerator", "p", period=1, duty=1)
+        with pytest.raises(ModelError):
+            ModelBuilder("p").block("PulseGenerator", "p", period=4, duty=4)
+
+
+class TestDiscreteIntegratorBasics:
+    def test_gain_and_ts(self):
+        m = single_block_model(
+            "DiscreteIntegrator", {"gain": 2.0, "ts": 0.5}, ["double"]
+        )
+        outs = [o[0] for o in run_both(m, [(1.0,), (1.0,), (1.0,)])]
+        assert outs == [0.0, 1.0, 2.0]
+
+    def test_init(self):
+        m = single_block_model("DiscreteIntegrator", {"init": 5.0}, ["double"])
+        assert run_both(m, [(0.0,)]) == [(5.0,)]
+
+    def test_no_feedthrough_in_loop(self):
+        b = ModelBuilder("loop")
+        u = b.inport("u", "double")
+        integ = b.block("DiscreteIntegrator", "i", gain=1.0)
+        err = b.block("Sum", "e", signs="+-")(u, integ.out(0))
+        b.wire("i", [err])
+        b.outport("y", integ.out(0))
+        m = b.build()
+        outs = [o[0] for o in run_both(m, [(10.0,)] * 4)]
+        assert outs == [0.0, 10.0, 10.0, 10.0]
+
+
+class TestInitResets:
+    def test_init_clears_state(self):
+        from repro import compile_model
+
+        m = single_block_model("UnitDelay", {}, ["int32"])
+        schedule = convert(m)
+        program, _ = compile_model(schedule, "model").instantiate()
+        program.init()
+        program.step(42)
+        assert program.step(0) == (42,)
+        program.init()  # model initialization code re-runs per test input
+        assert program.step(0) == (0,)

@@ -1,0 +1,145 @@
+"""Tests for boolean / relational blocks and their branch elements."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both, single_block_model
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+def logical(op, n=2):
+    return single_block_model("Logical", {"op": op, "n_in": n}, ["boolean"] * n)
+
+
+class TestLogical:
+    @pytest.mark.parametrize(
+        "op,table",
+        [
+            ("AND", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            ("OR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            ("XOR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            ("NAND", {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            ("NOR", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        ],
+    )
+    def test_truth_tables(self, op, table):
+        m = logical(op)
+        rows = list(table)
+        outputs = run_both(m, rows)
+        assert [o[0] for o in outputs] == [table[row] for row in rows]
+
+    def test_three_input_and(self):
+        m = logical("AND", 3)
+        assert run_both(m, [(1, 1, 1)]) == [(1,)]
+        assert run_both(m, [(1, 0, 1)]) == [(0,)]
+
+    def test_nonzero_is_true(self):
+        m = single_block_model("Logical", {"op": "AND"}, ["int32", "int32"])
+        assert run_both(m, [(5, -3)]) == [(1,)]
+
+    def test_declares_condition_per_input(self):
+        schedule = convert(logical("AND", 3))
+        assert len(schedule.branch_db.conditions) == 3
+        assert len(schedule.branch_db.mcdc_groups) == 1
+
+    def test_condition_coverage_requires_both_values(self):
+        m = logical("AND")
+        half = coverage_of(m, [(1, 1)])
+        assert half.condition == 50.0
+        both = coverage_of(m, [(1, 1), (0, 0)])
+        assert both.condition == 100.0
+
+    def test_mcdc_and_gate(self):
+        m = logical("AND")
+        # classic minimal MC/DC set for AND: TT, TF, FT
+        report = coverage_of(m, [(1, 1), (1, 0), (0, 1)])
+        assert report.mcdc == 100.0
+
+    def test_mcdc_not_satisfied_by_tt_ff(self):
+        m = logical("AND")
+        report = coverage_of(m, [(1, 1), (0, 0)])
+        assert report.mcdc == 0.0
+
+    def test_bad_op(self):
+        with pytest.raises(ModelError):
+            logical("IMPLIES")
+
+    def test_n_in_minimum(self):
+        with pytest.raises(ModelError):
+            single_block_model("Logical", {"op": "AND", "n_in": 1}, ["boolean"])
+
+    @given(st.tuples(bits, bits, bits))
+    @settings(max_examples=16, deadline=None)
+    def test_xor_parity(self, row):
+        m = logical("XOR", 3)
+        assert run_both(m, [row]) == [(sum(row) % 2,)]
+
+
+class TestNot:
+    def test_values(self):
+        m = single_block_model("Not", {}, ["boolean"])
+        assert run_both(m, [(0,), (1,)]) == [(1,), (0,)]
+
+    def test_condition_pair(self):
+        m = single_block_model("Not", {}, ["boolean"])
+        assert coverage_of(m, [(0,), (1,)]).condition == 100.0
+
+
+class TestRelational:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("<", 1, 2, 1), ("<", 2, 1, 0),
+            ("<=", 2, 2, 1), (">", 3, 2, 1),
+            (">=", 2, 3, 0), ("==", 5, 5, 1),
+            ("!=", 5, 5, 0),
+        ],
+    )
+    def test_ops(self, op, a, b, expected):
+        m = single_block_model("Relational", {"op": op}, ["int32", "int32"])
+        assert run_both(m, [(a, b)]) == [(expected,)]
+
+    def test_output_is_boolean(self):
+        m = single_block_model("Relational", {"op": "<"}, ["int32", "int32"])
+        schedule = convert(m)
+        assert schedule.root.dtypes[("dut", 0)].name == "boolean"
+
+    def test_no_branch_elements(self):
+        schedule = convert(
+            single_block_model("Relational", {"op": "<"}, ["int32", "int32"])
+        )
+        assert schedule.branch_db.n_probes == 0
+
+    def test_bad_op(self):
+        with pytest.raises(ModelError):
+            single_block_model("Relational", {"op": "<>"}, ["int32", "int32"])
+
+
+class TestCompareBlocks:
+    def test_compare_to_constant(self):
+        m = single_block_model(
+            "CompareToConstant", {"op": ">", "value": 10}, ["int32"]
+        )
+        assert run_both(m, [(11,), (10,)]) == [(1,), (0,)]
+
+    def test_compare_to_zero_default_ne(self):
+        m = single_block_model("CompareToZero", {}, ["int32"])
+        assert run_both(m, [(0,), (7,), (-7,)]) == [(0,), (1,), (1,)]
+
+    def test_compare_to_zero_matlab_ne_alias(self):
+        m = single_block_model("CompareToZero", {"op": "~="}, ["int32"])
+        assert run_both(m, [(3,)]) == [(1,)]
+
+    def test_compare_to_zero_le(self):
+        m = single_block_model("CompareToZero", {"op": "<="}, ["int32"])
+        assert run_both(m, [(0,), (1,)]) == [(1,), (0,)]
+
+    def test_missing_value(self):
+        with pytest.raises(ModelError):
+            single_block_model("CompareToConstant", {"op": ">"}, ["int32"])

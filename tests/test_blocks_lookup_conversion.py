@@ -1,0 +1,138 @@
+"""Tests for lookup tables and type conversion blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.model.blocks.lookup import interp1d, interp2d
+
+from conftest import run_both, single_block_model
+
+
+class TestInterp1dFunction:
+    BP = (0.0, 10.0, 20.0)
+    TB = (0.0, 100.0, 50.0)
+
+    def test_exact_breakpoints(self):
+        assert interp1d(10.0, self.BP, self.TB) == 100.0
+
+    def test_interpolates(self):
+        assert interp1d(5.0, self.BP, self.TB) == 50.0
+        assert interp1d(15.0, self.BP, self.TB) == 75.0
+
+    def test_clamps_ends(self):
+        assert interp1d(-5.0, self.BP, self.TB) == 0.0
+        assert interp1d(99.0, self.BP, self.TB) == 50.0
+
+    @given(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_within_table_range(self, x):
+        y = interp1d(x, self.BP, self.TB)
+        assert min(self.TB) <= y <= max(self.TB)
+
+
+class TestLookup1DBlock:
+    def _model(self):
+        return single_block_model(
+            "Lookup1D",
+            {"breakpoints": [0, 10, 20], "table": [0, 100, 50]},
+            ["double"],
+        )
+
+    def test_block_matches_function(self):
+        m = self._model()
+        assert run_both(m, [(5.0,), (15.0,), (25.0,)]) == [
+            (50.0,), (75.0,), (50.0,),
+        ]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            single_block_model(
+                "Lookup1D", {"breakpoints": [0, 1], "table": [0]}, ["double"]
+            )
+
+    def test_non_increasing_breakpoints(self):
+        with pytest.raises(ModelError):
+            single_block_model(
+                "Lookup1D", {"breakpoints": [0, 0], "table": [1, 2]}, ["double"]
+            )
+
+    def test_increasing_breakpoints_accepted(self):
+        # regression: the monotonicity check was inverted once
+        single_block_model(
+            "Lookup1D", {"breakpoints": [0, 1, 2], "table": [5, 6, 7]}, ["double"]
+        )
+
+
+class TestLookup2D:
+    def _model(self):
+        return single_block_model(
+            "Lookup2D",
+            {
+                "row_breakpoints": [0.0, 10.0],
+                "col_breakpoints": [0.0, 10.0],
+                "table": [[0.0, 10.0], [100.0, 110.0]],
+            },
+            ["double", "double"],
+        )
+
+    def test_corners(self):
+        m = self._model()
+        assert run_both(m, [(0.0, 0.0), (10.0, 10.0)]) == [(0.0,), (110.0,)]
+
+    def test_bilinear_center(self):
+        assert run_both(self._model(), [(5.0, 5.0)]) == [(55.0,)]
+
+    def test_interp2d_function(self):
+        value = interp2d(5.0, 0.0, (0.0, 10.0), (0.0, 10.0), ((0.0, 10.0), (100.0, 110.0)))
+        assert value == 50.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            single_block_model(
+                "Lookup2D",
+                {
+                    "row_breakpoints": [0.0, 1.0],
+                    "col_breakpoints": [0.0, 1.0],
+                    "table": [[1.0, 2.0]],
+                },
+                ["double", "double"],
+            )
+
+
+class TestDataTypeConversion:
+    def test_wrapping_cast(self):
+        m = single_block_model(
+            "DataTypeConversion", {"dtype": "int8"}, ["int32"]
+        )
+        assert run_both(m, [(200,)]) == [(-56,)]
+
+    def test_saturating_cast(self):
+        m = single_block_model(
+            "DataTypeConversion", {"dtype": "int8", "saturate": True}, ["int32"]
+        )
+        assert run_both(m, [(200,), (-300,)]) == [(127,), (-128,)]
+
+    def test_float_to_int(self):
+        m = single_block_model(
+            "DataTypeConversion", {"dtype": "int16"}, ["double"]
+        )
+        assert run_both(m, [(3.7,)]) == [(3,)]
+
+    def test_to_boolean(self):
+        m = single_block_model(
+            "DataTypeConversion", {"dtype": "boolean"}, ["int32"]
+        )
+        assert run_both(m, [(42,), (0,)]) == [(1,), (0,)]
+
+    def test_missing_dtype(self):
+        with pytest.raises(ModelError):
+            single_block_model("DataTypeConversion", {}, ["int32"])
+
+    @given(st.integers(-(2**20), 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_saturate_always_in_range(self, value):
+        from repro.dtypes import INT8, saturate_cast
+
+        result = saturate_cast(value, INT8)
+        assert -128 <= result <= 127

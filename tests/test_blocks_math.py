@@ -1,0 +1,187 @@
+"""Tests for arithmetic blocks — every case runs on both engines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.model import ModelBuilder
+
+from conftest import coverage_of, run_both, single_block_model
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestSum:
+    def test_add(self):
+        m = single_block_model("Sum", {"signs": "++"}, ["int32", "int32"])
+        assert run_both(m, [(3, 4)]) == [(7,)]
+
+    def test_subtract(self):
+        m = single_block_model("Sum", {"signs": "+-"}, ["int32", "int32"])
+        assert run_both(m, [(10, 4)]) == [(6,)]
+
+    def test_three_inputs(self):
+        m = single_block_model("Sum", {"signs": "+-+"}, ["int32"] * 3)
+        assert run_both(m, [(1, 2, 3)]) == [(2,)]
+
+    def test_int8_wraps(self):
+        m = single_block_model("Sum", {"signs": "++"}, ["int8", "int8"])
+        assert run_both(m, [(100, 100)]) == [(-56,)]
+
+    def test_bad_signs(self):
+        with pytest.raises(ModelError):
+            single_block_model("Sum", {"signs": "+x"}, ["int32", "int32"])
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=20, deadline=None)
+    def test_matches_python(self, a, b):
+        m = single_block_model("Sum", {"signs": "+-"}, ["int32", "int32"])
+        assert run_both(m, [(a, b)]) == [(a - b,)]
+
+
+class TestProduct:
+    def test_multiply(self):
+        m = single_block_model("Product", {"ops": "**"}, ["int32", "int32"])
+        assert run_both(m, [(6, 7)]) == [(42,)]
+
+    def test_divide_truncates(self):
+        m = single_block_model("Product", {"ops": "*/"}, ["int32", "int32"])
+        assert run_both(m, [(7, 2)]) == [(3,)]
+        assert run_both(m, [(-7, 2)]) == [(-3,)]
+
+    def test_divide_by_zero_is_zero(self):
+        m = single_block_model("Product", {"ops": "*/"}, ["int32", "int32"])
+        assert run_both(m, [(7, 0)]) == [(0,)]
+
+    def test_float_divide(self):
+        m = single_block_model("Product", {"ops": "*/"}, ["double", "double"])
+        assert run_both(m, [(7.0, 2.0)]) == [(3.5,)]
+
+    def test_ops_must_start_with_star(self):
+        with pytest.raises(ModelError):
+            single_block_model("Product", {"ops": "/*"}, ["int32", "int32"])
+
+
+class TestGainBias:
+    def test_gain(self):
+        m = single_block_model("Gain", {"gain": 3}, ["int32"])
+        assert run_both(m, [(5,)]) == [(15,)]
+
+    def test_gain_float_on_int_truncates(self):
+        m = single_block_model("Gain", {"gain": 0.5}, ["int32"])
+        assert run_both(m, [(5,)]) == [(2,)]
+
+    def test_gain_missing_param(self):
+        with pytest.raises(ModelError):
+            single_block_model("Gain", {}, ["int32"])
+
+    def test_bias(self):
+        m = single_block_model("Bias", {"bias": -3}, ["int32"])
+        assert run_both(m, [(10,)]) == [(7,)]
+
+
+class TestAbsSign:
+    def test_abs_values(self):
+        m = single_block_model("Abs", {}, ["int32"])
+        assert run_both(m, [(-5,), (5,), (0,)]) == [(5,), (5,), (0,)]
+
+    def test_abs_decision_coverage(self):
+        m = single_block_model("Abs", {}, ["int32"])
+        report = coverage_of(m, [(-5,), (5,)])
+        assert report.decision == 100.0
+
+    def test_abs_int_min_wraps(self):
+        m = single_block_model("Abs", {}, ["int8"])
+        assert run_both(m, [(-128,)]) == [(-128,)]  # C wrap semantics
+
+    def test_sign_three_outcomes(self):
+        m = single_block_model("Sign", {}, ["int32"])
+        assert run_both(m, [(-9,), (0,), (9,)]) == [(-1,), (0,), (1,)]
+        assert coverage_of(m, [(-9,), (0,), (9,)]).decision == 100.0
+
+    def test_sign_partial_coverage(self):
+        m = single_block_model("Sign", {}, ["int32"])
+        report = coverage_of(m, [(5,)])
+        assert report.decision == pytest.approx(100.0 / 3)
+
+
+class TestMinMax:
+    def test_min(self):
+        m = single_block_model("MinMax", {"mode": "min", "n_in": 3}, ["int32"] * 3)
+        assert run_both(m, [(3, 1, 2)]) == [(1,)]
+
+    def test_max(self):
+        m = single_block_model("MinMax", {"mode": "max", "n_in": 2}, ["int32"] * 2)
+        assert run_both(m, [(3, 9)]) == [(9,)]
+
+    def test_tie_first_wins_decision(self):
+        m = single_block_model("MinMax", {"mode": "min", "n_in": 2}, ["int32"] * 2)
+        report = coverage_of(m, [(4, 4)])
+        # only the first-input outcome is hit on a tie
+        assert report.decision_covered == 1
+
+    def test_decision_all_inputs(self):
+        m = single_block_model("MinMax", {"mode": "min", "n_in": 2}, ["int32"] * 2)
+        assert coverage_of(m, [(1, 2), (2, 1)]).decision == 100.0
+
+    def test_bad_mode(self):
+        with pytest.raises(ModelError):
+            single_block_model("MinMax", {"mode": "avg"}, ["int32", "int32"])
+
+    @given(st.lists(small_ints, min_size=3, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_python_min(self, values):
+        m = single_block_model("MinMax", {"mode": "min", "n_in": 3}, ["int32"] * 3)
+        assert run_both(m, [tuple(values)]) == [(min(values),)]
+
+
+class TestMathFunctions:
+    def test_sqrt(self):
+        m = single_block_model("Sqrt", {}, ["double"])
+        assert run_both(m, [(9.0,)]) == [(3.0,)]
+
+    def test_sqrt_negative_total(self):
+        m = single_block_model("Sqrt", {}, ["double"])
+        assert run_both(m, [(-4.0,)]) == [(0.0,)]
+
+    def test_math_function_exp(self):
+        import math
+
+        m = single_block_model("MathFunction", {"fn": "exp"}, ["double"])
+        assert run_both(m, [(1.0,)]) == [(math.e,)]
+
+    def test_math_function_bad_fn(self):
+        with pytest.raises(ModelError):
+            single_block_model("MathFunction", {"fn": "gamma"}, ["double"])
+
+    def test_rounding_floor_ceil(self):
+        m = single_block_model("Rounding", {"fn": "floor"}, ["double"])
+        assert run_both(m, [(2.7,)]) == [(2.0,)]
+        m = single_block_model("Rounding", {"fn": "ceil"}, ["double"])
+        assert run_both(m, [(2.2,)]) == [(3.0,)]
+
+    def test_unary_minus(self):
+        m = single_block_model("UnaryMinus", {}, ["int32"])
+        assert run_both(m, [(5,)]) == [(-5,)]
+
+
+class TestConstantGround:
+    def test_constant_value(self):
+        b = ModelBuilder("m")
+        c = b.const(42)
+        out = b.block("Sum", "s", signs="++")(c, c)
+        b.outport("y", out)
+        assert run_both(b.build(), [()]) == [(84,)]
+
+    def test_constant_wraps_to_dtype(self):
+        b = ModelBuilder("m")
+        c = b.const(300, "int8")
+        b.outport("y", c)
+        m = b.build()
+        assert run_both(m, [()]) == [(44,)]
+
+    def test_ground_is_zero(self):
+        b = ModelBuilder("m")
+        g = b.block("Ground", "g", dtype="int32").out(0)
+        b.outport("y", g)
+        assert run_both(b.build(), [()]) == [(0,)]

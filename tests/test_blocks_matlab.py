@@ -1,0 +1,147 @@
+"""Tests for the MATLAB Function block."""
+
+import pytest
+
+from repro import ModelBuilder, convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both
+
+
+def fn_model(body, inputs=("u",), outputs=(("y", "int32"),), **extra):
+    b = ModelBuilder("fn")
+    sigs = [b.inport(name, "int32") for name in inputs]
+    out = b.block(
+        "MatlabFunction", "f",
+        inputs=list(inputs), outputs=list(outputs), body=body, **extra
+    )(*sigs)
+    outs = out if isinstance(out, tuple) else (out,)
+    for i in range(len(outputs)):
+        b.outport("o%d" % i, outs[i])
+    return b.build()
+
+
+class TestBasics:
+    def test_straight_line(self):
+        m = fn_model("y = u * 2 + 1")
+        assert run_both(m, [(5,)]) == [(11,)]
+
+    def test_if_else(self):
+        m = fn_model("if u > 0\n y = 1\nelse\n y = 2\nend")
+        assert run_both(m, [(5,), (-5,)]) == [(1,), (2,)]
+
+    def test_implicit_else_outputs_default_zero(self):
+        m = fn_model("if u > 0\n y = 7\nend")
+        assert run_both(m, [(-1,)]) == [(0,)]
+
+    def test_multiple_outputs(self):
+        m = fn_model(
+            "a = u + 1\nb = u - 1",
+            outputs=(("a", "int32"), ("b", "int32")),
+        )
+        assert run_both(m, [(10,)]) == [(11, 9)]
+
+    def test_output_wraps_to_dtype(self):
+        m = fn_model("y = u * 100", outputs=(("y", "int8"),))
+        assert run_both(m, [(3,)]) == [(44,)]  # 300 wrapped to int8
+
+    def test_locals_fresh_each_call(self):
+        m = fn_model(
+            "t = t + u\ny = t",
+            locals={"t": ("int32", 10)},
+        )
+        assert [o[0] for o in run_both(m, [(1,), (1,)])] == [11, 11]
+
+    def test_persistent_keeps_state(self):
+        m = fn_model(
+            "t = t + u\ny = t",
+            persistent={"t": ("int32", 0)},
+        )
+        assert [o[0] for o in run_both(m, [(1,), (2,), (3,)])] == [1, 3, 6]
+
+    def test_persistent_wraps(self):
+        m = fn_model(
+            "t = t + u\ny = t",
+            persistent={"t": ("int8", 0)},
+            outputs=(("y", "int32"),),
+        )
+        assert [o[0] for o in run_both(m, [(100,), (100,)])] == [100, -56]
+
+    def test_builtin_calls(self):
+        m = fn_model("y = max(u, 0 - u)")
+        assert run_both(m, [(-7,)]) == [(7,)]
+
+
+class TestValidation:
+    def test_needs_outputs(self):
+        with pytest.raises(ModelError):
+            fn_model("x = 1", outputs=())
+
+    def test_needs_body(self):
+        b = ModelBuilder("m")
+        with pytest.raises(ModelError):
+            b.block("MatlabFunction", "f", inputs=["u"], outputs=[("y", "int32")])
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(ModelError):
+            fn_model("y = nosuchvar + 1")
+
+    def test_assigned_before_use_is_fine(self):
+        fn_model("t = 5\ny = t")
+
+
+class TestBranchElements:
+    def test_if_decision_and_conditions(self):
+        m = fn_model("if u > 0 && u < 10\n y = 1\nelse\n y = 0\nend")
+        db = convert(m).branch_db
+        assert len(db.decisions) == 1
+        assert len(db.decisions[0].outcomes) == 2
+        assert len(db.conditions) == 2
+        assert len(db.mcdc_groups) == 1
+
+    def test_elseif_chain_outcomes(self):
+        m = fn_model(
+            "if u > 10\n y = 1\nelseif u > 5\n y = 2\nelse\n y = 3\nend"
+        )
+        db = convert(m).branch_db
+        assert len(db.decisions[0].outcomes) == 3
+
+    def test_decision_coverage(self):
+        m = fn_model(
+            "if u > 10\n y = 1\nelseif u > 5\n y = 2\nelse\n y = 3\nend"
+        )
+        report = coverage_of(m, [(20,), (7,), (0,)])
+        assert report.decision == 100.0
+
+    def test_mcdc_via_window_guard(self):
+        m = fn_model("if u > 0 && u < 10\n y = 1\nelse\n y = 0\nend")
+        # TT, TF, FT: u=5 (T,T), u=20 (T,F), u=-1 (F,T)
+        report = coverage_of(m, [(5,), (20,), (-1,)])
+        assert report.mcdc == 100.0
+
+    def test_nested_if_coverage(self):
+        m = fn_model(
+            "if u > 0\n if u > 10\n  y = 2\n else\n  y = 1\n end\nelse\n y = 0\nend"
+        )
+        db = convert(m).branch_db
+        assert len(db.decisions) == 2
+        report = coverage_of(m, [(20,), (5,), (-5,)])
+        assert report.decision == 100.0
+
+    def test_code_level_keeps_if_probes(self):
+        from repro import compile_model
+        from repro.coverage import CoverageRecorder, compute_report
+
+        m = fn_model("if u > 0\n y = 1\nelse\n y = 0\nend")
+        schedule = convert(m)
+        compiled = compile_model(schedule, "code")
+        recorder = CoverageRecorder(schedule.branch_db)
+        program, _ = compiled.instantiate(recorder)
+        program.init()
+        recorder.reset_curr()
+        program.step(5)
+        recorder.commit_curr()
+        report = compute_report(recorder)
+        # decision probes exist at code level, condition probes do not
+        assert report.decision_covered == 1
+        assert report.condition_covered == 0

@@ -1,0 +1,181 @@
+"""Tests for nonlinear blocks (mode (d): in-block conditional judgments)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both, single_block_model
+
+
+class TestSaturation:
+    def _model(self, lower=-10, upper=10):
+        return single_block_model(
+            "Saturation", {"lower": lower, "upper": upper}, ["int32"]
+        )
+
+    def test_within(self):
+        assert run_both(self._model(), [(5,)]) == [(5,)]
+
+    def test_clamps(self):
+        m = self._model()
+        assert run_both(m, [(100,), (-100,)]) == [(10,), (-10,)]
+
+    def test_boundaries_inclusive(self):
+        m = self._model()
+        assert run_both(m, [(10,), (-10,)]) == [(10,), (-10,)]
+
+    def test_two_decisions(self):
+        schedule = convert(self._model())
+        assert len(schedule.branch_db.decisions) == 2
+
+    def test_full_decision_coverage(self):
+        m = self._model()
+        # both decisions are evaluated every step (branchless style), so
+        # the two extremes already exercise all four outcomes
+        assert coverage_of(m, [(100,), (-100,)]).decision == 100.0
+        assert coverage_of(m, [(100,)]).decision == 50.0
+
+    def test_invalid_limits(self):
+        with pytest.raises(ModelError):
+            self._model(lower=5, upper=5)
+
+    @given(st.integers(-1000, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_python_clamp(self, value):
+        m = self._model(-42, 17)
+        assert run_both(m, [(value,)]) == [(max(-42, min(17, value)),)]
+
+
+class TestDeadZone:
+    def _model(self):
+        return single_block_model("DeadZone", {"start": -5, "end": 5}, ["int32"])
+
+    def test_inside_zone_is_zero(self):
+        assert run_both(self._model(), [(3,), (-3,), (5,)]) == [(0,), (0,), (0,)]
+
+    def test_above_shifts(self):
+        assert run_both(self._model(), [(8,)]) == [(3,)]
+
+    def test_below_shifts(self):
+        assert run_both(self._model(), [(-9,)]) == [(-4,)]
+
+    def test_control_flow_decisions(self):
+        schedule = convert(self._model())
+        assert all(d.control_flow for d in schedule.branch_db.decisions)
+
+    def test_elseif_short_circuit_coverage(self):
+        # when above the zone, the 'below' decision is never evaluated
+        report = coverage_of(self._model(), [(100,)])
+        assert report.decision_covered == 1
+
+    def test_bad_zone(self):
+        with pytest.raises(ModelError):
+            single_block_model("DeadZone", {"start": 5, "end": -5}, ["int32"])
+
+
+class TestRateLimiter:
+    def _model(self, rising=3.0, falling=-2.0):
+        return single_block_model(
+            "RateLimiter", {"rising": rising, "falling": falling}, ["double"]
+        )
+
+    def test_slew_up(self):
+        m = self._model()
+        # from 0, a jump to 10 is limited to +3 per step
+        assert run_both(m, [(10.0,), (10.0,), (10.0,), (10.0,)]) == [
+            (3.0,), (6.0,), (9.0,), (10.0,),
+        ]
+
+    def test_slew_down(self):
+        m = self._model()
+        assert run_both(m, [(-10.0,), (-10.0,)]) == [(-2.0,), (-4.0,)]
+
+    def test_within_rate_passthrough(self):
+        m = self._model()
+        assert run_both(m, [(1.0,), (2.5,)]) == [(1.0,), (2.5,)]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            self._model(rising=-1.0)
+        with pytest.raises(ModelError):
+            self._model(falling=1.0)
+
+
+class TestRelay:
+    def _model(self):
+        return single_block_model(
+            "Relay",
+            {"on_point": 10, "off_point": 3, "on_value": 7, "off_value": 1},
+            ["int32"],
+        )
+
+    def test_hysteresis_cycle(self):
+        m = self._model()
+        rows = [(0,), (11,), (5,), (3,), (9,), (10,)]
+        #        off   on    stays  off   stays  on
+        assert [o[0] for o in run_both(m, rows)] == [1, 7, 7, 1, 1, 7]
+
+    def test_initially_off(self):
+        assert run_both(self._model(), [(5,)]) == [(1,)]
+
+    def test_init_on_param(self):
+        m = single_block_model(
+            "Relay",
+            {"on_point": 10, "off_point": 3, "init_on": True},
+            ["int32"],
+        )
+        assert run_both(m, [(5,)]) == [(1,)]  # on, emits default on_value 1
+
+    def test_decisions_guarded_by_state(self):
+        # while off, only the turn-on decision is evaluated
+        report = coverage_of(self._model(), [(0,)])
+        assert report.decision_covered == 1
+
+    def test_bad_points(self):
+        with pytest.raises(ModelError):
+            single_block_model(
+                "Relay", {"on_point": 3, "off_point": 10}, ["int32"]
+            )
+
+
+class TestQuantizer:
+    def test_rounds_to_interval(self):
+        m = single_block_model("Quantizer", {"interval": 5}, ["double"])
+        assert run_both(m, [(12.0,), (13.0,)]) == [(10.0,), (15.0,)]
+
+    def test_bad_interval(self):
+        with pytest.raises(ModelError):
+            single_block_model("Quantizer", {"interval": 0}, ["double"])
+
+
+class TestDiscreteIntegratorLimits:
+    def _model(self):
+        return single_block_model(
+            "DiscreteIntegrator",
+            {"gain": 1.0, "lower": 0.0, "upper": 10.0},
+            ["double"],
+        )
+
+    def test_accumulates_with_one_step_delay(self):
+        m = self._model()
+        assert [o[0] for o in run_both(m, [(4.0,)] * 4)] == [0.0, 4.0, 8.0, 10.0]
+
+    def test_saturates_low(self):
+        m = self._model()
+        assert [o[0] for o in run_both(m, [(-5.0,)] * 3)] == [0.0, 0.0, 0.0]
+
+    def test_limit_decisions_declared(self):
+        schedule = convert(self._model())
+        assert len(schedule.branch_db.decisions) == 2
+
+    def test_unlimited_has_no_decisions(self):
+        m = single_block_model("DiscreteIntegrator", {"gain": 2.0}, ["double"])
+        assert convert(m).branch_db.n_probes == 0
+
+    def test_one_limit_only_rejected(self):
+        with pytest.raises(ModelError):
+            single_block_model(
+                "DiscreteIntegrator", {"gain": 1.0, "lower": 0.0}, ["double"]
+            )

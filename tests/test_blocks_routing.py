@@ -1,0 +1,99 @@
+"""Tests for Switch / MultiportSwitch routing blocks (mode (b))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both, single_block_model
+
+
+def switch(criterion=">=", threshold=0):
+    params = {"criterion": criterion}
+    if criterion != "~=0":
+        params["threshold"] = threshold
+    return single_block_model("Switch", params, ["int32", "int32", "int32"])
+
+
+class TestSwitch:
+    def test_ge_threshold(self):
+        m = switch(">=", 10)
+        assert run_both(m, [(1, 10, 2)]) == [(1,)]
+        assert run_both(m, [(1, 9, 2)]) == [(2,)]
+
+    def test_gt_threshold(self):
+        m = switch(">", 10)
+        assert run_both(m, [(1, 10, 2)]) == [(2,)]
+        assert run_both(m, [(1, 11, 2)]) == [(1,)]
+
+    def test_nonzero(self):
+        m = switch("~=0")
+        assert run_both(m, [(1, 0, 2), (1, -5, 2)]) == [(2,), (1,)]
+
+    def test_decision_both_outcomes(self):
+        m = switch(">=", 0)
+        report = coverage_of(m, [(1, 5, 2), (1, -5, 2)])
+        assert report.decision == 100.0
+
+    def test_decision_one_outcome(self):
+        m = switch(">=", 0)
+        assert coverage_of(m, [(1, 5, 2)]).decision == 50.0
+
+    def test_not_control_flow(self):
+        schedule = convert(switch())
+        assert schedule.branch_db.decisions[0].control_flow is False
+
+    def test_bad_criterion(self):
+        with pytest.raises(ModelError):
+            switch("==")
+
+    @given(st.integers(-100, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_python(self, control):
+        m = switch(">=", 7)
+        expected = 111 if control >= 7 else 222
+        assert run_both(m, [(111, control, 222)]) == [(expected,)]
+
+
+class TestMultiportSwitch:
+    def _model(self, n=3):
+        return single_block_model(
+            "MultiportSwitch", {"n_cases": n}, ["int32"] * (n + 1)
+        )
+
+    def test_selects_by_index(self):
+        m = self._model()
+        assert run_both(m, [(1, 10, 20, 30)]) == [(10,)]
+        assert run_both(m, [(3, 10, 20, 30)]) == [(30,)]
+
+    def test_clamps_out_of_range(self):
+        m = self._model()
+        assert run_both(m, [(0, 10, 20, 30)]) == [(10,)]
+        assert run_both(m, [(99, 10, 20, 30)]) == [(30,)]
+        assert run_both(m, [(-5, 10, 20, 30)]) == [(10,)]
+
+    def test_decision_per_case(self):
+        m = self._model()
+        schedule = convert(m)
+        assert len(schedule.branch_db.decisions[0].outcomes) == 3
+        report = coverage_of(m, [(1, 0, 0, 0), (2, 0, 0, 0), (3, 0, 0, 0)])
+        assert report.decision == 100.0
+
+    def test_control_flow_true(self):
+        schedule = convert(self._model())
+        assert schedule.branch_db.decisions[0].control_flow is True
+
+    def test_needs_two_cases(self):
+        with pytest.raises(ModelError):
+            single_block_model("MultiportSwitch", {"n_cases": 1}, ["int32"] * 2)
+
+
+class TestPassthrough:
+    def test_identity(self):
+        m = single_block_model("SignalPassthrough", {}, ["int32"])
+        assert run_both(m, [(123,)]) == [(123,)]
+
+    def test_zero_order_hold_identity(self):
+        m = single_block_model("ZeroOrderHold", {}, ["double"])
+        assert run_both(m, [(1.5,)]) == [(1.5,)]

@@ -1,0 +1,244 @@
+"""Tests for the subsystem family (hierarchy + conditional execution)."""
+
+import pytest
+
+from repro import ModelBuilder, convert
+from repro.errors import ModelError
+
+from conftest import coverage_of, run_both
+
+
+def child_adder(name="child"):
+    """Child model: y = a + b."""
+    mb = ModelBuilder(name)
+    a = mb.inport("a", "int32")
+    b = mb.inport("b", "int32")
+    mb.outport("y", mb.block("Sum", "add", signs="++")(a, b))
+    return mb.build()
+
+
+def child_counter(name="counter"):
+    """Child model with state: counts its input."""
+    mb = ModelBuilder(name)
+    u = mb.inport("u", "int32")
+    delay = mb.block("UnitDelay", "acc", dtype="int32")
+    total = mb.block("Sum", "add", signs="++")(u, delay.out(0))
+    mb.wire("acc", [total])
+    mb.outport("y", total)
+    return mb.build()
+
+
+def child_gain(name, gain):
+    mb = ModelBuilder(name)
+    u = mb.inport("u", "int32")
+    mb.outport("y", mb.block("Gain", "g", gain=gain)(u))
+    return mb.build()
+
+
+class TestVirtualSubsystem:
+    def test_inlines_child(self):
+        b = ModelBuilder("top")
+        x = b.inport("x", "int32")
+        y = b.inport("y", "int32")
+        out = b.subsystem("S", child_adder(), x, y)
+        b.outport("z", out)
+        assert run_both(b.build(), [(2, 3)]) == [(5,)]
+
+    def test_stateful_child(self):
+        b = ModelBuilder("top")
+        x = b.inport("x", "int32")
+        out = b.subsystem("S", child_counter(), x)
+        b.outport("z", out)
+        assert [o[0] for o in run_both(b.build(), [(1,), (2,), (3,)])] == [1, 3, 6]
+
+    def test_nested_two_levels(self):
+        inner = child_adder("inner")
+        mid = ModelBuilder("mid")
+        a = mid.inport("a", "int32")
+        bb = mid.inport("b", "int32")
+        mid.outport("y", mid.subsystem("Inner", inner, a, bb))
+        b = ModelBuilder("top")
+        x = b.inport("x", "int32")
+        y = b.inport("y", "int32")
+        b.outport("z", b.subsystem("Mid", mid.build(), x, y))
+        assert run_both(b.build(), [(4, 5)]) == [(9,)]
+
+    def test_inport_dtype_wraps_at_boundary(self):
+        mb = ModelBuilder("narrow")
+        u = mb.inport("u", "int8")  # child narrows to int8
+        mb.outport("y", mb.block("Gain", "g", gain=1)(u))
+        b = ModelBuilder("top")
+        x = b.inport("x", "int32")
+        b.outport("z", b.subsystem("S", mb.build(), x))
+        assert run_both(b.build(), [(200,)]) == [(-56,)]
+
+    def test_needs_child(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("t").block("Subsystem", "S")
+
+
+class TestEnabledSubsystem:
+    def _top(self):
+        b = ModelBuilder("top")
+        en = b.inport("en", "int32")
+        x = b.inport("x", "int32")
+        out = b.block("EnabledSubsystem", "E", child=child_counter(), init_outputs=[0])(en, x)
+        b.outport("y", out)
+        return b.build()
+
+    def test_runs_when_enabled(self):
+        assert [o[0] for o in run_both(self._top(), [(1, 5), (1, 5)])] == [5, 10]
+
+    def test_holds_when_disabled(self):
+        rows = [(1, 5), (0, 100), (0, 100), (1, 5)]
+        assert [o[0] for o in run_both(self._top(), rows)] == [5, 5, 5, 10]
+
+    def test_state_frozen_while_disabled(self):
+        rows = [(1, 1), (0, 99), (1, 1)]
+        assert [o[0] for o in run_both(self._top(), rows)] == [1, 1, 2]
+
+    def test_initial_hold_value(self):
+        assert run_both(self._top(), [(0, 42)]) == [(0,)]
+
+    def test_enable_decision_coverage(self):
+        report = coverage_of(self._top(), [(1, 0), (0, 0)])
+        # enabled + disabled outcomes both hit
+        assert any(
+            "enabled" in d for d in []
+        ) or report.decision_covered >= 2
+
+
+class TestTriggeredSubsystem:
+    def _top(self):
+        b = ModelBuilder("top")
+        trig = b.inport("t", "int32")
+        x = b.inport("x", "int32")
+        out = b.block(
+            "TriggeredSubsystem", "T", child=child_counter(), init_outputs=[0]
+        )(trig, x)
+        b.outport("y", out)
+        return b.build()
+
+    def test_fires_on_rising_edge_only(self):
+        rows = [(0, 5), (1, 5), (1, 5), (0, 5), (1, 5)]
+        #        idle   fire   high   low    fire
+        assert [o[0] for o in run_both(self._top(), rows)] == [0, 5, 5, 5, 10]
+
+
+class TestIfActionGroup:
+    def _top(self, with_else=True):
+        b = ModelBuilder("top")
+        c1 = b.inport("c1", "boolean")
+        c2 = b.inport("c2", "boolean")
+        x = b.inport("x", "int32")
+        params = {
+            "children": [child_gain("b1", 10), child_gain("b2", 100)],
+            "init_outputs": [-1],
+        }
+        if with_else:
+            params["else_child"] = child_gain("belse", 1)
+        out = b.block("If", "IF", **params)(c1, c2, x)
+        b.outport("y", out)
+        return b.build()
+
+    def test_first_true_wins(self):
+        m = self._top()
+        assert run_both(m, [(1, 1, 2)]) == [(20,)]
+        assert run_both(m, [(0, 1, 2)]) == [(200,)]
+
+    def test_else_branch(self):
+        assert run_both(self._top(), [(0, 0, 2)]) == [(2,)]
+
+    def test_no_else_holds_output(self):
+        m = self._top(with_else=False)
+        rows = [(1, 0, 3), (0, 0, 99)]
+        assert [o[0] for o in run_both(m, rows)] == [30, 30]
+
+    def test_no_else_initial_hold(self):
+        m = self._top(with_else=False)
+        assert run_both(m, [(0, 0, 5)]) == [(-1,)]
+
+    def test_decision_outcomes(self):
+        m = self._top()
+        schedule = convert(m)
+        if_decisions = [
+            d for d in schedule.branch_db.decisions if d.block_path == "IF"
+        ]
+        assert len(if_decisions) == 1
+        assert len(if_decisions[0].outcomes) == 3  # branch1, branch2, else
+
+    def test_full_coverage_three_paths(self):
+        m = self._top()
+        report = coverage_of(m, [(1, 0, 1), (0, 1, 1), (0, 0, 1)])
+        if_missing = [d for d in report.missed_decisions if d.startswith("IF")]
+        assert not if_missing
+
+    def test_children_port_mismatch_rejected(self):
+        bad = ModelBuilder("bad")
+        bad.inport("a", "int32")
+        bad.inport("b", "int32")
+        two_in = bad  # child with 2 inports
+        bad2 = ModelBuilder("bad2")
+        bad2.inport("a", "int32")
+        mbad = ModelBuilder("top")
+        with pytest.raises(ModelError):
+            mbad.block(
+                "If", "IF",
+                children=[two_in.model, bad2.model],
+            )
+
+
+class TestSwitchCaseGroup:
+    def _top(self, default=True):
+        b = ModelBuilder("top")
+        sel = b.inport("sel", "int32")
+        x = b.inport("x", "int32")
+        params = {
+            "children": [child_gain("c1", 2), child_gain("c2", 3)],
+            "case_values": [[1, 10], [2]],
+            "init_outputs": [0],
+        }
+        if default:
+            params["default_child"] = child_gain("cd", 0)
+        out = b.block("SwitchCase", "SC", **params)(sel, x)
+        b.outport("y", out)
+        return b.build()
+
+    def test_case_selection(self):
+        m = self._top()
+        assert run_both(m, [(1, 5)]) == [(10,)]
+        assert run_both(m, [(10, 5)]) == [(10,)]  # second value of case 1
+        assert run_both(m, [(2, 5)]) == [(15,)]
+
+    def test_default(self):
+        assert run_both(self._top(), [(99, 5)]) == [(0,)]
+
+    def test_no_default_holds(self):
+        m = self._top(default=False)
+        rows = [(1, 4), (99, 77)]
+        assert [o[0] for o in run_both(m, rows)] == [8, 8]
+
+    def test_duplicate_case_values_rejected(self):
+        b = ModelBuilder("top")
+        with pytest.raises(ModelError):
+            b.block(
+                "SwitchCase", "SC",
+                children=[child_gain("c1", 2), child_gain("c2", 3)],
+                case_values=[[1], [1]],
+            )
+
+    def test_stateful_child_only_advances_when_selected(self):
+        b = ModelBuilder("top")
+        sel = b.inport("sel", "int32")
+        x = b.inport("x", "int32")
+        out = b.block(
+            "SwitchCase", "SC",
+            children=[child_counter("k1"), child_counter("k2")],
+            case_values=[[1], [2]],
+            init_outputs=[0],
+        )(sel, x)
+        b.outport("y", out)
+        m = b.build()
+        rows = [(1, 5), (2, 7), (1, 5)]
+        # k1 counts 5 then (skip) then 10; k2 counts 7
+        assert [o[0] for o in run_both(m, rows)] == [5, 7, 10]

@@ -1,0 +1,83 @@
+"""Tests for the time-based waveform sources and inc/dec blocks."""
+
+import math
+
+import pytest
+
+from repro import ModelBuilder
+from repro.errors import ModelError
+
+from conftest import run_both, single_block_model
+
+
+def source_model(type_name, **params):
+    b = ModelBuilder("w")
+    out = b.block(type_name, "src", **params).out(0)
+    b.outport("y", out)
+    return b.build()
+
+
+class TestStepSource:
+    def test_transition(self):
+        m = source_model("Step", at=2, before=-1.0, after=4.0)
+        outs = [o[0] for o in run_both(m, [()] * 4)]
+        assert outs == [-1.0, -1.0, 4.0, 4.0]
+
+    def test_at_zero_always_after(self):
+        m = source_model("Step", at=0, after=7.0)
+        assert run_both(m, [()]) == [(7.0,)]
+
+    def test_negative_at_rejected(self):
+        with pytest.raises(ModelError):
+            source_model("Step", at=-1)
+
+
+class TestRampSource:
+    def test_slope_and_start(self):
+        m = source_model("Ramp", slope=2.5, start=1.0)
+        outs = [o[0] for o in run_both(m, [()] * 3)]
+        assert outs == [1.0, 3.5, 6.0]
+
+    def test_negative_slope(self):
+        m = source_model("Ramp", slope=-1.0)
+        outs = [o[0] for o in run_both(m, [()] * 3)]
+        assert outs == [0.0, -1.0, -2.0]
+
+
+class TestSineWave:
+    def test_period_and_amplitude(self):
+        m = source_model("SineWave", amplitude=2.0, period=4)
+        outs = [o[0] for o in run_both(m, [()] * 5)]
+        assert outs[0] == pytest.approx(0.0)
+        assert outs[1] == pytest.approx(2.0)
+        assert outs[2] == pytest.approx(0.0, abs=1e-12)
+        assert outs[3] == pytest.approx(-2.0)
+        assert outs[4] == pytest.approx(0.0, abs=1e-12)
+
+    def test_bias(self):
+        m = source_model("SineWave", amplitude=1.0, period=8, bias=10.0)
+        outs = [o[0] for o in run_both(m, [()] * 8)]
+        assert all(9.0 <= v <= 11.0 for v in outs)
+        assert outs[0] == pytest.approx(10.0)
+
+    def test_bad_period(self):
+        with pytest.raises(ModelError):
+            source_model("SineWave", period=1)
+
+
+class TestIncDec:
+    def test_increment(self):
+        m = single_block_model("Increment", {}, ["int32"])
+        assert run_both(m, [(41,)]) == [(42,)]
+
+    def test_decrement(self):
+        m = single_block_model("Decrement", {}, ["int32"])
+        assert run_both(m, [(0,)]) == [(-1,)]
+
+    def test_increment_wraps(self):
+        m = single_block_model("Increment", {}, ["int8"])
+        assert run_both(m, [(127,)]) == [(-128,)]
+
+    def test_decrement_wraps_unsigned(self):
+        m = single_block_model("Decrement", {}, ["uint8"])
+        assert run_both(m, [(0,)]) == [(255,)]

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_bench_lists_models(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "SolarPV" in out and "CPUTask" in out
+
+    def test_codegen_prints_sources(self, capsys):
+        assert main(["codegen", "AFC", "--level", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "class GeneratedModel:" in out
+        assert "def fuzz_test_one_input(" in out
+
+    def test_fuzz_benchmark_with_suite_output(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "suite")
+        assert main(["fuzz", "AFC", "--seconds", "0.5", "--out", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert (tmp_path / "suite" / "index.json").exists()
+        assert list((tmp_path / "suite" / "csv").glob("*.csv"))
+
+    def test_report_replays_suite(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "suite")
+        main(["fuzz", "AFC", "--seconds", "0.5", "--out", out_dir])
+        capsys.readouterr()
+        assert main(["report", "AFC", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: DC" in out
+
+    def test_fuzz_container_path(self, tmp_path, capsys):
+        from repro import model_to_xml, save_container
+        from conftest import demo_model
+
+        path = str(tmp_path / "m.slxz")
+        save_container(model_to_xml(demo_model()), path)
+        assert main(["fuzz", path, "--seconds", "0.5"]) == 0
+        assert "test cases:" in capsys.readouterr().out
+
+    def test_unknown_model_is_error(self, capsys):
+        assert main(["fuzz", "NotAModel", "--seconds", "0.1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_runs_all_tools(self, capsys):
+        assert main(["compare", "AFC", "--seconds", "0.3"]) == 0
+        out = capsys.readouterr().out
+        for tool in ("sldv", "simcotest", "cftcg", "fuzz_only"):
+            assert tool in out

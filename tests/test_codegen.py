@@ -1,0 +1,135 @@
+"""Tests for code synthesis: source shape, instrumentation levels."""
+
+import pytest
+
+from repro import compile_model, convert, generate_model_code
+from repro.codegen.context import EmitContext
+from repro.errors import CodegenError
+
+from conftest import demo_model, single_block_model
+
+
+class TestGeneratedSource:
+    def test_source_is_valid_python(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "model")
+        compile(source, "<test>", "exec")  # must not raise
+
+    def test_class_and_methods_present(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "model")
+        assert "class GeneratedModel:" in source
+        assert "def init(self):" in source
+        assert "def step(self, i_1, i_2):" in source
+
+    def test_model_level_has_cov_writes(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "model")
+        assert "cov[" in source
+        assert "_mcdc(" in source
+
+    def test_none_level_has_no_probes(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "none")
+        assert "cov[" not in source
+        assert "_mcdc(" not in source
+
+    def test_code_level_drops_conditions(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "code")
+        assert "_mcdc(" not in source
+        # some control-flow probes remain (chart transitions)
+        assert "cov[" in source
+
+    def test_bad_level_rejected(self, demo_schedule):
+        with pytest.raises(CodegenError):
+            generate_model_code(demo_schedule, "fancy")
+
+    def test_header_names_model_and_level(self, demo_schedule):
+        source = generate_model_code(demo_schedule, "model")
+        assert "'demo'" in source and "'model'" in source
+
+    def test_deterministic_output(self):
+        a = generate_model_code(convert(demo_model()), "model")
+        b = generate_model_code(convert(demo_model()), "model")
+        assert a == b
+
+
+class TestCompiledModel:
+    def test_instantiate_fresh_recorders(self, demo_schedule):
+        compiled = compile_model(demo_schedule, "model")
+        p1, r1 = compiled.instantiate()
+        p2, r2 = compiled.instantiate()
+        p1.step(1, 100)
+        assert sum(r1.curr) > 0
+        assert sum(r2.curr) == 0  # isolated instances
+
+    def test_shared_recorder(self, demo_schedule):
+        from repro import CoverageRecorder
+
+        compiled = compile_model(demo_schedule, "model")
+        recorder = CoverageRecorder(demo_schedule.branch_db)
+        program, returned = compiled.instantiate(recorder)
+        assert returned is recorder
+        program.step(1, 100)
+        assert sum(recorder.curr) > 0
+
+    def test_outputs_are_tuple(self, demo_schedule):
+        program, _ = compile_model(demo_schedule, "model").instantiate()
+        out = program.step(0, 0)
+        assert isinstance(out, tuple) and len(out) == 2
+
+    def test_levels_agree_on_outputs(self, demo_schedule):
+        rows = [(1, 700), (1, 900), (0, -5), (1, 123456)]
+        outputs = {}
+        for level in ("model", "code", "none"):
+            program, _ = compile_model(demo_schedule, level).instantiate()
+            program.init()
+            outputs[level] = [program.step(*row) for row in rows]
+        assert outputs["model"] == outputs["code"] == outputs["none"]
+
+    def test_source_attached(self, demo_schedule):
+        compiled = compile_model(demo_schedule, "model")
+        assert "GeneratedModel" in compiled.source
+        assert compiled.level == "model"
+        assert compiled.layout is demo_schedule.layout
+
+
+class TestEmitContext:
+    def test_suite_auto_pass(self):
+        ctx = EmitContext("none")
+        with ctx.suite("if x:"):
+            pass
+        assert ctx.lines == ["if x:", "    pass"]
+
+    def test_nested_indentation(self):
+        ctx = EmitContext("model")
+        with ctx.suite("if a:"):
+            ctx.line("x = 1")
+            with ctx.suite("if b:"):
+                ctx.line("y = 2")
+        assert ctx.lines == [
+            "if a:", "    x = 1", "    if b:", "        y = 2",
+        ]
+
+    def test_tmp_names_unique(self):
+        ctx = EmitContext("model")
+        names = {ctx.tmp("t") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_state_registration(self):
+        ctx = EmitContext("model")
+        ctx.path = "A/b/c"
+        attr = ctx.state("x", "0")
+        assert attr.startswith("self._st_")
+        assert ctx.state_inits == [(attr, "0")]
+
+    def test_wrap_none_dtype_passthrough(self):
+        ctx = EmitContext("model")
+        assert ctx.wrap("expr", None) == "expr"
+
+
+class TestStateIsolationAcrossInstances:
+    def test_two_instances_independent(self):
+        m = single_block_model("UnitDelay", {}, ["int32"])
+        compiled = compile_model(convert(m), "model")
+        p1, _ = compiled.instantiate()
+        p2, _ = compiled.instantiate()
+        p1.step(10)
+        assert p2.step(99) == (0,)  # p1's state did not leak
+        assert p1.step(0) == (10,)

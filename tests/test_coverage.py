@@ -1,0 +1,139 @@
+"""Tests for coverage recording and DC/CC/MCDC metric computation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coverage.metrics import (
+    CoverageReport,
+    compute_report,
+    mcdc_independent_conditions,
+)
+from repro.coverage.recorder import CoverageRecorder
+from repro.schedule.branches import BranchDB, BranchDeclarator
+
+
+def make_db():
+    """A small BranchDB: one 2-outcome decision, two conditions + group."""
+    db = BranchDB()
+    decl = BranchDeclarator(db, "blk")
+    decision = decl.decision("d", ("true", "false"))
+    c1 = decl.condition("c1")
+    c2 = decl.condition("c2")
+    group = decl.mcdc_group("g", [c1, c2])
+    return db, decision, (c1, c2), group
+
+
+class TestRecorder:
+    def test_hit_and_commit(self):
+        db, decision, _, _ = make_db()
+        recorder = CoverageRecorder(db)
+        recorder.hit(decision.probe(0))
+        new = recorder.commit_curr()
+        assert new == [decision.probe(0)]
+        assert recorder.total[decision.probe(0)] == 1
+
+    def test_commit_reports_only_new(self):
+        db, decision, _, _ = make_db()
+        recorder = CoverageRecorder(db)
+        recorder.hit(decision.probe(0))
+        recorder.commit_curr()
+        recorder.hit(decision.probe(0))
+        assert recorder.commit_curr() == []
+
+    def test_reset_curr_keeps_identity(self):
+        db, decision, _, _ = make_db()
+        recorder = CoverageRecorder(db)
+        curr = recorder.curr
+        recorder.hit(decision.probe(1))
+        recorder.reset_curr()
+        assert recorder.curr is curr and sum(curr) == 0
+
+    def test_reset_all(self):
+        db, decision, _, group = make_db()
+        recorder = CoverageRecorder(db)
+        recorder.hit(decision.probe(0))
+        recorder.commit_curr()
+        recorder.record_mcdc(group.id, 0b11, 1)
+        recorder.reset_all()
+        assert recorder.covered_probes() == 0
+        assert not recorder.mcdc_vectors[group.id]
+
+    def test_int_bitmap_round_trip(self):
+        db, decision, conds, _ = make_db()
+        recorder = CoverageRecorder(db)
+        recorder.hit(decision.probe(0))
+        recorder.hit(conds[0].probe_true)
+        bitmap = recorder.curr_as_int()
+        recorder.reset_curr()
+        recorder.absorb_int(bitmap)
+        assert recorder.total[decision.probe(0)] == 1
+        assert recorder.total[conds[0].probe_true] == 1
+
+
+class TestMcdcPairs:
+    def test_and_gate_minimal_set(self):
+        vectors = {(0b11, 1), (0b01, 0), (0b10, 0)}  # TT, TF, FT
+        assert mcdc_independent_conditions(vectors, 2) == [True, True]
+
+    def test_tt_ff_shows_nothing(self):
+        vectors = {(0b11, 1), (0b00, 0)}
+        assert mcdc_independent_conditions(vectors, 2) == [False, False]
+
+    def test_one_condition_shown(self):
+        vectors = {(0b11, 1), (0b10, 0)}  # only c1 flips with effect
+        assert mcdc_independent_conditions(vectors, 2) == [True, False]
+
+    def test_pair_must_change_outcome(self):
+        vectors = {(0b01, 0), (0b00, 0)}
+        assert mcdc_independent_conditions(vectors, 2) == [False, False]
+
+    def test_branch_outcomes_supported(self):
+        # if/elseif chains record branch indices as outcomes
+        vectors = {(0b1, 0), (0b0, 2)}
+        assert mcdc_independent_conditions(vectors, 1) == [True]
+
+    def test_empty(self):
+        assert mcdc_independent_conditions(set(), 3) == [False] * 3
+
+
+class TestComputeReport:
+    def test_percentages(self):
+        db, decision, conds, group = make_db()
+        recorder = CoverageRecorder(db)
+        recorder.hit(decision.probe(0))
+        recorder.hit(conds[0].probe_true)
+        recorder.hit(conds[0].probe_false)
+        recorder.commit_curr()
+        report = compute_report(recorder)
+        assert report.decision == 50.0
+        assert report.condition == 50.0
+        assert report.mcdc == 0.0
+        assert 0 < report.probe < 100
+
+    def test_missed_items_labeled(self):
+        db, decision, _, _ = make_db()
+        recorder = CoverageRecorder(db)
+        report = compute_report(recorder)
+        assert "blk:d=true" in report.missed_decisions
+        assert "blk:c1=T" in report.missed_conditions
+
+    def test_empty_db_is_100_percent(self):
+        recorder = CoverageRecorder(BranchDB())
+        report = compute_report(recorder)
+        assert report.decision == report.condition == report.mcdc == 100.0
+
+    def test_as_dict(self):
+        db, _, _, _ = make_db()
+        report = compute_report(CoverageRecorder(db))
+        assert set(report.as_dict()) == {"decision", "condition", "mcdc", "probe"}
+
+    @given(st.sets(st.integers(0, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_probes(self, probes):
+        db, _, _, _ = make_db()
+        recorder = CoverageRecorder(db)
+        for probe in probes:
+            recorder.hit(probe)
+        recorder.commit_curr()
+        report = compute_report(recorder)
+        assert report.decision_covered + report.condition_covered == len(probes)

@@ -1,0 +1,92 @@
+"""Tests for the binary ⇄ CSV test case converter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import convert
+from repro.csvio import case_to_csv, csv_dir_to_suite, csv_to_case, suite_to_csv_dir
+from repro.errors import ParseError
+from repro.fuzzing import TestCase, TestSuite
+
+from conftest import demo_model
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return convert(demo_model()).layout
+
+
+class TestCaseToCsv:
+    def test_header_and_rows(self, layout):
+        data = layout.pack_stream([(1, 700), (0, -5)])
+        text = case_to_csv(data, layout)
+        lines = text.strip().splitlines()
+        assert lines[0] == "time,Enable,Power"
+        assert lines[1] == "0,1,700"
+        assert lines[2] == "1,0,-5"
+
+    def test_partial_tuple_dropped(self, layout):
+        data = layout.pack_stream([(1, 1)]) + b"\xff\xff"
+        text = case_to_csv(data, layout)
+        assert len(text.strip().splitlines()) == 2  # header + 1 row
+
+    def test_round_trip(self, layout):
+        data = layout.pack_stream([(1, 123), (0, -456), (1, 2**31 - 1)])
+        assert csv_to_case(case_to_csv(data, layout), layout) == data
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(-(2**31), 2**31 - 1)),
+        min_size=0, max_size=10,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, rows):
+        layout = convert(demo_model()).layout
+        data = layout.pack_stream(rows)
+        assert csv_to_case(case_to_csv(data, layout), layout) == data
+
+    def test_float_fields_round_trip(self):
+        from repro import ModelBuilder
+
+        b = ModelBuilder("f")
+        x = b.inport("x", "double")
+        b.outport("y", x)
+        layout = convert(b.build()).layout
+        data = layout.pack_stream([(0.1,), (-1e300,), (3.5,)])
+        assert csv_to_case(case_to_csv(data, layout), layout) == data
+
+
+class TestCsvParsing:
+    def test_empty_rejected(self, layout):
+        with pytest.raises(ParseError):
+            csv_to_case("", layout)
+
+    def test_header_mismatch(self, layout):
+        with pytest.raises(ParseError):
+            csv_to_case("time,Wrong,Header\n0,1,2\n", layout)
+
+    def test_cell_count_mismatch(self, layout):
+        with pytest.raises(ParseError):
+            csv_to_case("time,Enable,Power\n0,1\n", layout)
+
+
+class TestSuiteConversion:
+    def test_dir_round_trip(self, layout, tmp_path):
+        suite = TestSuite(tool="cftcg")
+        suite.add(TestCase(layout.pack_stream([(1, 5)]), 0.1))
+        suite.add(TestCase(layout.pack_stream([(0, 9), (1, -2)]), 0.2))
+        paths = suite_to_csv_dir(suite, layout, str(tmp_path))
+        assert len(paths) == 2
+        loaded = csv_dir_to_suite(str(tmp_path), layout)
+        assert [c.data for c in loaded] == [c.data for c in suite]
+
+    def test_loaded_suite_replays_identically(self, layout, tmp_path):
+        """The paper's fair-measurement path: binary -> csv -> coverage."""
+        from repro.fuzzing import Fuzzer, FuzzerConfig
+        from repro.fuzzing.engine import replay_suite
+
+        schedule = convert(demo_model())
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.0, seed=1)).run()
+        suite_to_csv_dir(result.suite, schedule.layout, str(tmp_path))
+        loaded = csv_dir_to_suite(str(tmp_path), schedule.layout)
+        report = replay_suite(schedule, loaded)
+        assert report.as_dict() == result.report.as_dict()

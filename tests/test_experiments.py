@@ -1,0 +1,159 @@
+"""Tests for the experiment harnesses (tiny budgets; shape only)."""
+
+import pytest
+
+from repro.experiments.budget import repeat_count, tool_budget
+from repro.experiments.fig7 import coverage_timeline, run_fig7
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.paper_data import (
+    MODEL_ORDER,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import TOOLS, run_tool
+from repro.experiments.table2 import collect_table2, render_table2
+from repro.experiments.table3 import (
+    average_improvement,
+    render_table3,
+    run_table3,
+)
+from repro.errors import ReproError
+
+
+class TestBudget:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BUDGET", raising=False)
+        monkeypatch.delenv("REPRO_REPEATS", raising=False)
+        assert tool_budget() == 5.0
+        assert repeat_count() == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUDGET", "12.5")
+        monkeypatch.setenv("REPRO_REPEATS", "4")
+        assert tool_budget() == 12.5
+        assert repeat_count() == 4
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUDGET", "soon")
+        monkeypatch.setenv("REPRO_REPEATS", "many")
+        assert tool_budget() == 5.0
+        assert repeat_count() == 2
+
+
+class TestPaperData:
+    def test_all_models_present(self):
+        assert set(PAPER_TABLE2) == set(MODEL_ORDER)
+        assert set(PAPER_TABLE3) == set(MODEL_ORDER)
+
+    def test_table3_tools(self):
+        for model in MODEL_ORDER:
+            assert set(PAPER_TABLE3[model]) == {"sldv", "simcotest", "cftcg"}
+
+    def test_cftcg_dominates_in_paper(self):
+        """Sanity on the transcription: CFTCG leads on nearly every cell."""
+        for model, tools in PAPER_TABLE3.items():
+            for metric_idx in range(3):
+                assert tools["cftcg"][metric_idx] >= tools["sldv"][metric_idx]
+
+
+class TestRunner:
+    def test_all_tools_run(self):
+        from repro.bench import build_schedule
+
+        schedule = build_schedule("AFC")
+        for tool in TOOLS:
+            result = run_tool(tool, schedule, 0.4, seed=0)
+            assert result.elapsed > 0
+
+    def test_unknown_tool(self):
+        from repro.bench import build_schedule
+
+        with pytest.raises(ReproError):
+            run_tool("z3", build_schedule("AFC"), 1.0)
+
+    def test_overrides(self):
+        from repro.bench import build_schedule
+
+        schedule = build_schedule("AFC")
+        result = run_tool(
+            "cftcg", schedule, 10.0, overrides={"max_inputs": 50}
+        )
+        assert result.inputs_executed == 50
+
+    def test_bad_override_key(self):
+        from repro.bench import build_schedule
+
+        with pytest.raises(ReproError):
+            run_tool("cftcg", build_schedule("AFC"), 0.2, overrides={"nope": 1})
+
+
+class TestTable2:
+    def test_collect_and_render(self):
+        rows = collect_table2()
+        assert [r["model"] for r in rows] == list(MODEL_ORDER)
+        text = render_table2(rows)
+        assert "SolarPV" in text and "paper#Branch" in text
+
+
+class TestTable3Harness:
+    def test_small_run_and_improvement(self):
+        rows = run_table3(models=["AFC"], budget=0.8, repeats=1)
+        assert len(rows) == 3
+        text = render_table3(rows)
+        assert "AFC" in text and "cftcg" in text
+        improvements = average_improvement(rows)
+        assert set(improvements) == {"sldv", "simcotest"}
+
+    def test_improvement_math(self):
+        rows = [
+            {"model": "M", "tool": "sldv", "decision": 50.0, "condition": 50.0, "mcdc": 25.0},
+            {"model": "M", "tool": "simcotest", "decision": 40.0, "condition": 50.0, "mcdc": 25.0},
+            {"model": "M", "tool": "cftcg", "decision": 100.0, "condition": 75.0, "mcdc": 75.0},
+        ]
+        improvements = average_improvement(rows)
+        assert improvements["sldv"]["decision"] == pytest.approx(100.0)
+        assert improvements["sldv"]["condition"] == pytest.approx(50.0)
+        assert improvements["sldv"]["mcdc"] == pytest.approx(200.0)
+        assert improvements["simcotest"]["decision"] == pytest.approx(150.0)
+
+
+class TestFig7Harness:
+    def test_timeline_shape(self):
+        from repro.bench import build_schedule
+
+        schedule = build_schedule("AFC")
+        result = run_tool("cftcg", schedule, 0.8, seed=0)
+        points = coverage_timeline(schedule, result)
+        assert points[0] == (0.0, 0.0)
+        values = [pct for _, pct in points]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(result.report.decision, abs=1e-6)
+
+    def test_run_fig7_small(self):
+        curves = run_fig7(models=["AFC"], budget=0.5)
+        assert set(curves) == {"AFC"}
+        assert set(curves["AFC"]) == {"sldv", "simcotest", "cftcg"}
+
+
+class TestFig8Harness:
+    def test_small_run(self):
+        rows = run_fig8(models=["AFC"], budget=0.8, repeats=1)
+        assert len(rows) == 2
+        assert {r["tool"] for r in rows} == {"cftcg", "fuzz_only"}
+        assert "fuzz_only" in render_fig8(rows)
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series_empty(self):
+        assert "(no data)" in format_series("t", [])
+
+    def test_format_series_plot(self):
+        text = format_series("demo", [(0.0, 0.0), (1.0, 50.0), (2.0, 100.0)])
+        assert "100%" in text and "*" in text

@@ -1,0 +1,160 @@
+"""Failure-injection tests: corrupted inputs must fail loudly and typed.
+
+Every deliberate failure surfaces as a :class:`~repro.errors.ReproError`
+subclass — never a bare KeyError/AttributeError — so API users can catch
+one exception type at the boundary.
+"""
+
+import zipfile
+import io
+
+import pytest
+
+from repro import (
+    ModelBuilder,
+    ReproError,
+    convert,
+    load_container,
+    model_from_xml,
+    model_to_xml,
+    save_container,
+)
+from repro.errors import ModelError, ParseError
+from repro.slx.xmlparse import parse_xml
+
+from conftest import demo_model
+
+
+class TestCorruptContainers:
+    def _zip_with(self, entries: dict) -> bytes:
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            for name, data in entries.items():
+                archive.writestr(name, data)
+        return buffer.getvalue()
+
+    def test_truncated_zip(self):
+        blob = save_container(model_to_xml(demo_model()))
+        with pytest.raises(ReproError):
+            load_container(blob[: len(blob) // 2])
+
+    def test_zip_without_model_entry(self):
+        with pytest.raises(ParseError):
+            load_container(self._zip_with({"readme.txt": "hello"}))
+
+    def test_model_entry_with_invalid_xml(self):
+        blob = self._zip_with({"simulink/model.xml": "<Model name='x'"})
+        with pytest.raises(ParseError):
+            load_container(blob)
+
+    def test_model_entry_not_a_model(self):
+        blob = self._zip_with({"simulink/model.xml": "<Other/>"})
+        doc = load_container(blob)
+        with pytest.raises(ParseError):
+            model_from_xml(doc)
+
+
+class TestCorruptModelDocuments:
+    def test_bad_param_json(self):
+        doc = parse_xml(
+            '<Model name="m"><Block type="Gain" name="g">'
+            '<P name="gain">not json</P></Block></Model>'
+        )
+        with pytest.raises(ParseError):
+            model_from_xml(doc)
+
+    def test_missing_required_param_caught_by_validation(self):
+        doc = parse_xml(
+            '<Model name="m"><Block type="Gain" name="g"/></Model>'
+        )
+        with pytest.raises(ModelError):
+            model_from_xml(doc)
+
+    def test_line_to_unknown_block(self):
+        doc = parse_xml(
+            '<Model name="m">'
+            '<Block type="Constant" name="c"><P name="value">1</P></Block>'
+            '<Line src="c" srcPort="0" dst="ghost" dstPort="0"/>'
+            "</Model>"
+        )
+        with pytest.raises(ModelError):
+            model_from_xml(doc)
+
+    def test_child_element_without_model(self):
+        doc = parse_xml(
+            '<Model name="m"><Block type="Subsystem" name="s">'
+            '<Child key="child"/></Block></Model>'
+        )
+        with pytest.raises(ParseError):
+            model_from_xml(doc)
+
+
+class TestHostileFuzzInputs:
+    """The compiled program must never crash, whatever bytes arrive."""
+
+    @pytest.mark.parametrize(
+        "name", ["CPUTask", "TCP", "SolarPV", "AFC", "EVCS"]
+    )
+    def test_adversarial_byte_patterns(self, name):
+        import itertools
+
+        from repro import compile_model
+        from repro.bench import build_schedule
+        from repro.codegen import compile_fuzz_driver
+
+        schedule = build_schedule(name)
+        driver = compile_fuzz_driver(schedule)
+        program, recorder = compile_model(schedule, "model").instantiate()
+        patterns = [
+            bytes(schedule.layout.size * 8),
+            b"\xff" * (schedule.layout.size * 8),
+            b"\x80\x00" * (schedule.layout.size * 4),
+            bytes(itertools.islice(itertools.cycle(range(256)), 200)),
+            b"\x7f\xff\xff\xff" * 50,
+        ]
+        for data in patterns:
+            driver(program, recorder.curr, data, 0)  # must not raise
+
+    def test_float_inport_receives_nan_infinity_bytes(self):
+        import struct
+
+        from repro import compile_model
+        from repro.codegen import compile_fuzz_driver
+
+        b = ModelBuilder("floaty")
+        x = b.inport("x", "single")
+        sat = b.block("Saturation", "s", lower=-1.0, upper=1.0)(x)
+        b.outport("y", sat)
+        schedule = convert(b.build())
+        driver = compile_fuzz_driver(schedule)
+        program, recorder = compile_model(schedule, "model").instantiate()
+        hostile = (
+            struct.pack("<f", float("nan"))
+            + struct.pack("<f", float("inf"))
+            + struct.pack("<f", float("-inf"))
+        )
+        metric, found, total, iters = driver(program, recorder.curr, hostile, 0)
+        assert iters == 3  # executed all three, no crash
+
+
+class TestEngineMisuse:
+    def test_fuzzing_model_without_inports(self):
+        from repro.errors import FuzzingError
+        from repro.fuzzing import Fuzzer
+
+        b = ModelBuilder("silent")
+        c = b.const(1)
+        b.outport("y", c)
+        with pytest.raises(FuzzingError):
+            Fuzzer(convert(b.build()))
+
+    def test_replay_requires_model_level(self):
+        from repro import compile_model
+        from repro.errors import FuzzingError
+        from repro.fuzzing import TestSuite
+        from repro.fuzzing.engine import replay_suite
+
+        schedule = convert(demo_model())
+        wrong = compile_model(schedule, "code")
+        with pytest.raises(FuzzingError):
+            replay_suite(schedule, TestSuite(), compiled=wrong)

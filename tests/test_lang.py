@@ -1,0 +1,285 @@
+"""Tests for the mini action language: parser, analysis, evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dtypes import INT8
+from repro.errors import ParseError, SimulationError
+from repro.lang import (
+    Assign,
+    Bin,
+    Call,
+    If,
+    Name,
+    Num,
+    Unary,
+    assigned_names,
+    eval_expr,
+    eval_guard,
+    exec_program,
+    extract_conditions,
+    number_ifs,
+    parse_expr,
+    parse_program,
+    used_names,
+)
+
+
+class TestParserExpr:
+    def test_number(self):
+        node = parse_expr("42")
+        assert isinstance(node, Num) and node.value == 42
+
+    def test_float(self):
+        assert parse_expr("2.5").value == 2.5
+        assert parse_expr("1e3").value == 1000.0
+
+    def test_name(self):
+        assert parse_expr("abc").id == "abc"
+
+    def test_precedence_mul_over_add(self):
+        node = parse_expr("1 + 2 * 3")
+        assert node.op == "+" and node.right.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        node = parse_expr("a > 1 && b < 2")
+        assert node.op == "&&"
+        assert node.left.op == ">" and node.right.op == "<"
+
+    def test_or_binds_loosest(self):
+        node = parse_expr("a && b || c")
+        assert node.op == "||" and node.left.op == "&&"
+
+    def test_parentheses(self):
+        node = parse_expr("(1 + 2) * 3")
+        assert node.op == "*" and node.left.op == "+"
+
+    def test_unary(self):
+        node = parse_expr("-x")
+        assert isinstance(node, Unary) and node.op == "-"
+        node = parse_expr("!x")
+        assert node.op == "!"
+
+    def test_call(self):
+        node = parse_expr("min(a, b + 1)")
+        assert isinstance(node, Call)
+        assert node.func == "min" and len(node.args) == 2
+
+    def test_call_no_args(self):
+        node = parse_expr("sqrt(x)")
+        assert node.func == "sqrt"
+
+    def test_comments_ignored(self):
+        node = parse_expr("3 # trailing comment")
+        assert node.value == 3
+
+    def test_percent_is_modulo_not_comment(self):
+        # regression: '%' must lex as the mod operator (f % 2 extracts a
+        # flag bit in the TCP benchmark), never as a MATLAB comment
+        node = parse_expr("f % 2")
+        assert node.op == "%"
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expr("a $ b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 2")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")
+
+
+class TestParserStatements:
+    def test_assignment(self):
+        prog = parse_program("x = 1")
+        assert isinstance(prog.body[0], Assign)
+        assert prog.body[0].target == "x"
+
+    def test_sequence_newlines_and_semicolons(self):
+        prog = parse_program("x = 1\ny = 2; z = 3")
+        assert len(prog.body) == 3
+
+    def test_if_else(self):
+        prog = parse_program("if a > 0\n x = 1\nelse\n x = 2\nend")
+        stmt = prog.body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.branches) == 1 and len(stmt.orelse) == 1
+
+    def test_elseif_chain(self):
+        prog = parse_program(
+            "if a > 0\n x = 1\nelseif a < 0\n x = 2\nelse\n x = 3\nend"
+        )
+        assert len(prog.body[0].branches) == 2
+
+    def test_nested_if(self):
+        prog = parse_program(
+            "if a\n if b\n  x = 1\n end\nend"
+        )
+        inner = prog.body[0].branches[0][1][0]
+        assert isinstance(inner, If)
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("if a\n x = 1")
+
+    def test_number_ifs_static_order(self):
+        prog = parse_program(
+            "if a\n if b\n  x = 1\n end\nelse\n if c\n  x = 2\n end\nend"
+        )
+        count = number_ifs(prog)
+        assert count == 3
+        outer = prog.body[0]
+        assert outer._if_index == 0
+        assert outer.branches[0][1][0]._if_index == 1
+        assert outer.orelse[0]._if_index == 2
+
+
+class TestAnalysis:
+    def test_extract_single_atom(self):
+        atoms, skeleton = extract_conditions(parse_expr("a > 1"))
+        assert len(atoms) == 1
+
+    def test_extract_compound(self):
+        atoms, _ = extract_conditions(parse_expr("a > 1 && (b || !c)"))
+        assert len(atoms) == 3
+
+    def test_negation_operand_is_atom(self):
+        atoms, _ = extract_conditions(parse_expr("!(x < 5)"))
+        assert len(atoms) == 1 and atoms[0].op == "<"
+
+    def test_used_names(self):
+        prog = parse_program("x = a + b\nif c > 0\n y = d\nend")
+        assert used_names(prog) == {"a", "b", "c", "d"}
+
+    def test_assigned_names(self):
+        prog = parse_program("x = 1\nif a\n y = 2\nelse\n z = 3\nend")
+        assert assigned_names(prog) == {"x", "y", "z"}
+
+
+class TestEval:
+    def test_arithmetic(self):
+        assert eval_expr(parse_expr("2 + 3 * 4"), {}) == 14
+
+    def test_division_is_total(self):
+        assert eval_expr(parse_expr("5 / 0"), {}) == 0
+        assert eval_expr(parse_expr("7 / 2"), {}) == 3  # C truncation
+        assert eval_expr(parse_expr("0 - 7 / 2"), {}) == -3
+
+    def test_float_division(self):
+        assert eval_expr(parse_expr("7.0 / 2"), {}) == 3.5
+
+    def test_mod(self):
+        assert eval_expr(parse_expr("7 % 3"), {}) == 1
+        assert eval_expr(parse_expr("7 % 0"), {}) == 0
+
+    def test_comparisons_return_int(self):
+        assert eval_expr(parse_expr("3 < 4"), {}) == 1
+        assert eval_expr(parse_expr("3 >= 4"), {}) == 0
+
+    def test_boolean_ops(self):
+        env = {"a": 1, "b": 0}
+        assert eval_expr(parse_expr("a && b"), env) == 0
+        assert eval_expr(parse_expr("a || b"), env) == 1
+        assert eval_expr(parse_expr("!b"), env) == 1
+
+    def test_bitwise(self):
+        assert eval_expr(parse_expr("6 & 3"), {}) == 2
+        assert eval_expr(parse_expr("6 | 3"), {}) == 7
+
+    def test_builtins(self):
+        assert eval_expr(parse_expr("max(2, 5)"), {}) == 5
+        assert eval_expr(parse_expr("abs(0 - 4)"), {}) == 4
+        assert eval_expr(parse_expr("sqrt(0 - 1)"), {}) == 0.0
+
+    def test_undefined_variable(self):
+        with pytest.raises(SimulationError):
+            eval_expr(parse_expr("zzz"), {})
+
+    def test_unknown_function(self):
+        with pytest.raises(SimulationError):
+            eval_expr(parse_expr("frobnicate(1)"), {})
+
+
+class TestGuardEval:
+    def test_outcome_and_truths(self):
+        atoms, skeleton = extract_conditions(parse_expr("a > 0 && b > 0"))
+        outcome, truths, margin, _ = eval_guard(atoms, skeleton, {"a": 1, "b": -1})
+        assert outcome == 0 and truths == [1, 0]
+
+    def test_margin_sign(self):
+        atoms, skeleton = extract_conditions(parse_expr("a > 10"))
+        _, _, margin_true, _ = eval_guard(atoms, skeleton, {"a": 50})
+        _, _, margin_false, _ = eval_guard(atoms, skeleton, {"a": 0})
+        assert margin_true > 0 > margin_false
+
+    def test_and_takes_min_margin(self):
+        atoms, skeleton = extract_conditions(parse_expr("a > 0 && a > 100"))
+        outcome, _, margin, _ = eval_guard(atoms, skeleton, {"a": 50})
+        assert outcome == 0 and margin == -50.0
+
+    def test_or_takes_max_margin(self):
+        atoms, skeleton = extract_conditions(parse_expr("a > 0 || a > 100"))
+        outcome, _, margin, _ = eval_guard(atoms, skeleton, {"a": 50})
+        assert outcome == 1 and margin == 50.0
+
+    def test_negation_flips(self):
+        atoms, skeleton = extract_conditions(parse_expr("!(a > 0)"))
+        outcome, truths, margin, _ = eval_guard(atoms, skeleton, {"a": 5})
+        assert outcome == 0 and truths == [1] and margin < 0
+
+
+class TestExecProgram:
+    def _run(self, src, env, wrap_map=None, hook=None):
+        prog = parse_program(src)
+        number_ifs(prog)
+        exec_program(prog, env, if_hook=hook, wrap_map=wrap_map)
+        return env
+
+    def test_straight_line(self):
+        env = self._run("x = 1\ny = x + 2", {})
+        assert env["y"] == 3
+
+    def test_if_taken(self):
+        env = self._run("if a > 0\n x = 1\nelse\n x = 2\nend", {"a": 5})
+        assert env["x"] == 1
+
+    def test_else_taken(self):
+        env = self._run("if a > 0\n x = 1\nelse\n x = 2\nend", {"a": -5})
+        assert env["x"] == 2
+
+    def test_elseif_short_circuits_later_guards(self):
+        calls = []
+
+        def hook(if_index, taken, guards):
+            calls.append((if_index, taken, len(guards)))
+
+        self._run(
+            "if a > 0\n x = 1\nelseif b > 0\n x = 2\nend",
+            {"a": 1, "b": 1},
+            hook=hook,
+        )
+        # only the first guard was evaluated
+        assert calls == [(0, 0, 1)]
+
+    def test_hook_reports_else(self):
+        calls = []
+        self._run(
+            "if a > 0\n x = 1\nend",
+            {"a": -1, "x": 0},
+            hook=lambda i, t, g: calls.append((i, t)),
+        )
+        assert calls == [(0, 1)]  # 1 == implicit else
+
+    def test_wrap_map_applies(self):
+        env = self._run("x = 200", {}, wrap_map={"x": INT8})
+        assert env["x"] == -56
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_max_of_two_program(self, a, b):
+        env = self._run(
+            "if a >= b\n m = a\nelse\n m = b\nend", {"a": a, "b": b}
+        )
+        assert env["m"] == max(a, b)

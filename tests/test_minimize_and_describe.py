@@ -1,0 +1,105 @@
+"""Tests for suite minimization and model description."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import convert
+from repro.fuzzing import Fuzzer, FuzzerConfig, TestCase, TestSuite, minimize_suite
+from repro.fuzzing.engine import replay_suite
+from repro.model.describe import describe_model, describe_schedule
+
+from conftest import demo_model
+
+
+class TestMinimize:
+    def test_preserves_probe_coverage(self):
+        schedule = convert(demo_model())
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=2.0, seed=1)).run()
+        reduced = minimize_suite(schedule, result.suite)
+        assert len(reduced) <= len(result.suite)
+        before = replay_suite(schedule, result.suite)
+        after = replay_suite(schedule, reduced)
+        assert after.decision == before.decision
+        assert after.condition == before.condition
+
+    def test_drops_duplicates(self):
+        schedule = convert(demo_model())
+        data = schedule.layout.pack_stream([(1, 700)])
+        suite = TestSuite([TestCase(data, 0.1), TestCase(data, 0.2), TestCase(data, 0.3)])
+        reduced = minimize_suite(schedule, suite)
+        assert len(reduced) == 1
+        assert reduced.cases[0].found_at == 0.1  # earliest kept
+
+    def test_drops_zero_gain_cases(self):
+        schedule = convert(demo_model())
+        rich = schedule.layout.pack_stream([(1, 700), (0, -5), (1, 900)])
+        subset = schedule.layout.pack_stream([(1, 700)])
+        suite = TestSuite([TestCase(rich, 0.0), TestCase(subset, 1.0)])
+        reduced = minimize_suite(schedule, suite)
+        assert [c.data for c in reduced] == [rich]
+
+    def test_empty_suite(self):
+        schedule = convert(demo_model())
+        assert len(minimize_suite(schedule, TestSuite())) == 0
+
+    def test_keeps_timestamp_order(self):
+        schedule = convert(demo_model())
+        result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.5, seed=2)).run()
+        reduced = minimize_suite(schedule, result.suite)
+        times = [c.found_at for c in reduced]
+        assert times == sorted(times)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_idempotent(self, seed):
+        schedule = convert(demo_model())
+        rng = random.Random(seed)
+        suite = TestSuite(
+            [
+                TestCase(
+                    bytes(rng.randrange(256) for _ in range(schedule.layout.size * 3)),
+                    float(i),
+                )
+                for i in range(5)
+            ]
+        )
+        once = minimize_suite(schedule, suite)
+        twice = minimize_suite(schedule, once)
+        assert [c.data for c in once] == [c.data for c in twice]
+
+
+class TestDescribe:
+    def test_model_tree(self):
+        text = describe_model(demo_model())
+        assert "demo (" in text
+        assert "- Lim: Saturation" in text and "lower=0" in text
+        assert "- Ctl: Chart" in text
+
+    def test_nested_children_rendered(self):
+        from repro.bench import build_model
+
+        text = describe_model(build_model("SolarPV"))
+        assert "PanelRouter: SwitchCase" in text
+        assert "ChargeCtl: Chart" in text  # nested inside panel children
+
+    def test_schedule_summary(self):
+        schedule = convert(demo_model())
+        text = describe_schedule(schedule)
+        assert "inport tuple: 5 bytes" in text
+        assert "decisions" in text
+        assert "Gate:switch" in text
+
+    def test_cli_minimize_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = str(tmp_path / "suite")
+        main(["fuzz", "AFC", "--seconds", "1.0", "--out", out_dir])
+        capsys.readouterr()
+        reduced_dir = str(tmp_path / "reduced")
+        assert main(["minimize", "AFC", out_dir, "--out", reduced_dir]) == 0
+        out = capsys.readouterr().out
+        assert "minimized" in out
+        loaded = TestSuite.load(reduced_dir)
+        assert len(loaded) >= 1

@@ -1,0 +1,187 @@
+"""Tests for the model container, builder API and validation."""
+
+import pytest
+
+from repro import ModelBuilder, block_registry
+from repro.errors import ModelError
+from repro.model.model import Connection, Model, child_models
+
+
+class TestModel:
+    def test_add_block_and_connect(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", "int32")
+        b.outport("y", u)
+        m = b.build()
+        assert set(m.blocks) == {"u", "y"}
+        assert m.connections == [Connection("u", 0, "y", 0)]
+
+    def test_duplicate_block_name(self):
+        b = ModelBuilder("m")
+        b.inport("u", "int32")
+        with pytest.raises(ModelError):
+            b.block("Gain", "u", gain=1)
+
+    def test_double_driven_input_rejected(self):
+        m = Model("m")
+        registry = block_registry()
+        m.add_block(registry["Inport"]("a", index=1, dtype="int32"))
+        m.add_block(registry["Inport"]("b", index=2, dtype="int32"))
+        m.add_block(registry["Outport"]("y", index=1))
+        m.connect("a", 0, "y", 0)
+        with pytest.raises(ModelError):
+            m.connect("b", 0, "y", 0)
+
+    def test_unknown_block_in_connect(self):
+        m = Model("m")
+        with pytest.raises(ModelError):
+            m.connect("nope", 0, "alsono", 0)
+
+    def test_bad_port_index(self):
+        m = Model("m")
+        registry = block_registry()
+        m.add_block(registry["Inport"]("a", index=1, dtype="int32"))
+        m.add_block(registry["Outport"]("y", index=1))
+        with pytest.raises(ModelError):
+            m.connect("a", 1, "y", 0)
+        with pytest.raises(ModelError):
+            m.connect("a", 0, "y", 3)
+
+    def test_validate_unconnected_input(self):
+        b = ModelBuilder("m")
+        b.inport("u", "int32")
+        b.block("Gain", "g", gain=2)  # input never wired
+        with pytest.raises(ModelError):
+            b.build()
+
+    def test_validate_sparse_port_indices(self):
+        m = Model("m")
+        registry = block_registry()
+        m.add_block(registry["Inport"]("a", index=2, dtype="int32"))  # no index 1
+        with pytest.raises(ModelError):
+            m.validate()
+
+    def test_inports_sorted_by_index(self):
+        b = ModelBuilder("m")
+        first = b.inport("first", "int32")
+        second = b.inport("second", "int8")
+        b.outport("y1", first)
+        b.outport("y2", second)
+        m = b.build()
+        assert [p.name for p in m.inports()] == ["first", "second"]
+
+    def test_driver_and_consumers(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", "int32")
+        g1 = b.block("Gain", "g1", gain=1)(u)
+        g2 = b.block("Gain", "g2", gain=2)(u)
+        b.outport("y1", g1)
+        b.outport("y2", g2)
+        m = b.build()
+        assert m.driver_of("g1", 0) == ("u", 0)
+        assert set(m.consumers_of("u", 0)) == {("g1", 0), ("g2", 0)}
+
+    def test_block_count_includes_children(self):
+        child = ModelBuilder("c")
+        cu = child.inport("u", "int32")
+        child.outport("y", cu)
+        b = ModelBuilder("top")
+        u = b.inport("u", "int32")
+        out = b.subsystem("S", child.build(), u)
+        b.outport("y", out)
+        m = b.build()
+        assert m.block_count() == 5  # u, S, y + child's u, y
+
+    def test_walk_paths(self):
+        child = ModelBuilder("inner")
+        cu = child.inport("u", "int32")
+        child.outport("y", cu)
+        b = ModelBuilder("top")
+        u = b.inport("u", "int32")
+        out = b.subsystem("S", child.build(), u)
+        b.outport("y", out)
+        paths = [p for p, _ in b.build().walk()]
+        assert "S/inner/u" in paths
+
+    def test_child_models_helper(self):
+        child = ModelBuilder("c")
+        cu = child.inport("u", "int32")
+        child.outport("y", cu)
+        b = ModelBuilder("top")
+        u = b.inport("u", "int32")
+        out = b.subsystem("S", child.build(), u)
+        b.outport("y", out)
+        block = b.build().blocks["S"]
+        assert len(child_models(block)) == 1
+
+    def test_block_name_with_slash_rejected(self):
+        registry = block_registry()
+        with pytest.raises(ModelError):
+            registry["Gain"]("a/b", gain=1)
+
+
+class TestBuilder:
+    def test_wire_arity_check(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", "int32")
+        with pytest.raises(ModelError):
+            b.block("Sum", "s", signs="++")(u)  # needs two inputs
+
+    def test_cross_builder_signal_rejected(self):
+        b1 = ModelBuilder("m1")
+        u1 = b1.inport("u", "int32")
+        b2 = ModelBuilder("m2")
+        with pytest.raises(ModelError):
+            b2.block("Gain", "g", gain=1)(u1)
+
+    def test_unknown_block_type(self):
+        with pytest.raises(ModelError):
+            ModelBuilder("m").block("FluxCapacitor", "f")
+
+    def test_anonymous_names_unique(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", "int32")
+        g1 = b.block("Gain", gain=1)(u)
+        g2 = b.block("Gain", gain=2)(u)
+        b.outport("y1", g1)
+        b.outport("y2", g2)
+        assert len(b.build().blocks) == 5
+
+    def test_const_dtype_defaults(self):
+        b = ModelBuilder("m")
+        c_int = b.const(5)
+        c_float = b.const(5.0)
+        b.outport("a", c_int)
+        b.outport("b", c_float)
+        m = b.build()
+        consts = m.blocks_of_type("Constant")
+        dtypes = {blk.params["dtype"].name for blk in consts}
+        assert dtypes == {"int32", "double"}
+
+    def test_multi_output_handle(self):
+        b = ModelBuilder("m")
+        u = b.inport("u", "int32")
+        fn = b.block(
+            "MatlabFunction", "f",
+            inputs=["u"],
+            outputs=[("a", "int32"), ("b", "int32")],
+            body="a = u\nb = u + 1",
+        )(u)
+        assert isinstance(fn, tuple) and len(fn) == 2
+        b.outport("ya", fn[0])
+        b.outport("yb", fn[1])
+        b.build()
+
+
+class TestRegistry:
+    def test_has_50_plus_blocks(self):
+        assert len(block_registry()) >= 45
+
+    def test_core_types_present(self):
+        registry = block_registry()
+        for name in (
+            "Inport", "Outport", "Sum", "Gain", "Switch", "Saturation",
+            "UnitDelay", "Chart", "MatlabFunction", "Logical", "If",
+            "SwitchCase", "EnabledSubsystem", "Lookup1D",
+        ):
+            assert name in registry, name

@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CoverageRecorder, compile_model, convert
+from repro.coverage.iteration import iteration_difference_metric
+from repro.coverage.metrics import compute_report
+from repro.dtypes import ALL_DTYPES
+from repro.fuzzing.engine import replay_suite
+from repro.fuzzing.testcase import TestCase, TestSuite
+from repro.parser.inport_info import InportField, TupleLayout
+
+from conftest import demo_model
+
+dtype_st = st.sampled_from([d for d in ALL_DTYPES])
+
+
+# -------------------------------------------------------------------- #
+# tuple layout invariants
+# -------------------------------------------------------------------- #
+@st.composite
+def layouts(draw):
+    dtypes = draw(st.lists(dtype_st, min_size=1, max_size=6))
+    fields = []
+    offset = 0
+    for i, dtype in enumerate(dtypes):
+        fields.append(InportField("f%d" % i, dtype, offset))
+        offset += dtype.size
+    return TupleLayout(fields)
+
+
+@given(layouts(), st.binary(min_size=0, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_layout_pack_of_unpack_is_canonical(layout, data):
+    """unpack→pack→unpack is a fixpoint (canonicalisation)."""
+    rows = list(layout.iter_tuples(data))
+    packed = layout.pack_stream(rows)
+    assert len(packed) == len(rows) * layout.size
+    assert list(layout.iter_tuples(packed)) == rows
+
+
+@given(layouts(), st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_layout_tuple_count(layout, n):
+    data = bytes(layout.size * n) + b"\x01" * (layout.size // 2)
+    assert len(list(layout.iter_tuples(data))) == n
+
+
+# -------------------------------------------------------------------- #
+# iteration difference metric invariants
+# -------------------------------------------------------------------- #
+bitmaps = st.lists(st.integers(0, 1), min_size=4, max_size=4)
+
+
+@given(st.lists(bitmaps, min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_metric_bounds(iterations):
+    metric = iteration_difference_metric(iterations)
+    assert 0 <= metric <= len(iterations) * 4
+    # first iteration contributes exactly its popcount
+    assert metric >= sum(iterations[0]) - 4 * (len(iterations) - 1) * 0
+
+
+@given(bitmaps, st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_metric_of_repeated_iteration_is_first_popcount(bitmap, repeats):
+    metric = iteration_difference_metric([bitmap] * repeats)
+    assert metric == sum(bitmap)
+
+
+@given(st.lists(bitmaps, min_size=2, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_metric_triangle_per_step(iterations):
+    """Each step's contribution is the Hamming distance to its
+    predecessor, so dropping the last iteration can only shrink it."""
+    full = iteration_difference_metric(iterations)
+    shorter = iteration_difference_metric(iterations[:-1])
+    assert shorter <= full
+
+
+# -------------------------------------------------------------------- #
+# replay / coverage invariants
+# -------------------------------------------------------------------- #
+def _random_suite(schedule, seed, n_cases):
+    rng = random.Random(seed)
+    suite = TestSuite()
+    for _ in range(n_cases):
+        n = rng.randint(1, 6)
+        suite.add(
+            TestCase(
+                bytes(rng.randrange(256) for _ in range(schedule.layout.size * n)),
+                0.0,
+            )
+        )
+    return suite
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_replay_is_deterministic(seed):
+    schedule = convert(demo_model())
+    suite = _random_suite(schedule, seed, 4)
+    a = replay_suite(schedule, suite)
+    b = replay_suite(schedule, suite)
+    assert a.as_dict() == b.as_dict()
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=15, deadline=None)
+def test_coverage_monotone_in_suite(seed):
+    """Adding test cases never reduces any coverage metric."""
+    schedule = convert(demo_model())
+    big = _random_suite(schedule, seed, 5)
+    small = TestSuite(list(big.cases[:2]))
+    report_small = replay_suite(schedule, small)
+    report_big = replay_suite(schedule, big)
+    assert report_big.decision >= report_small.decision
+    assert report_big.condition >= report_small.condition
+    assert report_big.mcdc >= report_small.mcdc
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=10, deadline=None)
+def test_probe_counts_consistent(seed):
+    """covered probes == decision outcomes hit + condition values hit."""
+    schedule = convert(demo_model())
+    compiled = compile_model(schedule, "model")
+    recorder = CoverageRecorder(schedule.branch_db)
+    program, _ = compiled.instantiate(recorder)
+    rng = random.Random(seed)
+    program.init()
+    for _ in range(15):
+        raw = bytes(rng.randrange(256) for _ in range(schedule.layout.size))
+        recorder.reset_curr()
+        program.step(*schedule.layout.unpack_tuple(raw))
+        recorder.commit_curr()
+    report = compute_report(recorder)
+    assert (
+        report.probe_covered
+        == report.decision_covered + report.condition_covered
+    )

@@ -1,0 +1,136 @@
+"""Tests for the codegen runtime helpers and Python expression emission."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.runtime import runtime_globals, sat_name, wrapper_name
+from repro.dtypes import ALL_DTYPES, INT8, INT32, SINGLE, UINT16, wrap
+from repro.errors import CodegenError
+from repro.lang.ops import BUILTIN_IMPLS, safe_div, safe_mod, safe_sqrt
+from repro.lang.parser import parse_expr
+from repro.lang.pyemit import emit_expr
+from repro.lang.interp import eval_expr
+
+
+class TestSafeOps:
+    def test_div_int_truncates_toward_zero(self):
+        assert safe_div(7, 2) == 3
+        assert safe_div(-7, 2) == -3
+        assert safe_div(7, -2) == -3
+        assert safe_div(-7, -2) == 3
+
+    def test_div_zero(self):
+        assert safe_div(5, 0) == 0
+        assert safe_div(5.0, 0) == 0.0
+
+    def test_div_float(self):
+        assert safe_div(7.0, 2.0) == 3.5
+
+    def test_mod_sign_of_dividend(self):
+        assert safe_mod(7, 3) == 1
+        assert safe_mod(-7, 3) == -1
+        assert safe_mod(7, -3) == 1
+
+    def test_mod_zero(self):
+        assert safe_mod(9, 0) == 0
+
+    def test_sqrt_negative(self):
+        assert safe_sqrt(-1) == 0.0
+        assert safe_sqrt(4) == 2.0
+
+    def test_exp_clamps(self):
+        assert BUILTIN_IMPLS["exp"](10_000) == math.inf
+
+    def test_sign_builtin(self):
+        sign = BUILTIN_IMPLS["sign"]
+        assert (sign(-3), sign(0), sign(9)) == (-1, 0, 1)
+
+    @given(st.integers(-10_000, 10_000), st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        # C identity: (a/b)*b + a%b == a  (when b != 0)
+        if b != 0:
+            assert safe_div(a, b) * b + safe_mod(a, b) == a
+
+
+class TestRuntimeGlobals:
+    def test_all_wrappers_present(self):
+        env = runtime_globals()
+        for dtype in ALL_DTYPES:
+            assert wrapper_name(dtype) in env
+            assert sat_name(dtype) in env
+
+    def test_wrappers_match_wrap(self):
+        env = runtime_globals()
+        for dtype in ALL_DTYPES:
+            fn = env[wrapper_name(dtype)]
+            for value in (-1000000, -1, 0, 1, 200, 2**33, 0.5, -3.7):
+                assert fn(value) == wrap(value, dtype), (dtype.name, value)
+
+    def test_builtins_prefixed(self):
+        env = runtime_globals()
+        for name in BUILTIN_IMPLS:
+            assert "_f_%s" % name in env
+
+    def test_lookup_helpers(self):
+        env = runtime_globals()
+        assert env["_lookup1d"](5.0, (0.0, 10.0), (0.0, 100.0)) == 50.0
+
+
+class TestEmitExpr:
+    def _both(self, source, env):
+        """Evaluate via the interpreter and via emitted Python code."""
+        node = parse_expr(source)
+        interpreted = eval_expr(node, env)
+        var_map = {name: name for name in env}
+        code = emit_expr(node, var_map)
+        globals_ = runtime_globals()
+        compiled = eval(code, globals_, dict(env))
+        assert compiled == interpreted, (source, code)
+        return interpreted
+
+    def test_arithmetic(self):
+        assert self._both("a * 2 + b", {"a": 3, "b": 1}) == 7
+
+    def test_division(self):
+        assert self._both("a / b", {"a": 7, "b": 2}) == 3
+        assert self._both("a / b", {"a": 7, "b": 0}) == 0
+
+    def test_comparisons(self):
+        assert self._both("a < b", {"a": 1, "b": 2}) == 1
+
+    def test_boolean(self):
+        assert self._both("a && !b || a > 5", {"a": 1, "b": 1}) == 0
+
+    def test_calls(self):
+        assert self._both("max(a, abs(b))", {"a": 2, "b": -9}) == 9
+
+    def test_bitwise(self):
+        assert self._both("a & b | 8", {"a": 6, "b": 3}) == 10
+
+    @given(
+        st.integers(-100, 100), st.integers(-100, 100), st.integers(-10, 10)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_arithmetic_agree(self, a, b, c):
+        self._both("(a + b) * c - a / (b + 1)", {"a": a, "b": b, "c": c})
+        self._both("a > b && b >= c || !(a == c)", {"a": a, "b": b, "c": c})
+
+    def test_unmapped_name_rejected(self):
+        with pytest.raises(CodegenError):
+            emit_expr(parse_expr("mystery"), {})
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(CodegenError):
+            emit_expr(parse_expr("blorp(1)"), {})
+
+    def test_condition_ref_requires_names(self):
+        from repro.lang.analysis import extract_conditions
+
+        _, skeleton = extract_conditions(parse_expr("a > 0 && b > 0"))
+        with pytest.raises(CodegenError):
+            emit_expr(skeleton, {"a": "a", "b": "b"})
+        code = emit_expr(skeleton, {}, cond_names=["c0", "c1"])
+        assert "c0" in code and "c1" in code

@@ -1,0 +1,140 @@
+"""Tests for schedule conversion: ordering, feedthrough, BranchDB."""
+
+import pytest
+
+from repro import ModelBuilder, convert
+from repro.errors import ScheduleError
+from repro.schedule.graph import topological_order
+
+from conftest import demo_model
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        order = topological_order(["a", "b", "c"], {"a": {"b"}, "b": {"c"}})
+        assert order == ["a", "b", "c"]
+
+    def test_stable_ties(self):
+        order = topological_order(["x", "y", "z"], {})
+        assert order == ["x", "y", "z"]
+
+    def test_cycle_raises(self):
+        with pytest.raises(ScheduleError):
+            topological_order(["a", "b"], {"a": {"b"}, "b": {"a"}})
+
+    def test_diamond(self):
+        order = topological_order(
+            ["s", "l", "r", "t"], {"s": {"l", "r"}, "l": {"t"}, "r": {"t"}}
+        )
+        assert order.index("s") == 0 and order.index("t") == 3
+
+
+class TestScheduleConversion:
+    def test_order_respects_dataflow(self):
+        schedule = convert(demo_model())
+        order = schedule.root.order
+        assert order.index("Lim") < order.index("Gate")
+        assert order.index("Gate") < order.index("Add")
+        assert order.index("Add") < order.index("Ctl")
+
+    def test_unit_delay_scheduled_free(self):
+        # the delay has no feedthrough input, so it can run before its driver
+        schedule = convert(demo_model())
+        order = schedule.root.order
+        assert order.index("Acc") < order.index("Add")
+
+    def test_deterministic(self):
+        a = convert(demo_model())
+        b = convert(demo_model())
+        assert a.root.order == b.root.order
+        assert a.branch_db.n_probes == b.branch_db.n_probes
+        assert [d.label for d in a.branch_db.decisions] == [
+            d.label for d in b.branch_db.decisions
+        ]
+
+    def test_dtype_resolution(self):
+        schedule = convert(demo_model())
+        assert schedule.root.dtypes[("Add", 0)].name == "int32"
+        assert schedule.root.dtypes[("Hi", 0)].name == "boolean"
+
+    def test_layout_matches_inports(self):
+        schedule = convert(demo_model())
+        assert [f.name for f in schedule.layout.fields] == ["Enable", "Power"]
+        assert schedule.layout.size == 5  # boolean(1) + int32(4)
+
+    def test_probe_ids_dense_and_unique(self):
+        db = convert(demo_model()).branch_db
+        seen = set()
+        for decision in db.decisions:
+            for probe in decision.probes:
+                assert probe not in seen
+                seen.add(probe)
+        for condition in db.conditions:
+            for probe in (condition.probe_true, condition.probe_false):
+                assert probe not in seen
+                seen.add(probe)
+        assert seen == set(range(db.n_probes))
+
+
+class TestSubsystemFeedthrough:
+    def _wrap(self, child_model):
+        # direct feedback: Sum -> Subsystem -> Sum (no delay in the loop);
+        # legal only if the child has no inport->outport feedthrough
+        b = ModelBuilder("top")
+        u = b.inport("u", "int32")
+        sub = b.block("Subsystem", "S", child=child_model)
+        total = b.block("Sum", "outer_s", signs="++")(u, sub.out(0))
+        b.wire("S", [total])
+        b.outport("y", total)
+        return b.build()
+
+    def test_feedthrough_child_creates_loop(self):
+        child = ModelBuilder("ft")
+        cu = child.inport("u", "int32")
+        child.outport("y", child.block("Gain", "g", gain=1)(cu))
+        with pytest.raises(ScheduleError):
+            convert(self._wrap(child.build()))
+
+    def test_delay_child_breaks_loop(self):
+        child = ModelBuilder("nft")
+        cu = child.inport("u", "int32")
+        d = child.block("UnitDelay", "d", dtype="int32")(cu)
+        child.outport("y", d)
+        convert(self._wrap(child.build()))  # no raise
+
+    def test_ft_matrix_contents(self):
+        child = ModelBuilder("m2")
+        a = child.inport("a", "int32")
+        bb = child.inport("b", "int32")
+        child.outport("ya", child.block("Gain", "g", gain=1)(a))
+        child.outport("yb", child.block("UnitDelay", "d", dtype="int32")(bb))
+        b = ModelBuilder("top")
+        x = b.inport("x", "int32")
+        y = b.inport("y", "int32")
+        outs = b.subsystem("S", child.build(), x, y)
+        b.outport("o1", outs[0])
+        b.outport("o2", outs[1])
+        schedule = convert(b.build())
+        child_sched = schedule.root.children["S"][0]
+        assert child_sched.ft_matrix[1] == {1}  # a feeds ya directly
+        assert child_sched.ft_matrix[2] == set()  # b blocked by the delay
+
+
+class TestBranchDeclarationOrder:
+    def test_declaration_follows_schedule_order(self, demo_schedule):
+        db = demo_schedule.branch_db
+        paths = [d.block_path for d in db.decisions]
+        order = demo_schedule.root.order
+        positions = [order.index(p.split("/")[0]) for p in paths]
+        assert positions == sorted(positions)
+
+    def test_per_block_lookup(self, demo_schedule):
+        branches = demo_schedule.branch_db.block_branches("Lim")
+        assert len(branches.decisions) == 2
+        empty = demo_schedule.branch_db.block_branches("NotABlock")
+        assert empty.empty
+
+    def test_summary_counts(self, demo_schedule):
+        summary = demo_schedule.branch_db.summary()
+        assert summary["probes"] == demo_schedule.branch_db.n_probes
+        assert summary["decisions"] == len(demo_schedule.branch_db.decisions)

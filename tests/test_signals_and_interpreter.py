@@ -1,0 +1,147 @@
+"""Tests for signal shapes, the interpreter engine, and the monitor."""
+
+import random
+
+import pytest
+
+from repro import CoverageRecorder, ModelInstance, convert
+from repro.dtypes import BOOLEAN, DOUBLE, INT8, INT16
+from repro.errors import SimulationError
+from repro.simulate.monitor import SignalMonitor, SignalStats
+from repro.simulate.signals import SignalSpec, render_signal, signal_catalog
+
+from conftest import demo_model
+
+
+class TestSignalSpecs:
+    def test_constant(self):
+        values = render_signal(SignalSpec("constant", base=5.0), 4, DOUBLE)
+        assert values == [5.0] * 4
+
+    def test_step_switches_at_fraction(self):
+        spec = SignalSpec("step", base=0.0, amp=10.0, at=0.5)
+        values = render_signal(spec, 4, DOUBLE)
+        assert values == [0.0, 0.0, 10.0, 10.0]
+
+    def test_ramp_endpoints(self):
+        spec = SignalSpec("ramp", base=0.0, amp=9.0)
+        values = render_signal(spec, 10, DOUBLE)
+        assert values[0] == 0.0 and values[-1] == 9.0
+
+    def test_pulse_duty(self):
+        spec = SignalSpec("pulse", base=0.0, amp=1.0, period=4, duty=0.5)
+        values = render_signal(spec, 8, DOUBLE)
+        assert values == [1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
+
+    def test_sine_bounded(self):
+        spec = SignalSpec("sine", base=0.0, amp=3.0, period=8)
+        values = render_signal(spec, 32, DOUBLE)
+        assert all(-3.0 <= v <= 3.0 for v in values)
+
+    def test_noise_needs_rng(self):
+        with pytest.raises(SimulationError):
+            render_signal(SignalSpec("noise", amp=1.0), 3, DOUBLE)
+
+    def test_noise_with_rng(self):
+        rng = random.Random(0)
+        values = render_signal(SignalSpec("noise", amp=5.0), 50, DOUBLE, rng)
+        assert all(-5.0 <= v <= 5.0 for v in values)
+
+    def test_int_clipping(self):
+        spec = SignalSpec("constant", base=1e9)
+        values = render_signal(spec, 2, INT16)
+        assert values == [32767, 32767]
+
+    def test_boolean_threshold(self):
+        spec = SignalSpec("constant", base=0.4)
+        assert render_signal(spec, 1, BOOLEAN) == [1]
+        spec = SignalSpec("constant", base=-2.0)
+        assert render_signal(spec, 1, BOOLEAN) == [0]
+
+    def test_unknown_shape(self):
+        with pytest.raises(SimulationError):
+            SignalSpec("sawtooth")
+
+    def test_catalog(self):
+        assert len(signal_catalog) == 6
+
+    def test_int8_values_in_range(self):
+        rng = random.Random(1)
+        for shape in signal_catalog:
+            spec = SignalSpec(shape, base=300.0, amp=500.0, period=4)
+            for value in render_signal(spec, 16, INT8, rng):
+                assert -128 <= value <= 127
+
+
+class TestInterpreter:
+    def test_wrong_arity(self):
+        instance = ModelInstance(convert(demo_model()))
+        instance.init()
+        with pytest.raises(SimulationError):
+            instance.step(1)
+
+    def test_init_resets_state(self):
+        schedule = convert(demo_model())
+        instance = ModelInstance(schedule)
+        instance.init()
+        instance.step(1, 700)
+        total_after = instance.step(0, 0)[1]
+        assert total_after == 700
+        instance.init()
+        assert instance.step(0, 0)[1] == 0
+
+    def test_without_recorder_no_crash(self):
+        instance = ModelInstance(convert(demo_model()), recorder=None)
+        instance.init()
+        instance.step(1, 100)
+
+    def test_distance_hook_receives_margins(self):
+        events = []
+        schedule = convert(demo_model())
+        instance = ModelInstance(
+            schedule,
+            distance_hook=lambda d, o, m: events.append((d.label, o, m)),
+        )
+        instance.init()
+        instance.step(1, 700)
+        assert events
+        labels = {label for label, _, _ in events}
+        assert "switch" in labels
+        switch_events = [e for e in events if e[0] == "switch"]
+        assert switch_events[0][2] is not None  # margins provided
+
+
+class TestSignalMonitor:
+    def test_stats_running_min_max(self):
+        stats = SignalStats()
+        for value in (3, -1, 7):
+            stats.record(value)
+        assert stats.minimum == -1 and stats.maximum == 7
+        assert stats.count == 3 and stats.last == 7
+        assert stats.mean == pytest.approx(3.0)
+
+    def test_monitor_records_per_signal(self):
+        monitor = SignalMonitor()
+        monitor.record("", "blk", 0, 1.5)
+        monitor.record("", "blk", 0, 2.5)
+        monitor.record("", "other", 0, 9)
+        assert len(monitor) == 2
+        assert monitor.stats("", "blk", 0).count == 2
+
+    def test_interpreter_populates_monitor(self):
+        schedule = convert(demo_model())
+        instance = ModelInstance(schedule)
+        instance.init()
+        instance.step(1, 100)
+        assert len(instance.monitor) > 3
+        # model init + steps accumulate samples
+        instance.step(1, 100)
+        stats = instance.monitor.stats("", "Add", 0)
+        assert stats.count == 2
+
+    def test_monitor_disable(self):
+        schedule = convert(demo_model())
+        instance = ModelInstance(schedule, monitor=None)
+        instance.init()
+        instance.step(1, 100)
+        assert instance.monitor is None

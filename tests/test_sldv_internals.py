@@ -1,0 +1,145 @@
+"""Tests for the constraint-directed solver's search machinery."""
+
+import time
+from random import Random
+
+import pytest
+
+from repro import ModelBuilder, convert
+from repro.baselines.sldv import SldvConfig, SldvGenerator
+from repro.lang.analysis import extract_conditions
+from repro.lang.interp import eval_guard
+from repro.lang.parser import parse_expr
+
+
+class TestBranchDistanceComposition:
+    def _margin(self, source, env):
+        atoms, skeleton = extract_conditions(parse_expr(source))
+        _, _, margin, _ = eval_guard(atoms, skeleton, env)
+        return margin
+
+    def test_false_and_sums_shortfalls(self):
+        # both conjuncts unsatisfied: distances add (no ridge plateaus)
+        margin = self._margin("a > 10 && b > 20", {"a": 0, "b": 0})
+        assert margin == pytest.approx(-(10 + 20))
+
+    def test_false_and_one_satisfied(self):
+        margin = self._margin("a > 10 && b > 20", {"a": 50, "b": 0})
+        assert margin == pytest.approx(-20)
+
+    def test_true_and_takes_weakest(self):
+        margin = self._margin("a > 10 && b > 20", {"a": 11, "b": 100})
+        assert margin == pytest.approx(1)
+
+    def test_or_takes_closest(self):
+        margin = self._margin("a > 10 || b > 20", {"a": 5, "b": 0})
+        assert margin == pytest.approx(-5)
+
+    def test_gradient_exists_on_coupled_equality(self):
+        """Moving either variable changes the distance (the ridge fix)."""
+        env0 = {"a": 0, "b": 0}
+        env1 = {"a": 1, "b": 0}
+        m0 = self._margin("a == b * 7 + 13 && b > 500", env0)
+        m1 = self._margin("a == b * 7 + 13 && b > 500", env1)
+        assert m0 != m1
+
+
+def window_model():
+    """y depends on u being inside a narrow window."""
+    b = ModelBuilder("window")
+    u = b.inport("u", "int32")
+    v = b.inport("v", "int32")
+    fn = b.block(
+        "MatlabFunction", "f",
+        inputs=["u", "v"],
+        outputs=[("y", "int8")],
+        body=(
+            "y = 0\n"
+            "if u > 1234 && u < 1250\n"
+            "  y = 1\n"
+            "end\n"
+            "if v == u * 2\n"
+            "  y = y + 2\n"
+            "end\n"
+        ),
+    )(u, v)
+    b.outport("y", fn)
+    return convert(b.build())
+
+
+class TestAvmSearch:
+    def test_solves_narrow_window(self):
+        schedule = window_model()
+        gen = SldvGenerator(schedule, SldvConfig(horizon=2, seed=0))
+        target = schedule.branch_db.decisions[0]  # if0: the window
+        matrix, fitness, evals = gen._avm_search(
+            gen._zero_matrix(), target.id, 0, time.perf_counter() + 20, 2000
+        )
+        assert fitness < 0
+        assert 1234 < matrix[0][0] < 1250 or 1234 < matrix[1][0] < 1250
+
+    def test_solves_coupled_equality(self):
+        schedule = window_model()
+        gen = SldvGenerator(schedule, SldvConfig(horizon=2, seed=0))
+        target = schedule.branch_db.decisions[1]  # if1: v == u * 2
+        matrix, fitness, _ = gen._avm_search(
+            gen._zero_matrix(), target.id, 0, time.perf_counter() + 20, 2000
+        )
+        assert fitness < 0  # trivially true at zero, or solved
+
+    def test_with_column_uniform(self):
+        schedule = window_model()
+        gen = SldvGenerator(schedule, SldvConfig(horizon=3))
+        matrix = gen._zero_matrix()
+        shifted = gen._with_column(matrix, 0, 5)
+        assert all(row[0] == 5 for row in shifted)
+        assert all(row[1] == 0 for row in shifted)
+
+    def test_with_cell_clamps_to_dtype(self):
+        schedule = window_model()
+        gen = SldvGenerator(schedule, SldvConfig(horizon=2))
+        out = gen._with_cell(gen._zero_matrix(), 0, 0, 2**40)
+        assert out[0][0] == 2**31 - 1
+
+    def test_evaluate_unreached_penalty(self):
+        """A decision gated behind another branch reads as unreached."""
+        b = ModelBuilder("gated")
+        u = b.inport("u", "int32")
+        fn = b.block(
+            "MatlabFunction", "f",
+            inputs=["u"],
+            outputs=[("y", "int8")],
+            body=(
+                "y = 0\n"
+                "if u > 1000000\n"
+                "  if u > 2000000\n"
+                "    y = 1\n"
+                "  end\n"
+                "end\n"
+            ),
+        )(u)
+        b.outport("y", fn)
+        schedule = convert(b.build())
+        gen = SldvGenerator(schedule, SldvConfig(horizon=2))
+        inner = schedule.branch_db.decisions[1]
+        fitness = gen._evaluate(gen._zero_matrix(), inner.id, 0)
+        assert fitness >= 1.0e9  # inner never evaluated at u = 0
+
+    def test_distances_not_capped(self):
+        """Regression: distances beyond 1000 must stay ordered (the
+        _NO_MARGIN sentinel used to flatten every large distance)."""
+        schedule = window_model()
+        gen = SldvGenerator(schedule, SldvConfig(horizon=1))
+        target = schedule.branch_db.decisions[0]
+        far = gen._evaluate([[10**6, 0]], target.id, 0)
+        near = gen._evaluate([[2000, 0]], target.id, 0)
+        assert far > near > 0
+
+
+class TestTargetedSolving:
+    def test_targets_filter(self):
+        schedule = window_model()
+        decision = schedule.branch_db.decisions[0]
+        config = SldvConfig(max_seconds=3.0, targets=[(decision.id, 0)])
+        result = SldvGenerator(schedule, config).run()
+        assert len(result.suite) <= 1  # at most the one requested target

@@ -1,0 +1,143 @@
+"""Tests for the XML parser, SLX-like container, and model serialization."""
+
+import pytest
+
+from repro import (
+    convert,
+    load_container,
+    model_from_xml,
+    model_to_xml,
+    save_container,
+)
+from repro.errors import ParseError
+from repro.slx.xmlparse import XmlNode, parse_xml, serialize_xml
+
+from conftest import demo_model, run_both
+
+
+class TestXmlParser:
+    def test_simple_element(self):
+        node = parse_xml("<a/>")
+        assert node.tag == "a" and not node.children
+
+    def test_attributes_both_quotes(self):
+        node = parse_xml("""<a x="1" y='two'/>""")
+        assert node.attrs == {"x": "1", "y": "two"}
+
+    def test_nested_children(self):
+        node = parse_xml("<a><b/><c><d/></c></a>")
+        assert [c.tag for c in node.children] == ["b", "c"]
+        assert node.find("c").find("d") is not None
+
+    def test_text_content(self):
+        node = parse_xml("<a>hello world</a>")
+        assert node.text == "hello world"
+
+    def test_entities(self):
+        node = parse_xml("<a>1 &lt; 2 &amp;&amp; x</a>")
+        assert node.text == "1 < 2 && x"
+
+    def test_numeric_entities(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_declaration_and_comments_skipped(self):
+        node = parse_xml('<?xml version="1.0"?><!-- hi --><a><!-- inner --><b/></a>')
+        assert node.tag == "a" and len(node.children) == 1
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a><b></a>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_xml("<a/><b/>")
+
+    def test_serialize_round_trip(self):
+        node = XmlNode("root", {"k": 'va"l'})
+        child = node.add(XmlNode("child"))
+        child.text = "x < y & z"
+        text = serialize_xml(node)
+        back = parse_xml(text)
+        assert back.attrs == {"k": 'va"l'}
+        assert back.find("child").text == "x < y & z"
+
+
+class TestModelXml:
+    def test_round_trip_preserves_behaviour(self):
+        model = demo_model()
+        doc = model_to_xml(model)
+        restored = model_from_xml(doc)
+        rows = [(1, 700), (1, 900), (0, 5), (1, -100)]
+        assert run_both(model, rows) == run_both(restored, rows)
+
+    def test_round_trip_preserves_structure(self):
+        model = demo_model()
+        restored = model_from_xml(model_to_xml(model))
+        assert set(restored.blocks) == set(model.blocks)
+        assert len(restored.connections) == len(model.connections)
+        assert (
+            convert(restored).branch_db.n_probes
+            == convert(model).branch_db.n_probes
+        )
+
+    def test_nested_subsystems_round_trip(self):
+        from repro.bench.registry import build_model
+
+        model = build_model("SolarPV")  # SwitchCase children + If children
+        restored = model_from_xml(model_to_xml(model))
+        assert restored.block_count() == model.block_count()
+        rows = [(1, 700, 1), (1, 900, 2), (0, 5, 3)]
+        assert run_both(model, rows) == run_both(restored, rows)
+
+    def test_unknown_block_type_rejected(self):
+        doc = parse_xml('<Model name="m"><Block type="Nope" name="x"/></Model>')
+        with pytest.raises(ParseError):
+            model_from_xml(doc)
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(ParseError):
+            model_from_xml(parse_xml("<NotAModel name='m'/>"))
+
+
+class TestContainer:
+    def test_save_load_bytes(self):
+        doc = model_to_xml(demo_model())
+        blob = save_container(doc)
+        restored_doc = load_container(blob)
+        restored = model_from_xml(restored_doc)
+        assert set(restored.blocks) == set(demo_model().blocks)
+
+    def test_save_load_file(self, tmp_path):
+        path = str(tmp_path / "demo.slxz")
+        save_container(model_to_xml(demo_model()), path)
+        model = model_from_xml(load_container(path))
+        assert model.name == "demo"
+
+    def test_not_a_zip(self):
+        with pytest.raises(ParseError):
+            load_container(b"this is not a zip archive")
+
+    def test_missing_model_entry(self, tmp_path):
+        import zipfile
+
+        path = str(tmp_path / "bad.slxz")
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("other.txt", "hi")
+        with pytest.raises(ParseError):
+            load_container(path)
+
+    def test_full_pipeline_container_to_fuzzer(self, tmp_path):
+        """End to end: save container, load, parse, schedule, fuzz."""
+        from repro.fuzzing import Fuzzer, FuzzerConfig
+
+        blob = save_container(model_to_xml(demo_model()))
+        model = model_from_xml(load_container(blob))
+        schedule = convert(model)
+        result = Fuzzer(
+            schedule, FuzzerConfig(max_seconds=0.5, seed=0)
+        ).run()
+        assert result.inputs_executed > 0

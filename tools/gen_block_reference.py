@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Generate docs/blocks.md — the block library reference — from the
+registry's docstrings and structural metadata.
+
+Run:  python tools/gen_block_reference.py
+"""
+
+import inspect
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.model.block import block_registry  # noqa: E402
+
+HEADER = """# Block library reference
+
+Auto-generated from the registry by ``tools/gen_block_reference.py``.
+Every block implements both executable semantics (interpreter) and a code
+template (generator); the test suite cross-validates them.
+
+| column | meaning |
+|---|---|
+| in/out | default port counts (― = parameter-dependent) |
+| state | keeps data across steps (has an update phase) |
+| branches | contributes decisions/conditions to the BranchDB |
+"""
+
+
+def first_line(doc):
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0].rstrip(".")
+
+
+def declares_branches(cls):
+    return "declare_branches" in cls.__dict__
+
+
+def main():
+    registry = block_registry()
+    groups = {}
+    for name, cls in sorted(registry.items()):
+        module = cls.__module__.rsplit(".", 1)[-1]
+        groups.setdefault(module, []).append((name, cls))
+
+    lines = [HEADER]
+    for module in sorted(groups):
+        lines.append("\n## %s\n" % module)
+        lines.append("| block | in | out | state | branches | summary |")
+        lines.append("|---|---|---|---|---|---|")
+        for name, cls in groups[module]:
+            dynamic_in = "n_inputs" in cls.__dict__ or "validate_params" in cls.__dict__
+            lines.append(
+                "| `%s` | %s | %s | %s | %s | %s |"
+                % (
+                    name,
+                    cls.n_in if not dynamic_in else "―",
+                    cls.n_out,
+                    "yes" if cls.has_state else "",
+                    "yes" if declares_branches(cls) else "",
+                    first_line(inspect.getdoc(cls)),
+                )
+            )
+        for name, cls in groups[module]:
+            doc = inspect.getdoc(cls) or ""
+            if "Params:" in doc:
+                lines.append("\n### `%s`\n" % name)
+                lines.append("```")
+                lines.append(doc)
+                lines.append("```")
+
+    out_path = os.path.join(
+        os.path.dirname(__file__), "..", "docs", "blocks.md"
+    )
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print("wrote %s (%d blocks)" % (out_path, len(registry)))
+
+
+if __name__ == "__main__":
+    main()
