@@ -34,8 +34,16 @@ class FuzzOnlyConfig:
     max_inputs: Optional[int] = None
 
 
-def run_fuzz_only(schedule: Schedule, config: Optional[FuzzOnlyConfig] = None) -> FuzzResult:
-    """Run the ablation; returns the replayed-coverage result."""
+def run_fuzz_only(
+    schedule: Schedule,
+    config: Optional[FuzzOnlyConfig] = None,
+    compiled=None,
+) -> FuzzResult:
+    """Run the ablation; returns the replayed-coverage result.
+
+    ``compiled`` is an optional cached *model-level* artifact used only
+    for the final suite replay — guidance still runs at code level.
+    """
     config = config or FuzzOnlyConfig()
     fuzzer_config = FuzzerConfig(
         max_seconds=config.max_seconds,
@@ -47,6 +55,6 @@ def run_fuzz_only(schedule: Schedule, config: Optional[FuzzOnlyConfig] = None) -
         # without model probes full coverage is invisible to the engine
         stop_on_full_coverage=False,
     )
-    result = Fuzzer(schedule, fuzzer_config).run()
+    result = Fuzzer(schedule, fuzzer_config, replay_compiled=compiled).run()
     result.suite.tool = "fuzz_only"
     return result

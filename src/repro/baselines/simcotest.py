@@ -84,10 +84,16 @@ def _distance(a: Sequence[float], b: Sequence[float]) -> float:
 class SimCoTestGenerator:
     """Signal-shape novelty search over the interpreted model."""
 
-    def __init__(self, schedule: Schedule, config: Optional[SimCoTestConfig] = None):
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: Optional[SimCoTestConfig] = None,
+        compiled=None,
+    ):
         self.schedule = schedule
         self.config = config or SimCoTestConfig()
         self.layout = schedule.layout
+        self.compiled = compiled  # cached model-level artifact for replay
         self._instance = ModelInstance(schedule)  # no recorder: blind search
 
     # ------------------------------------------------------------------ #
@@ -192,7 +198,7 @@ class SimCoTestGenerator:
                     archive.pop(0)
 
         elapsed = time.perf_counter() - start
-        report = replay_suite(self.schedule, suite)
+        report = replay_suite(self.schedule, suite, compiled=self.compiled)
         return FuzzResult(
             suite=suite,
             report=report,

@@ -72,10 +72,16 @@ class _Trace:
 class SldvGenerator:
     """Constraint-directed bounded-horizon test generator."""
 
-    def __init__(self, schedule: Schedule, config: Optional[SldvConfig] = None):
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: Optional[SldvConfig] = None,
+        compiled=None,
+    ):
         self.schedule = schedule
         self.config = config or SldvConfig()
         self.layout = schedule.layout
+        self.compiled = compiled  # cached model-level artifact for replay
         self._trace = _Trace()
         self._instance = ModelInstance(schedule, distance_hook=self._trace)
 
@@ -327,7 +333,7 @@ class SldvGenerator:
             # SLDV's undecided objectives under resource limits
 
         elapsed = time.perf_counter() - start
-        report = replay_suite(self.schedule, suite)
+        report = replay_suite(self.schedule, suite, compiled=self.compiled)
         return FuzzResult(
             suite=suite,
             report=report,

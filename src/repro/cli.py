@@ -23,7 +23,7 @@ from .bench.registry import build_schedule, model_names
 from .codegen import generate_fuzz_driver, generate_model_code
 from .csvio import suite_to_csv_dir
 from .errors import ReproError
-from .fuzzing import Fuzzer, FuzzerConfig, TestSuite
+from .fuzzing import FuzzerConfig, TestSuite
 from .fuzzing.engine import replay_suite
 from .parser import model_from_xml
 from .schedule import convert
@@ -45,12 +45,25 @@ def _load_schedule(target: str):
 
 
 def _cmd_fuzz(args) -> int:
+    from .fuzzing.parallel import run_campaign
+
     schedule = _load_schedule(args.model)
-    config = FuzzerConfig(max_seconds=args.seconds, seed=args.seed)
-    result = Fuzzer(schedule, config).run()
+    config = FuzzerConfig(
+        max_seconds=args.seconds,
+        seed=args.seed,
+        workers=args.workers,
+        sync_rounds=args.sync_rounds,
+    )
+    result = run_campaign(schedule, config)
     print(
-        "executed %d inputs (%.0f model iterations/s)"
-        % (result.inputs_executed, result.iterations_per_second)
+        "executed %d inputs (%.0f model iterations/s, %.0f execs/s, %d worker%s)"
+        % (
+            result.inputs_executed,
+            result.iterations_per_second,
+            result.execs_per_second,
+            config.workers,
+            "s" if config.workers != 1 else "",
+        )
     )
     print("coverage:", result.report)
     print("test cases: %d" % len(result.suite))
@@ -74,13 +87,15 @@ def _cmd_codegen(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from .codegen import compile_model
     from .experiments.report import format_table
     from .experiments.runner import TOOLS, run_tool
 
     schedule = _load_schedule(args.model)
+    compiled = compile_model(schedule, "model")  # shared replay artifact
     rows = []
     for tool in TOOLS:
-        result = run_tool(tool, schedule, args.seconds, seed=args.seed)
+        result = run_tool(tool, schedule, args.seconds, seed=args.seed, compiled=compiled)
         rows.append(
             [
                 tool,
@@ -95,17 +110,19 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from .codegen import compile_model
+
     schedule = _load_schedule(args.model)
     suite = TestSuite.load(args.suite)
-    report = replay_suite(schedule, suite)
+    compiled = compile_model(schedule, "model")
+    report = replay_suite(schedule, suite, compiled=compiled)
     print("suite: %d cases (tool: %s)" % (len(suite), suite.tool))
     print("coverage:", report)
     if args.verbose:
-        from .codegen import compile_model
         from .coverage import CoverageRecorder, render_annotated
 
         recorder = CoverageRecorder(schedule.branch_db)
-        replay_suite(schedule, suite, recorder=recorder)
+        replay_suite(schedule, suite, compiled=compiled, recorder=recorder)
         print(render_annotated(recorder))
     return 0
 
@@ -121,14 +138,16 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_minimize(args) -> int:
+    from .codegen import compile_model
     from .fuzzing.minimize import minimize_suite
     from .fuzzing.engine import replay_suite
 
     schedule = _load_schedule(args.model)
     suite = TestSuite.load(args.suite)
-    reduced = minimize_suite(schedule, suite)
-    before = replay_suite(schedule, suite)
-    after = replay_suite(schedule, reduced)
+    compiled = compile_model(schedule, "model")  # one compile for all passes
+    reduced = minimize_suite(schedule, suite, compiled=compiled)
+    before = replay_suite(schedule, suite, compiled=compiled)
+    after = replay_suite(schedule, reduced, compiled=compiled)
     print("minimized %d -> %d cases" % (len(suite), len(reduced)))
     print("before:", before)
     print("after :", after)
@@ -157,6 +176,19 @@ def main(argv=None) -> int:
     p.add_argument("model", help="benchmark name or .slxz path")
     p.add_argument("--seconds", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel campaign workers (1 = classic single-process loop)",
+    )
+    p.add_argument(
+        "--sync-rounds",
+        type=int,
+        default=4,
+        dest="sync_rounds",
+        help="corpus-merge sync epochs in a multi-worker campaign",
+    )
     p.add_argument("--out", help="directory for the generated suite")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fuzz)

@@ -7,9 +7,11 @@ from typing import Dict, Optional
 from ..baselines.fuzz_only import FuzzOnlyConfig, run_fuzz_only
 from ..baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
 from ..baselines.sldv import SldvConfig, SldvGenerator
+from ..codegen.compile import CompiledModel
 from ..errors import ReproError
-from ..fuzzing.engine import Fuzzer, FuzzerConfig, FuzzResult
+from ..fuzzing.engine import FuzzerConfig, FuzzResult
 from ..fuzzing.hybrid import HybridConfig, HybridFuzzer
+from ..fuzzing.parallel import run_campaign
 from ..schedule.schedule import Schedule
 
 __all__ = ["TOOLS", "run_tool"]
@@ -25,34 +27,41 @@ def run_tool(
     max_seconds: float,
     seed: int = 0,
     overrides: Optional[Dict] = None,
+    compiled: Optional[CompiledModel] = None,
 ) -> FuzzResult:
     """Run one generation tool on one model schedule.
 
     ``overrides`` tweaks the tool's config dataclass fields (used by
-    ablation benches).  Every result's coverage was replayed on the fully
-    instrumented model, so numbers are directly comparable.
+    ablation benches); ``overrides={"workers": N}`` on ``cftcg`` runs the
+    multi-worker campaign.  ``compiled`` is an optional cached
+    model-level artifact shared across tools on the same schedule, so
+    suite replay doesn't recompile the model per tool.  Every result's
+    coverage was replayed on the fully instrumented model, so numbers are
+    directly comparable.
     """
     overrides = overrides or {}
+    if compiled is not None and compiled.level != "model":
+        raise ReproError("run_tool needs a model-level compiled artifact")
     if tool == "cftcg":
         config = FuzzerConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return Fuzzer(schedule, config).run()
+        return run_campaign(schedule, config, compiled=compiled)
     if tool == "sldv":
         config = SldvConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return SldvGenerator(schedule, config).run()
+        return SldvGenerator(schedule, config, compiled=compiled).run()
     if tool == "simcotest":
         config = SimCoTestConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return SimCoTestGenerator(schedule, config).run()
+        return SimCoTestGenerator(schedule, config, compiled=compiled).run()
     if tool == "fuzz_only":
         config = FuzzOnlyConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return run_fuzz_only(schedule, config)
+        return run_fuzz_only(schedule, config, compiled=compiled)
     if tool == "hybrid":
         config = HybridConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return HybridFuzzer(schedule, config).run()
+        return HybridFuzzer(schedule, config, compiled=compiled).run()
     raise ReproError("unknown tool %r (have: %s)" % (tool, ", ".join(TOOLS)))
 
 

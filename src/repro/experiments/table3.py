@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..bench.registry import build_schedule
+from ..codegen.compile import compile_model
 from .budget import repeat_count, tool_budget
 from .paper_data import MODEL_ORDER, PAPER_TABLE3
 from .report import format_table
@@ -37,10 +38,11 @@ def run_table3(
     rows: List[Dict] = []
     for name in models:
         schedule = build_schedule(name)
+        compiled = compile_model(schedule, "model")  # shared replay artifact
         for tool in TABLE3_TOOLS:
             seeds = range(repeats) if tool in _RANDOMIZED else range(1)
             reports = [
-                run_tool(tool, schedule, budget, seed=seed).report
+                run_tool(tool, schedule, budget, seed=seed, compiled=compiled).report
                 for seed in seeds
             ]
             rows.append(

@@ -15,9 +15,10 @@ The ablation knobs reproduce the paper's "Fuzz Only" configuration:
 """
 
 from .corpus import Corpus, CorpusEntry
-from .engine import Fuzzer, FuzzerConfig, FuzzResult, replay_suite
+from .engine import Fuzzer, FuzzerConfig, FuzzResult, FuzzState, replay_suite
 from .hybrid import HybridConfig, HybridFuzzer
-from .minimize import minimize_suite
+from .minimize import case_bitmap, greedy_cover, minimize_suite
+from .parallel import ParallelFuzzer, merge_seed_pool, run_campaign
 from .mutations import (
     MUTATION_STRATEGIES,
     GENERIC_STRATEGIES,
@@ -32,10 +33,16 @@ __all__ = [
     "Fuzzer",
     "FuzzerConfig",
     "FuzzResult",
+    "FuzzState",
     "HybridConfig",
     "HybridFuzzer",
+    "ParallelFuzzer",
+    "case_bitmap",
+    "greedy_cover",
+    "merge_seed_pool",
     "minimize_suite",
     "replay_suite",
+    "run_campaign",
     "GENERIC_STRATEGIES",
     "MUTATION_STRATEGIES",
     "TestCase",

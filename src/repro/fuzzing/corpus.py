@@ -66,8 +66,13 @@ class Corpus:
             )
             self.entries.remove(victim)
 
-    def select(self, rng) -> Optional[CorpusEntry]:
-        """Pick a parent: metric-proportional with recency preference."""
+    def select(self, rng, bump: bool = True) -> Optional[CorpusEntry]:
+        """Pick a parent: metric-proportional with recency preference.
+
+        ``bump=False`` leaves the entry's ``selections`` counter untouched —
+        use it for auxiliary picks (e.g. crossover partners) so they don't
+        look hotter than they are to the eviction policy in :meth:`add`.
+        """
         if not self.entries:
             return None
         # favor the freshest quarter half the time (LibFuzzer-ish energy)
@@ -92,7 +97,8 @@ class Corpus:
             if pick <= acc:
                 chosen = entry
                 break
-        chosen.selections += 1
+        if bump:
+            chosen.selections += 1
         return chosen
 
     def best_metric(self) -> int:

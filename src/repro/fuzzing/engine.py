@@ -32,7 +32,10 @@ from .corpus import Corpus, CorpusEntry
 from .mutations import mutate_field_wise, mutate_generic
 from .testcase import TestCase, TestSuite
 
-__all__ = ["FuzzerConfig", "FuzzResult", "Fuzzer", "replay_suite"]
+__all__ = ["FuzzerConfig", "FuzzResult", "FuzzState", "Fuzzer", "replay_suite"]
+
+#: multiplier decorrelating the per-slice RNG streams of resumed runs
+_SLICE_SEED_STRIDE = 0x9E3779B1
 
 
 @dataclass
@@ -54,6 +57,32 @@ class FuzzerConfig:
     #: extra initial corpus inputs (byte streams), e.g. solver-produced
     #: seeds from the hybrid constraint-assisted mode (paper §5/§6)
     seeds: Optional[List[bytes]] = None
+    #: campaign parallelism (LibFuzzer's -workers); 1 = the classic
+    #: single-process loop, >1 is handled by :mod:`repro.fuzzing.parallel`
+    workers: int = 1
+    #: corpus-merge sync epochs in a multi-worker campaign
+    sync_rounds: int = 4
+
+
+@dataclass
+class FuzzState:
+    """Resumable campaign state — everything :meth:`Fuzzer.resume` touches.
+
+    The state is a plain picklable value so a parallel campaign can ship
+    it to a worker process, run a budget slice, and ship it back for the
+    shared-corpus merge.  ``elapsed`` accumulates across slices, keeping
+    test-case timestamps and the timeline monotone over a whole campaign.
+    """
+
+    corpus: Corpus
+    suite: TestSuite
+    total_int: int = 0
+    inputs_executed: int = 0
+    iterations_executed: int = 0
+    elapsed: float = 0.0
+    timeline: List = field(default_factory=list)  # (t, probes_covered)
+    seeded: bool = False  # initial seed inputs already executed?
+    rounds: int = 0  # completed resume slices
 
 
 @dataclass
@@ -84,6 +113,7 @@ class Fuzzer:
         schedule: Schedule,
         config: Optional[FuzzerConfig] = None,
         compiled: Optional[CompiledModel] = None,
+        replay_compiled: Optional[CompiledModel] = None,
     ):
         self.schedule = schedule
         self.config = config or FuzzerConfig()
@@ -100,8 +130,24 @@ class Fuzzer:
                 "model %r has no inports; nothing to fuzz"
                 % (schedule.model.name,)
             )
+        if replay_compiled is not None and replay_compiled.level != "model":
+            raise FuzzingError("replay requires a model-level compiled program")
+        self._replay_compiled = replay_compiled
         self.driver = compile_fuzz_driver(schedule)
         self.layout = schedule.layout
+
+    def replay_compiled(self) -> CompiledModel:
+        """The cached model-level artifact used for suite replay.
+
+        Reuses the guidance-level compilation when it is already at model
+        level, so a run never compiles the same module twice.
+        """
+        if self._replay_compiled is None:
+            if self.compiled.level == "model":
+                self._replay_compiled = self.compiled
+            else:
+                self._replay_compiled = compile_model(self.schedule, "model")
+        return self._replay_compiled
 
     # ------------------------------------------------------------------ #
     def _seed_inputs(self, rng: Random) -> List[bytes]:
@@ -131,35 +177,61 @@ class Fuzzer:
             seeds.extend(self.config.seeds)
         return seeds
 
-    def run(self) -> FuzzResult:
-        """Execute the fuzzing loop; returns suite + replayed coverage."""
+    # ------------------------------------------------------------------ #
+    # resumable campaign interface
+    # ------------------------------------------------------------------ #
+    def new_state(self) -> FuzzState:
+        """A fresh campaign state (empty corpus, empty suite)."""
+        return FuzzState(
+            corpus=Corpus(self.config.corpus_size),
+            suite=TestSuite(tool="cftcg"),
+        )
+
+    def resume(
+        self,
+        state: FuzzState,
+        max_seconds: Optional[float] = None,
+        max_inputs: Optional[int] = None,
+        extra_seeds: Optional[List[bytes]] = None,
+    ) -> FuzzState:
+        """Run one budget slice of the fuzzing loop, mutating ``state``.
+
+        ``max_seconds`` is the wall-clock budget of *this* slice (default:
+        the config's full budget); ``max_inputs`` caps the state's total
+        executed-input count (default: the config's cap).  ``extra_seeds``
+        are byte streams injected before mutation resumes — a parallel
+        campaign re-broadcasts the merged seed pool through this hook.
+        """
         config = self.config
-        rng = Random(config.seed)
-        corpus = Corpus(config.corpus_size)
-        suite = TestSuite(tool="cftcg")
+        if state.rounds == 0:
+            rng = Random(config.seed)
+        else:
+            rng = Random(config.seed + _SLICE_SEED_STRIDE * state.rounds)
+        slice_seconds = config.max_seconds if max_seconds is None else max_seconds
+        cap = config.max_inputs if max_inputs is None else max_inputs
+        corpus = state.corpus
+        suite = state.suite
+        timeline = state.timeline
         recorder = CoverageRecorder(self.schedule.branch_db)
         program, _ = self.compiled.instantiate(recorder)
         driver = self.driver
 
-        total_int = 0
-        inputs_executed = 0
-        iterations_executed = 0
-        timeline: List = []
+        offset = state.elapsed
         start = time.perf_counter()
-        deadline = start + config.max_seconds
+        deadline = start + slice_seconds
         # each probe is one byte in the bitmap, so "all covered" is the
         # little-endian integer over n_probes 0x01 bytes
         n_probes = self.schedule.branch_db.n_probes
         full = int.from_bytes(b"\x01" * n_probes, "little") if n_probes else 0
 
         def run_one(data: bytes, parent_density: float) -> None:
-            nonlocal total_int, inputs_executed, iterations_executed
             metric, found_new, total_int, iters = driver(
-                program, recorder.curr, data, total_int
+                program, recorder.curr, data, state.total_int
             )
-            inputs_executed += 1
-            iterations_executed += iters
-            now = time.perf_counter() - start
+            state.total_int = total_int
+            state.inputs_executed += 1
+            state.iterations_executed += iters
+            now = offset + time.perf_counter() - start
             if found_new:
                 suite.add(TestCase(data, now))
                 timeline.append((now, bin(total_int).count("1")))
@@ -171,16 +243,27 @@ class Fuzzer:
                         CorpusEntry(data, metric, False, now, iterations=iters)
                     )
 
-        for seed_data in self._seed_inputs(rng):
+        def exhausted() -> bool:
+            if time.perf_counter() >= deadline:
+                return True
+            if cap is not None and state.inputs_executed >= cap:
+                return True
+            if config.stop_on_full_coverage and full and state.total_int == full:
+                return True
+            return False
+
+        if not state.seeded:
+            state.seeded = True
+            for seed_data in self._seed_inputs(rng):
+                if exhausted():
+                    break
+                run_one(seed_data, -1.0)
+        for seed_data in extra_seeds or ():
+            if exhausted():
+                break
             run_one(seed_data, -1.0)
 
-        while True:
-            if time.perf_counter() >= deadline:
-                break
-            if config.max_inputs is not None and inputs_executed >= config.max_inputs:
-                break
-            if config.stop_on_full_coverage and full and total_int == full:
-                break
+        while not exhausted():
             parent = corpus.select(rng)
             if parent is None:
                 data = bytes(
@@ -189,7 +272,7 @@ class Fuzzer:
                 )
                 parent_density = -1.0
             else:
-                other = corpus.select(rng)
+                other = corpus.select(rng, bump=False)
                 rounds = 1 + rng.randrange(config.max_mutation_rounds)
                 if config.field_aware:
                     data = mutate_field_wise(
@@ -211,16 +294,29 @@ class Fuzzer:
                 parent_density = parent.density
             run_one(data, parent_density)
 
-        elapsed = time.perf_counter() - start
-        report = replay_suite(self.schedule, suite)
-        return FuzzResult(
-            suite=suite,
-            report=report,
-            inputs_executed=inputs_executed,
-            iterations_executed=iterations_executed,
-            elapsed=elapsed,
-            timeline=timeline,
+        state.elapsed = offset + time.perf_counter() - start
+        state.rounds += 1
+        return state
+
+    def finalize(self, state: FuzzState) -> FuzzResult:
+        """Replay the state's suite and package the campaign result."""
+        report = replay_suite(
+            self.schedule, state.suite, compiled=self.replay_compiled()
         )
+        return FuzzResult(
+            suite=state.suite,
+            report=report,
+            inputs_executed=state.inputs_executed,
+            iterations_executed=state.iterations_executed,
+            elapsed=state.elapsed,
+            timeline=state.timeline,
+        )
+
+    def run(self) -> FuzzResult:
+        """Execute the fuzzing loop; returns suite + replayed coverage."""
+        state = self.new_state()
+        self.resume(state)
+        return self.finalize(state)
 
 
 def replay_suite(
@@ -228,6 +324,7 @@ def replay_suite(
     suite: TestSuite,
     compiled: Optional[CompiledModel] = None,
     recorder: Optional[CoverageRecorder] = None,
+    timeline_out: Optional[List] = None,
 ) -> CoverageReport:
     """Measure a suite's coverage by replaying it on instrumented code.
 
@@ -235,6 +332,12 @@ def replay_suite(
     cases are replayed against the *fully* instrumented model (the
     Simulink coverage toolbox stand-in), regardless of what guidance the
     tool itself used.
+
+    ``timeline_out``, when given a list, receives ``(found_at,
+    probes_covered)`` points as replay advances through the suite — with a
+    time-sorted suite this reconstructs a coverage-versus-time curve from
+    scratch, which is how a parallel campaign merges its workers'
+    timelines into one global curve.
     """
     compiled = compiled or compile_model(schedule, "model")
     if compiled.level != "model":
@@ -242,10 +345,16 @@ def replay_suite(
     recorder = recorder or CoverageRecorder(schedule.branch_db)
     program, _ = compiled.instantiate(recorder)
     layout = schedule.layout
+    covered = recorder.covered_probes()
     for case in suite:
         program.init()
         for fields in layout.iter_tuples(case.data):
             recorder.reset_curr()
             program.step(*fields)
             recorder.commit_curr()
+        if timeline_out is not None:
+            now_covered = recorder.covered_probes()
+            if now_covered > covered:
+                covered = now_covered
+                timeline_out.append((case.found_at, covered))
     return compute_report(recorder)

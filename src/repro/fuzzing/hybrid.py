@@ -46,10 +46,15 @@ class HybridConfig:
 class HybridFuzzer:
     """Fuzzing with constraint-solving escalation on plateaus."""
 
-    def __init__(self, schedule: Schedule, config: Optional[HybridConfig] = None):
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: Optional[HybridConfig] = None,
+        compiled: Optional[CompiledModel] = None,
+    ):
         self.schedule = schedule
         self.config = config or HybridConfig()
-        self.compiled: CompiledModel = compile_model(schedule, "model")
+        self.compiled: CompiledModel = compiled or compile_model(schedule, "model")
 
     # ------------------------------------------------------------------ #
     def _missed_targets(self, report) -> List[Tuple[int, int]]:

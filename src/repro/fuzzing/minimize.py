@@ -1,4 +1,4 @@
-"""Test suite minimization.
+"""Test suite minimization and reusable probe-bitmap set cover.
 
 A fuzzing run emits one test case per new-coverage event, so late cases
 often subsume early ones.  :func:`minimize_suite` reduces a suite to a
@@ -10,21 +10,29 @@ most uncovered probes (ties: earliest found, then shortest), stop when no
 case adds anything.  MCDC vectors ride along with the probe choice; the
 result is verified to preserve DC/CC and returned with the original
 timestamps.
+
+The two building blocks — :func:`case_bitmap` (accumulated probe bitmap
+of one input) and :func:`greedy_cover` (the set-cover loop over arbitrary
+payloads) — are exported on their own because the parallel campaign's
+coverage-gated corpus merge runs the same algorithm over raw byte
+streams instead of :class:`TestCase` objects.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TypeVar
 
 from ..codegen.compile import CompiledModel, compile_model
 from ..coverage.recorder import CoverageRecorder
 from ..schedule.schedule import Schedule
 from .testcase import TestCase, TestSuite
 
-__all__ = ["minimize_suite"]
+__all__ = ["case_bitmap", "greedy_cover", "minimize_suite"]
+
+T = TypeVar("T")
 
 
-def _case_bitmap(program, recorder, layout, data: bytes) -> int:
+def case_bitmap(program, recorder, layout, data: bytes) -> int:
     """Accumulated probe bitmap of one case as a little-endian integer."""
     program.init()
     total = 0
@@ -33,6 +41,42 @@ def _case_bitmap(program, recorder, layout, data: bytes) -> int:
         program.step(*fields)
         total |= recorder.curr_as_int()
     return total
+
+
+def greedy_cover(
+    items: List[Tuple[T, int]],
+    prefer: Optional[Callable[[T, T], bool]] = None,
+) -> List[T]:
+    """Greedy set cover over ``(payload, probe_bitmap)`` pairs.
+
+    Repeatedly selects the payload whose bitmap adds the most
+    still-uncovered probes; ``prefer(a, b)`` breaks equal-gain ties (true
+    when ``a`` should win).  Returns the payloads in selection order,
+    stopping once no candidate adds anything.
+    """
+    covered = 0
+    kept: List[T] = []
+    remaining = list(items)
+    while remaining:
+        best_index = -1
+        best_gain = 0
+        for i, (payload, bitmap) in enumerate(remaining):
+            gain = bin(bitmap & ~covered).count("1")
+            if gain > best_gain or (
+                gain == best_gain
+                and gain > 0
+                and best_index >= 0
+                and prefer is not None
+                and prefer(payload, remaining[best_index][0])
+            ):
+                best_gain = gain
+                best_index = i
+        if best_gain == 0:
+            break
+        payload, bitmap = remaining.pop(best_index)
+        covered |= bitmap
+        kept.append(payload)
+    return kept
 
 
 def minimize_suite(
@@ -47,32 +91,10 @@ def minimize_suite(
     layout = schedule.layout
 
     cases: List[Tuple[TestCase, int]] = [
-        (case, _case_bitmap(program, recorder, layout, case.data))
+        (case, case_bitmap(program, recorder, layout, case.data))
         for case in suite
     ]
-
-    covered = 0
-    kept: List[TestCase] = []
-    remaining = list(cases)
-    while remaining:
-        best_index = -1
-        best_gain = 0
-        for i, (case, bitmap) in enumerate(remaining):
-            gain = bin(bitmap & ~covered).count("1")
-            if gain > best_gain or (
-                gain == best_gain
-                and gain > 0
-                and best_index >= 0
-                and _prefer(case, remaining[best_index][0])
-            ):
-                best_gain = gain
-                best_index = i
-        if best_gain == 0:
-            break
-        case, bitmap = remaining.pop(best_index)
-        covered |= bitmap
-        kept.append(case)
-
+    kept = greedy_cover(cases, prefer=_prefer)
     kept.sort(key=lambda c: c.found_at)
     return TestSuite(kept, tool=suite.tool)
 

@@ -1,0 +1,260 @@
+"""Parallel fuzzing campaigns with shared-corpus synchronisation.
+
+LibFuzzer — the paper's engine — scales one target across cores with
+``-workers``/``-jobs`` plus corpus merging; this module is the same idea
+for the model fuzzing loop.  A campaign shards one budget across ``N``
+worker processes:
+
+1. every worker runs its own :class:`~repro.fuzzing.engine.Fuzzer` slice
+   with a distinct derived seed (:func:`derive_worker_seed`), resuming
+   its private :class:`~repro.fuzzing.engine.FuzzState` across epochs;
+2. at each sync epoch the parent pulls all worker states back, pools the
+   corpora and suites, and runs a **coverage-gated merge** — the greedy
+   probe-bitmap set cover from :mod:`repro.fuzzing.minimize` — to distill
+   a compact seed pool covering the union of worker coverage;
+3. the merged pool is re-broadcast: each worker executes it at the start
+   of the next epoch, so discoveries propagate without sharing memory;
+4. after the last epoch the worker suites are unioned (time-sorted,
+   byte-deduplicated) and replayed **once** on the fully instrumented
+   model for the final report and a merged global timeline.
+
+``workers=1`` bypasses multiprocessing entirely and is byte-identical to
+the classic single-process engine for a fixed seed.  Worker payloads and
+states are plain picklable values, so both ``fork`` and ``spawn`` start
+methods work (``spawn`` re-imports this module and re-compiles the model
+per process through the pool initializer).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..codegen.compile import CompiledModel, compile_model
+from ..coverage.recorder import CoverageRecorder
+from ..errors import FuzzingError
+from ..schedule.schedule import Schedule
+from .engine import Fuzzer, FuzzerConfig, FuzzResult, FuzzState, replay_suite
+from .minimize import case_bitmap, greedy_cover
+from .testcase import TestCase, TestSuite
+
+__all__ = [
+    "ParallelFuzzer",
+    "derive_worker_seed",
+    "merge_seed_pool",
+    "run_campaign",
+]
+
+#: decorrelates worker RNG streams; large and odd so derived seeds never
+#: collide with the slice-stride derivation inside ``Fuzzer.resume``
+_WORKER_SEED_STRIDE = 1_000_003
+
+#: per-process cache installed by the pool initializer (compiled model +
+#: fuzz driver are built once per worker process, not once per epoch)
+_PROCESS_CTX: Dict[str, object] = {}
+
+
+def derive_worker_seed(seed: int, worker_index: int) -> int:
+    """The deterministic RNG seed of one campaign worker."""
+    return seed + _WORKER_SEED_STRIDE * worker_index
+
+
+def _default_start_method() -> str:
+    """Prefer ``fork`` (cheap, no re-import) where the platform has it."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _pool_init(schedule: Schedule, base_config: FuzzerConfig) -> None:
+    """Worker-process initializer: compile model + driver exactly once."""
+    _PROCESS_CTX["fuzzer"] = Fuzzer(schedule, base_config)
+
+
+def _epoch_task(payload: Dict) -> FuzzState:
+    """Run one worker's budget slice; executed inside a pool process."""
+    fuzzer: Fuzzer = _PROCESS_CTX["fuzzer"]  # type: ignore[assignment]
+    fuzzer.config = payload["config"]
+    state = payload["state"]
+    if state is None:
+        state = fuzzer.new_state()
+    fuzzer.resume(
+        state,
+        max_seconds=payload["max_seconds"],
+        max_inputs=payload["max_inputs"],
+        extra_seeds=payload["extra_seeds"],
+    )
+    return state
+
+
+def merge_seed_pool(
+    schedule: Schedule,
+    candidates: List[bytes],
+    compiled: Optional[CompiledModel] = None,
+    max_pool: int = 64,
+) -> List[bytes]:
+    """Coverage-gated merge of worker corpora into a compact seed pool.
+
+    Greedy probe-bitmap set cover over the deduplicated candidate byte
+    streams: the result covers the union of everything the candidates
+    cover, preferring shorter inputs on equal gain — LibFuzzer's
+    ``-merge=1`` for model probes.
+    """
+    compiled = compiled or compile_model(schedule, "model")
+    recorder = CoverageRecorder(schedule.branch_db)
+    program, _ = compiled.instantiate(recorder)
+    layout = schedule.layout
+    unique = sorted(set(candidates), key=lambda d: (len(d), d))
+    items = [(data, case_bitmap(program, recorder, layout, data)) for data in unique]
+    kept = greedy_cover(items, prefer=lambda a, b: (len(a), a) < (len(b), b))
+    return kept[:max_pool]
+
+
+class ParallelFuzzer:
+    """Multi-worker CFTCG campaign over one model schedule."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        config: Optional[FuzzerConfig] = None,
+        compiled: Optional[CompiledModel] = None,
+        start_method: Optional[str] = None,
+        merge_pool_size: int = 64,
+    ):
+        self.schedule = schedule
+        self.config = config or FuzzerConfig(workers=2)
+        if self.config.workers < 1:
+            raise FuzzingError("workers must be >= 1")
+        if self.config.sync_rounds < 1:
+            raise FuzzingError("sync_rounds must be >= 1")
+        if compiled is not None and compiled.level != "model":
+            raise FuzzingError("campaign merge requires a model-level artifact")
+        self._compiled = compiled
+        self.start_method = start_method
+        self.merge_pool_size = merge_pool_size
+
+    # ------------------------------------------------------------------ #
+    def _worker_caps(self) -> List[Optional[int]]:
+        """Total max-input share of each worker (None = unbounded)."""
+        config = self.config
+        if config.max_inputs is None:
+            return [None] * config.workers
+        base, rem = divmod(config.max_inputs, config.workers)
+        return [base + (1 if i < rem else 0) for i in range(config.workers)]
+
+    def run(self) -> FuzzResult:
+        config = self.config
+        if config.workers == 1:
+            # the classic path: byte-identical single-process behavior
+            return Fuzzer(self.schedule, config, replay_compiled=self._compiled).run()
+
+        compiled = self._compiled or compile_model(self.schedule, "model")
+        workers = config.workers
+        rounds = config.sync_rounds
+        epoch_seconds = config.max_seconds / rounds
+        worker_totals = self._worker_caps()
+        n_probes = self.schedule.branch_db.n_probes
+        full = int.from_bytes(b"\x01" * n_probes, "little") if n_probes else 0
+
+        base_config = replace(config, workers=1)
+        ctx = multiprocessing.get_context(
+            self.start_method or _default_start_method()
+        )
+        states: List[Optional[FuzzState]] = [None] * workers
+        merged_seeds: List[bytes] = []
+        start = time.perf_counter()
+        with ctx.Pool(
+            processes=workers,
+            initializer=_pool_init,
+            initargs=(self.schedule, base_config),
+        ) as pool:
+            for epoch in range(rounds):
+                payloads = []
+                for w in range(workers):
+                    cap = worker_totals[w]
+                    if cap is not None:
+                        # cumulative share: the cap applies to the
+                        # state's total, so scale it with the epoch
+                        cap = cap * (epoch + 1) // rounds
+                    payloads.append(
+                        {
+                            "config": replace(
+                                base_config,
+                                seed=derive_worker_seed(config.seed, w),
+                            ),
+                            "state": states[w],
+                            "max_seconds": epoch_seconds,
+                            "max_inputs": cap,
+                            "extra_seeds": merged_seeds,
+                        }
+                    )
+                states = pool.map(_epoch_task, payloads, chunksize=1)
+                union_int = 0
+                for state in states:
+                    union_int |= state.total_int
+                if config.stop_on_full_coverage and full and union_int == full:
+                    break
+                if epoch < rounds - 1:
+                    candidates: List[bytes] = []
+                    for state in states:
+                        candidates.extend(e.data for e in state.corpus.entries)
+                        candidates.extend(c.data for c in state.suite)
+                    merged_seeds = merge_seed_pool(
+                        self.schedule,
+                        candidates,
+                        compiled=compiled,
+                        max_pool=self.merge_pool_size,
+                    )
+
+        # union the worker suites: time-sorted, byte-deduplicated (two
+        # workers finding the same input keep only the earliest copy)
+        tagged = [
+            (case.found_at, w, case)
+            for w, state in enumerate(states)
+            for case in state.suite
+        ]
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        suite = TestSuite(tool="cftcg")
+        seen = set()
+        for found_at, w, case in tagged:
+            if case.data in seen:
+                continue
+            seen.add(case.data)
+            suite.add(TestCase(case.data, found_at, case.origin))
+
+        timeline: List = []
+        report = replay_suite(
+            self.schedule, suite, compiled=compiled, timeline_out=timeline
+        )
+        elapsed = time.perf_counter() - start
+        return FuzzResult(
+            suite=suite,
+            report=report,
+            inputs_executed=sum(s.inputs_executed for s in states),
+            iterations_executed=sum(s.iterations_executed for s in states),
+            elapsed=elapsed,
+            timeline=timeline,
+        )
+
+
+def run_campaign(
+    schedule: Schedule,
+    config: Optional[FuzzerConfig] = None,
+    compiled: Optional[CompiledModel] = None,
+    start_method: Optional[str] = None,
+) -> FuzzResult:
+    """Route a campaign by ``config.workers``: 1 = classic engine, N>1 =
+    the multiprocessing campaign.  ``compiled`` is an optional cached
+    model-level artifact reused for merge and replay."""
+    config = config or FuzzerConfig()
+    if config.workers < 1:
+        raise FuzzingError("workers must be >= 1")
+    if config.workers == 1:
+        main = compiled if (compiled is not None and compiled.level == config.level) else None
+        return Fuzzer(
+            schedule, config, compiled=main, replay_compiled=compiled
+        ).run()
+    return ParallelFuzzer(
+        schedule, config, compiled=compiled, start_method=start_method
+    ).run()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multiprocessing smoke test for the parallel campaign runner.
+
+Catches the classic multi-worker regressions early — payload pickling,
+spawn-versus-fork semantics, pool initializer failures — by running a
+2-worker micro-campaign on one bench model under every start method the
+platform offers, plus the workers=1 byte-identity check against the
+classic engine.  Exits non-zero on any failure; designed for CI:
+
+    PYTHONPATH=src python tools/smoke_parallel.py [model]
+"""
+
+import multiprocessing
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.registry import build_schedule  # noqa: E402
+from repro.fuzzing import Fuzzer, FuzzerConfig, run_campaign  # noqa: E402
+from repro.fuzzing.parallel import ParallelFuzzer  # noqa: E402
+
+MODEL = sys.argv[1] if len(sys.argv) > 1 else "CPUTask"
+MICRO = dict(max_seconds=60.0, max_inputs=200, seed=0, sync_rounds=2)
+
+
+def check(label: str, ok: bool) -> bool:
+    print("  %-42s %s" % (label, "ok" if ok else "FAIL"))
+    return ok
+
+
+def main() -> int:
+    schedule = build_schedule(MODEL)
+    print("parallel smoke on %s (%d probes)" % (MODEL, schedule.branch_db.n_probes))
+    failures = 0
+
+    single = Fuzzer(schedule, FuzzerConfig(**MICRO)).run()
+    routed = run_campaign(schedule, FuzzerConfig(workers=1, **MICRO))
+    failures += not check(
+        "workers=1 byte-identical to classic engine",
+        [c.data for c in routed.suite] == [c.data for c in single.suite],
+    )
+
+    for method in multiprocessing.get_all_start_methods():
+        if method == "forkserver":
+            continue  # fork + spawn span the semantics that matter
+        config = FuzzerConfig(workers=2, **MICRO)
+        result = ParallelFuzzer(schedule, config, start_method=method).run()
+        failures += not check(
+            "2-worker campaign via %r executes budget" % method,
+            result.inputs_executed == MICRO["max_inputs"],
+        )
+        failures += not check(
+            "2-worker campaign via %r keeps coverage" % method,
+            result.report.decision >= single.report.decision - 1e-9
+            or len(result.suite) >= 1,
+        )
+
+    print("smoke %s" % ("PASSED" if not failures else "FAILED (%d)" % failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
