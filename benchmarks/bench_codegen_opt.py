@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Before/after benchmark for the codegen optimizer + compile cache.
+
+Standalone script (not pytest-benchmark) so CI can run it directly and
+assert on the result:
+
+* **execs/s and iterations/s** per bench model, "before" (unoptimized
+  module + naive Algorithm 1 driver) versus "after" (optimized module +
+  memcmp-skip driver with ``program.reset()`` re-arm) — random inputs
+  from a fixed-seed RNG, identical byte streams for both variants;
+* **compile latency**, cold (fresh codegen + optimize) versus warm
+  (persistent-cache hit), in an isolated cache directory;
+* optimizer pass statistics per model.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_codegen_opt.py
+    PYTHONPATH=src python benchmarks/bench_codegen_opt.py --quick \
+        --json out.json     # CI gate: asserts speedup + cache hit
+
+``--quick`` runs the micro model (CPUTask) only and exits non-zero unless
+the optimized pipeline reaches >= 1.2x execs/s and the second
+``compile_model`` call is served from the cache.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.registry import build_schedule, model_names  # noqa: E402
+from repro.codegen import (  # noqa: E402
+    compile_model,
+    generate_model_code,
+    optimize_source,
+    step_arg_kinds,
+)
+from repro.codegen.driver import compile_fuzz_driver  # noqa: E402
+
+QUICK_MODEL = "CPUTask"  # the micro model gating CI
+QUICK_MIN_SPEEDUP = 1.2
+
+
+def _input_blocks(schedule, seconds_worth, rng):
+    """Pre-generated random inputs: a list of multi-iteration byte blocks."""
+    size = schedule.layout.size
+    iters_per_block = 64
+    blocks = []
+    for _ in range(256):
+        blocks.append(bytes(rng.getrandbits(8) for _ in range(size * iters_per_block)))
+    return blocks, iters_per_block
+
+
+def _measure_execs(schedule, optimize, fast_driver, seconds, blocks, iters_per_block):
+    compiled = compile_model(schedule, "model", optimize=optimize, cache=False)
+    driver = compile_fuzz_driver(schedule, fast=fast_driver)
+    program, recorder = compiled.instantiate()
+    cov = recorder.curr
+    total_int = 0
+    execs = iterations = 0
+    deadline = time.perf_counter() + seconds
+    start = time.perf_counter()
+    while time.perf_counter() < deadline:
+        data = blocks[execs % len(blocks)]
+        _, _, total_int, iters = driver(program, cov, data, total_int)
+        execs += 1
+        iterations += iters
+    elapsed = time.perf_counter() - start
+    return execs / elapsed, iterations / elapsed
+
+
+def bench_model(name, seconds):
+    schedule = build_schedule(name)
+    rng = random.Random(0xBE7C4)
+    blocks, iters_per_block = _input_blocks(schedule, seconds, rng)
+
+    execs_before, iters_before = _measure_execs(
+        schedule, optimize=False, fast_driver=False,
+        seconds=seconds, blocks=blocks, iters_per_block=iters_per_block,
+    )
+    execs_after, iters_after = _measure_execs(
+        schedule, optimize=True, fast_driver=True,
+        seconds=seconds, blocks=blocks, iters_per_block=iters_per_block,
+    )
+    _, stats = optimize_source(
+        generate_model_code(schedule, "model"), step_arg_kinds(schedule)
+    )
+    return {
+        "model": name,
+        "execs_per_s_before": round(execs_before, 1),
+        "execs_per_s_after": round(execs_after, 1),
+        "speedup": round(execs_after / execs_before, 3),
+        "iters_per_s_before": round(iters_before, 1),
+        "iters_per_s_after": round(iters_after, 1),
+        "optimizer_stats": stats,
+    }
+
+
+def bench_cache(name):
+    """Cold vs warm compile latency in a throwaway cache directory."""
+    cache_dir = tempfile.mkdtemp(prefix="repro_bench_cache_")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    import repro.codegen.cache as cache_mod
+
+    cache_mod._DEFAULT = None  # pick up the isolated directory
+    try:
+        schedule = build_schedule(name)
+        t0 = time.perf_counter()
+        cold = compile_model(schedule)
+        cold_s = time.perf_counter() - t0
+        cache_mod.default_cache().clear_memory()  # force the disk tier
+        t0 = time.perf_counter()
+        warm = compile_model(schedule)
+        warm_s = time.perf_counter() - t0
+        return {
+            "model": name,
+            "cold_compile_s": round(cold_s, 4),
+            "warm_compile_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s else float("inf"),
+            "cold_from_cache": cold.from_cache,
+            "warm_from_cache": warm.from_cache,
+        }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        cache_mod._DEFAULT = None
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", nargs="*", help="subset of bench models")
+    parser.add_argument("--seconds", type=float, default=2.0,
+                        help="measurement window per variant (default 2.0)")
+    parser.add_argument("--json", help="write the results as JSON to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI gate: micro model only, assert speedup + cache hit")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        names = [QUICK_MODEL]
+        seconds = min(args.seconds, 1.0)
+    else:
+        names = args.models or model_names()
+        seconds = args.seconds
+    unknown = [n for n in names if n not in model_names()]
+    if unknown:
+        parser.error("unknown models: %s" % ", ".join(unknown))
+
+    rows = []
+    print("%-10s %14s %14s %8s %16s %16s" % (
+        "model", "execs/s before", "execs/s after", "speedup",
+        "iters/s before", "iters/s after"))
+    for name in names:
+        row = bench_model(name, seconds)
+        rows.append(row)
+        print("%-10s %14.0f %14.0f %7.2fx %16.0f %16.0f" % (
+            name, row["execs_per_s_before"], row["execs_per_s_after"],
+            row["speedup"], row["iters_per_s_before"], row["iters_per_s_after"]))
+
+    cache_row = bench_cache(names[0])
+    print("\ncompile cache (%s): cold %.1f ms -> warm %.1f ms (%.0fx, tier=%s)" % (
+        cache_row["model"], cache_row["cold_compile_s"] * 1e3,
+        cache_row["warm_compile_s"] * 1e3, cache_row["warm_speedup"],
+        cache_row["warm_from_cache"]))
+
+    result = {"seconds_per_variant": seconds, "models": rows, "cache": cache_row}
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print("json written to %s" % args.json)
+
+    if args.quick:
+        row = rows[0]
+        ok = True
+        if row["speedup"] < QUICK_MIN_SPEEDUP:
+            print("FAIL: speedup %.2fx < %.1fx on %s" % (
+                row["speedup"], QUICK_MIN_SPEEDUP, row["model"]))
+            ok = False
+        if cache_row["warm_from_cache"] != "disk":
+            print("FAIL: second compile_model not served from the disk cache")
+            ok = False
+        if ok:
+            print("quick gate passed: %.2fx >= %.1fx and warm compile from %s" % (
+                row["speedup"], QUICK_MIN_SPEEDUP, cache_row["warm_from_cache"]))
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

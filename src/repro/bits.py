@@ -1,0 +1,38 @@
+"""Bit-twiddling helpers shared by the fuzzing hot paths.
+
+Probe bitmaps travel as little-endian big integers (one byte per probe)
+through the generated fuzz driver, the corpus merge and the coverage
+recorder; counting and enumerating set bits is therefore on the hot path
+of every campaign.  ``popcount`` uses :meth:`int.bit_count` where the
+interpreter has it (Python >= 3.10) and falls back to the classic
+``bin().count`` idiom on 3.9.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["popcount", "bit_indices"]
+
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def popcount(value: int) -> int:
+        """Number of set bits in a non-negative integer."""
+        return value.bit_count()
+
+else:  # pragma: no cover - exercised only on Python 3.9
+
+    def popcount(value: int) -> int:
+        """Number of set bits in a non-negative integer."""
+        return bin(value).count("1")
+
+
+def bit_indices(value: int) -> List[int]:
+    """Positions of the set bits of a non-negative integer, ascending."""
+    out: List[int] = []
+    while value:
+        lsb = value & -value
+        out.append(lsb.bit_length() - 1)
+        value ^= lsb
+    return out

@@ -79,10 +79,36 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_codegen(args) -> int:
+    from .codegen import optimize_source, step_arg_kinds
+
     schedule = _load_schedule(args.model)
-    print(generate_model_code(schedule, args.level))
+    source = generate_model_code(schedule, args.level)
+    if args.optimized:
+        source, stats = optimize_source(source, step_arg_kinds(schedule))
+        print(
+            "# optimizer: %s"
+            % ", ".join("%s=%d" % item for item in sorted(stats.items())),
+            file=sys.stderr,
+        )
+    driver = generate_fuzz_driver(schedule)
+    if args.dump:
+        os.makedirs(args.dump, exist_ok=True)
+        suffix = "_opt" if args.optimized else ""
+        model_path = os.path.join(
+            args.dump, "%s_%s%s.py" % (schedule.model.name, args.level, suffix)
+        )
+        driver_path = os.path.join(
+            args.dump, "%s_driver.py" % schedule.model.name
+        )
+        with open(model_path, "w", encoding="utf-8") as fh:
+            fh.write(source + "\n")
+        with open(driver_path, "w", encoding="utf-8") as fh:
+            fh.write(driver + "\n")
+        print("wrote %s and %s" % (model_path, driver_path))
+        return 0
+    print(source)
     print()
-    print(generate_fuzz_driver(schedule))
+    print(driver)
     return 0
 
 
@@ -196,6 +222,16 @@ def main(argv=None) -> int:
     p = sub.add_parser("codegen", help="print generated code + fuzz driver")
     p.add_argument("model")
     p.add_argument("--level", choices=("model", "code", "none"), default="model")
+    p.add_argument(
+        "--dump",
+        metavar="DIR",
+        help="write model module + driver into DIR instead of stdout",
+    )
+    p.add_argument(
+        "--optimized",
+        action="store_true",
+        help="run the audited AST optimizer over the module first",
+    )
     p.set_defaults(func=_cmd_codegen)
 
     p = sub.add_parser("compare", help="run all generators on one model")

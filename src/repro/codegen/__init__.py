@@ -16,16 +16,25 @@ Algorithm 1; :func:`compile_model` / :func:`compile_driver` turn sources
 into callables.
 """
 
+from .cache import CODEGEN_VERSION, CompileCache, cache_key, canonical_model_form
 from .compile import CompiledModel, compile_model
 from .driver import compile_fuzz_driver, generate_fuzz_driver
 from .emitter import generate_model_code
+from .optimize import optimize_module, optimize_source, step_arg_kinds
 from .runtime import runtime_globals
 
 __all__ = [
+    "CODEGEN_VERSION",
+    "CompileCache",
     "CompiledModel",
+    "cache_key",
+    "canonical_model_form",
     "compile_fuzz_driver",
     "compile_model",
     "generate_fuzz_driver",
     "generate_model_code",
+    "optimize_module",
+    "optimize_source",
     "runtime_globals",
+    "step_arg_kinds",
 ]

@@ -4,6 +4,15 @@ The paper compiles fuzz driver + instrumented code with Clang; our
 equivalent is ``compile()``/``exec`` of the generated Python module, which
 produces the fast execution path (orders of magnitude above the
 interpreter — the speed gap the whole approach rests on).
+
+Two accelerators sit between codegen and ``exec``:
+
+* the AST optimizer (:mod:`repro.codegen.optimize`) — the ``-O2`` pass of
+  the pipeline, on by default and audited to preserve instrumentation
+  byte-for-byte;
+* the persistent compile cache (:mod:`repro.codegen.cache`) — keyed by
+  the canonical model form, so a warm ``compile_model`` is a disk read
+  (or, within one process, a dict lookup) instead of a codegen run.
 """
 
 from __future__ import annotations
@@ -13,7 +22,9 @@ from typing import Optional
 from ..coverage.recorder import CoverageRecorder
 from ..errors import CodegenError
 from ..schedule.schedule import Schedule
+from .cache import Uncacheable, cache_key, default_cache
 from .emitter import generate_model_code
+from .optimize import optimize_module, step_arg_kinds
 from .runtime import runtime_globals
 
 __all__ = ["CompiledModel", "compile_model"]
@@ -22,11 +33,23 @@ __all__ = ["CompiledModel", "compile_model"]
 class CompiledModel:
     """A compiled model: source text + class object + schedule metadata."""
 
-    def __init__(self, schedule: Schedule, level: str, source: str, cls):
+    def __init__(
+        self,
+        schedule: Schedule,
+        level: str,
+        source: str,
+        cls,
+        optimized: bool = False,
+        from_cache: Optional[str] = None,
+    ):
         self.schedule = schedule
         self.level = level
         self.source = source
         self._cls = cls
+        #: whether the optimizer pipeline ran over this module
+        self.optimized = optimized
+        #: ``None`` (fresh compile), ``"memory"`` or ``"disk"``
+        self.from_cache = from_cache
 
     @property
     def branch_db(self):
@@ -49,15 +72,74 @@ class CompiledModel:
         return program, recorder
 
 
-def compile_model(schedule: Schedule, level: str = "model") -> CompiledModel:
-    """Generate and compile the model's code at an instrumentation level."""
+def _generate_source(schedule: Schedule, level: str, optimize: bool) -> str:
     source = generate_model_code(schedule, level)
+    if optimize:
+        source = optimize_module(source, step_arg_kinds(schedule))
+    return source
+
+
+def _exec_module(source, code, schedule: Schedule):
     env = runtime_globals()
     try:
-        code = compile(source, "<generated:%s>" % schedule.model.name, "exec")
+        if code is None:
+            code = compile(source, "<generated:%s>" % schedule.model.name, "exec")
         exec(code, env)
     except SyntaxError as exc:  # pragma: no cover - emitter bug guard
         raise CodegenError(
             "generated code failed to compile: %s\n%s" % (exc, source)
         ) from exc
-    return CompiledModel(schedule, level, source, env["GeneratedModel"])
+    return code, env["GeneratedModel"]
+
+
+def compile_model(
+    schedule: Schedule,
+    level: str = "model",
+    optimize: bool = True,
+    cache: bool = True,
+) -> CompiledModel:
+    """Generate and compile the model's code at an instrumentation level.
+
+    ``optimize`` runs the audited AST optimizer over the generated module;
+    ``cache`` consults the persistent compile cache first (silently skipped
+    when the cache is disabled or the model is uncacheable).
+    """
+    store = default_cache() if cache else None
+    key = None
+    if store is not None:
+        try:
+            key = cache_key(schedule.model, level, optimize)
+        except Uncacheable:
+            store = None
+
+    if store is not None and key is not None:
+        hit = store.get_memory(key)
+        if hit is not None:
+            source, cls = hit
+            return CompiledModel(
+                schedule, level, source, cls, optimized=optimize, from_cache="memory"
+            )
+        disk = store.get_disk(key)
+        if disk is not None:
+            source, code = disk
+            try:
+                _, cls = _exec_module(source, code, schedule)
+            except Exception:
+                disk = None  # corrupted bytecode: recompile from scratch
+            else:
+                store.put_memory(key, source, cls)
+                return CompiledModel(
+                    schedule,
+                    level,
+                    source,
+                    cls,
+                    optimized=optimize,
+                    from_cache="disk",
+                )
+
+    source = _generate_source(schedule, level, optimize)
+    code, cls = _exec_module(source, None, schedule)
+    if store is not None and key is not None:
+        store.put_disk(key, source, code)
+        store.put_memory(key, source, cls)
+    return CompiledModel(schedule, level, source, cls, optimized=optimize)

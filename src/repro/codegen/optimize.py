@@ -1,0 +1,1214 @@
+"""AST-level optimizer for generated model modules (the Clang ``-O2``
+analogue of the paper's pipeline).
+
+The emitter favours regularity over speed: every condition is normalized
+through ``1 if x else 0``, every signal store is wrapped to its dtype, and
+every latch gets an unconditional default — so the generated step function
+carries redundant temporaries, foldable wrapper calls and dead stores.
+This module rewrites the parsed module between
+:func:`~repro.codegen.emitter.generate_model_code` and ``compile()``:
+
+* **constant folding** — arithmetic/compare/boolean operators over
+  literals, dtype-wrapper and saturation calls over literals, and the
+  collapse of nested boolean normalizations
+  (``1 if (1 if x else 0) else 0`` → ``1 if x else 0``);
+* **copy & constant propagation** — single-assignment temporaries bound
+  to a name or literal are substituted into their uses;
+* **dead-signal-store elimination** — pure stores overwritten before any
+  read (the emitter's latch defaults) and stores to never-read
+  temporaries are dropped;
+* **wrapper inlining** — ``_w_int8(x)`` and friends become branch-free
+  mask arithmetic (``((x & 255) ^ 128) - 128``), eliminating a Python
+  call frame per signal store, with an ``int()`` guard only when the
+  operand is not provably integer-valued; ``_safe_div``/``_safe_mod``
+  over Name/Constant operands of a known kind likewise become guarded
+  branch expressions (C truncation for int pairs, true division with a
+  ``0.0`` zero-divisor arm for floats);
+* **probe-write coalescing** — runs of consecutive constant probe writes
+  merge into one slice store (``cov[4:7] = b'\\x01\\x01\\x01'``) or one
+  multi-target assignment;
+* **MCDC call prebinding** — statement-level ``_mcdc(g, v, o)`` hook
+  calls become ``_mcdc_a{g}((v, o))`` against per-group sinks bound in
+  the step prologue; with the stock recorder the sink is the group
+  set's bound ``set.add``, so recording a vector costs one C call
+  instead of a Python frame per decision (the frame was 25-35% of step
+  time on decision-heavy bench models).
+
+A state-localization pass (``self._st_*`` → locals with a load prologue
+and store-back epilogue) was prototyped and measured a net **loss** (up
+to -24% step throughput): static use counts overestimate dynamic
+hotness — conditionally-executed chart code rarely runs, while the
+boundary traffic is paid on every call.  It is deliberately absent.
+
+**Instrumentation-preservation invariant.** The optimized module must hit
+the byte-identical probe set and record the identical MCDC vectors as the
+unoptimized module on every input.  Structurally this is enforced three
+ways: probe statements (``cov[...] = 1`` stores and ``_mcdc(...)`` calls)
+are never rewritten by any expression pass, definitions feeding a probe
+index are never deleted, and :func:`audit_probes` compares the probe
+signature (referenced probe-id constants, probe-write slot count, per-
+group MCDC call counts) of the module before and after the pipeline,
+raising :class:`~repro.errors.CodegenError` on any drift.  The runtime
+half of the invariant is pinned by the differential tests
+(``tests/test_optimize.py``) against the unoptimized module and the
+interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dtypes import dtype_by_name
+from ..errors import CodegenError
+
+__all__ = [
+    "optimize_module",
+    "optimize_source",
+    "audit_probes",
+    "probe_signature",
+    "step_arg_kinds",
+]
+
+#: calls that are safe to delete with their enclosing dead store
+_PURE_CALLS = {
+    "_safe_div",
+    "_safe_mod",
+    "_lookup1d",
+    "_lookup2d",
+    "int",
+    "float",
+    "bool",
+    "abs",
+    "len",
+    "min",
+    "max",
+}
+_PURE_CALL_PREFIXES = ("_w_", "_sat_", "_f_")
+
+#: signed/unsigned integer wrapper names → (bits, signed)
+_INT_WRAPS = {
+    "_w_int8": (8, True),
+    "_w_int16": (16, True),
+    "_w_int32": (32, True),
+    "_w_uint8": (8, False),
+    "_w_uint16": (16, False),
+    "_w_uint32": (32, False),
+}
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+    ast.BitAnd: lambda a, b: a & b,
+}
+
+_CMP_OPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+# ---------------------------------------------------------------------- #
+# probe statement recognition
+# ---------------------------------------------------------------------- #
+def _is_cov_subscript(node) -> bool:
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "cov"
+    )
+
+
+def _is_cov_store(stmt) -> bool:
+    """``cov[...] = ...`` (any number of cov-subscript targets)."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and all(_is_cov_subscript(t) for t in stmt.targets)
+        and bool(stmt.targets)
+    )
+
+
+#: name prefix of the prebound per-group MCDC sinks (`_mcdc_a3`)
+_MCDC_BIND_PREFIX = "_mcdc_a"
+
+
+def _mcdc_stmt_group(stmt) -> Optional[int]:
+    """The MCDC group of a probe statement, or ``None`` if not one.
+
+    Recognizes both the emitter's ``_mcdc(g, v, o)`` form and the
+    prebound ``_mcdc_a{g}((v, o))`` form so the probe signature is
+    stable across :class:`_McdcPrebinder`.
+    """
+    if not (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+    ):
+        return None
+    name = stmt.value.func.id
+    if name == "_mcdc":
+        args = stmt.value.args
+        if args and isinstance(args[0], ast.Constant) and isinstance(
+            args[0].value, int
+        ):
+            return args[0].value
+        return -1
+    if name.startswith(_MCDC_BIND_PREFIX):
+        try:
+            return int(name[len(_MCDC_BIND_PREFIX):])
+        except ValueError:
+            return None
+    return None
+
+
+def _is_mcdc_stmt(stmt) -> bool:
+    return _mcdc_stmt_group(stmt) is not None
+
+
+def _is_probe_stmt(stmt) -> bool:
+    return _is_cov_store(stmt) or _is_mcdc_stmt(stmt)
+
+
+def _is_const_cov_store(stmt) -> bool:
+    """``cov[<int literal>] = 1`` with a single target."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and _is_cov_subscript(stmt.targets[0])
+        and isinstance(stmt.targets[0].slice, ast.Constant)
+        and isinstance(stmt.targets[0].slice.value, int)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value == 1
+    )
+
+
+# ---------------------------------------------------------------------- #
+# probe signature + audit
+# ---------------------------------------------------------------------- #
+def probe_signature(node) -> Tuple:
+    """Static probe signature: (probe-id constants, write slots, MCDC calls).
+
+    Understands the coalesced forms (slice stores, multi-target stores) so
+    a signature is stable across :func:`optimize_module`.
+    """
+    const_ids: Set[int] = set()
+    slots = 0
+    mcdc: Counter = Counter()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if not _is_cov_subscript(target):
+                    continue
+                index = target.slice
+                if (
+                    isinstance(index, ast.Slice)
+                    and isinstance(index.lower, ast.Constant)
+                    and isinstance(index.upper, ast.Constant)
+                ):
+                    lo, hi = index.lower.value, index.upper.value
+                    const_ids.update(range(lo, hi))
+                    slots += hi - lo
+                else:
+                    slots += 1
+                    for leaf in ast.walk(index):
+                        if isinstance(leaf, ast.Constant) and isinstance(
+                            leaf.value, int
+                        ):
+                            const_ids.add(leaf.value)
+        else:
+            group = _mcdc_stmt_group(sub)
+            if group is not None:
+                mcdc[group] += 1
+    return (frozenset(const_ids), slots, tuple(sorted(mcdc.items())))
+
+
+def audit_probes(original, optimized) -> None:
+    """Raise :class:`CodegenError` unless both trees expose the same probes."""
+    before = probe_signature(original)
+    after = probe_signature(optimized)
+    if before != after:
+        raise CodegenError(
+            "optimizer violated the instrumentation-preservation invariant: "
+            "probe signature changed from %r to %r" % (before, after)
+        )
+
+
+# ---------------------------------------------------------------------- #
+# value-kind inference (integer / 0-1 valued names)
+# ---------------------------------------------------------------------- #
+def step_arg_kinds(schedule) -> Dict[str, str]:
+    """``i_k`` argument name → ``"bool" | "int" | "float"`` for a model."""
+    kinds: Dict[str, str] = {}
+    for k, field in enumerate(schedule.layout.fields):
+        dtype = field.dtype
+        if dtype.is_bool:
+            kind = "bool"
+        elif dtype.is_float:
+            kind = "float"
+        else:
+            kind = "int"
+        kinds["i_%d" % (k + 1)] = kind
+    return kinds
+
+
+def _def_key(target) -> Optional[str]:
+    """A dataflow key for an assignment target (local name or self attr)."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return "self." + target.attr
+    return None
+
+
+class _Kinds:
+    """Fixpoint sets of provably int-valued / 0-1-valued / float-valued
+    quantities (local names and ``self.X`` attributes)."""
+
+    def __init__(
+        self, ints: Set[str], bool01: Set[str], floats: Optional[Set[str]] = None
+    ):
+        self.ints = ints
+        self.bool01 = bool01
+        self.floats = floats if floats is not None else set()
+
+    def is_int(self, node) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, bool)) and not isinstance(
+                node.value, float
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.ints
+        if isinstance(node, ast.Attribute):
+            key = _def_key(node)
+            return key is not None and key in self.ints
+        if isinstance(node, ast.IfExp):
+            return self.is_int(node.body) and self.is_int(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            return all(self.is_int(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            return True  # bool
+        if isinstance(node, ast.BinOp):
+            return type(node.op) in (
+                ast.Add,
+                ast.Sub,
+                ast.Mult,
+                ast.FloorDiv,
+                ast.Mod,
+                ast.LShift,
+                ast.RShift,
+                ast.BitOr,
+                ast.BitXor,
+                ast.BitAnd,
+            ) and self.is_int(node.left) and self.is_int(node.right)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return True
+            return isinstance(node.op, (ast.USub, ast.UAdd, ast.Invert)) and self.is_int(
+                node.operand
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in _INT_WRAPS or name in ("_w_boolean", "int", "len"):
+                return True
+            if name.startswith("_sat_"):
+                try:
+                    return not dtype_by_name(name[len("_sat_"):]).is_float
+                except Exception:
+                    return False
+        return False
+
+    def is_bool01(self, node) -> bool:
+        if isinstance(node, ast.Constant):
+            return node.value in (0, 1, True, False) and not isinstance(
+                node.value, float
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.bool01
+        if isinstance(node, ast.Attribute):
+            key = _def_key(node)
+            return key is not None and key in self.bool01
+        if isinstance(node, ast.IfExp):
+            return self.is_bool01(node.body) and self.is_bool01(node.orelse)
+        if isinstance(node, ast.BoolOp):
+            return all(self.is_bool01(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "_w_boolean"
+        return False
+
+    def is_float(self, node) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self.floats
+        if isinstance(node, ast.Attribute):
+            key = _def_key(node)
+            return key is not None and key in self.floats
+        if isinstance(node, ast.IfExp):
+            return self.is_float(node.body) and self.is_float(node.orelse)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True  # numeric `/` is float in Python, int/int too
+            return type(node.op) in (
+                ast.Add,
+                ast.Sub,
+                ast.Mult,
+                ast.FloorDiv,
+                ast.Mod,
+            ) and (self.is_float(node.left) or self.is_float(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return isinstance(node.op, (ast.USub, ast.UAdd)) and self.is_float(
+                node.operand
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in (
+                "float",
+                "_w_double",
+                "_w_single",
+                "_sat_double",
+                "_sat_single",
+            )
+        return False
+
+
+def _collect_defs(nodes: List) -> Dict[str, List]:
+    """Assignment key → list of RHS expressions, over the given functions."""
+    defs: Dict[str, List] = {}
+    for root in nodes:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    key = _def_key(target)
+                    if key is not None:
+                        defs.setdefault(key, []).append(sub.value)
+            elif isinstance(sub, (ast.AugAssign, ast.For)):
+                key = _def_key(sub.target)
+                if key is not None:
+                    # treated as an opaque redefinition
+                    defs.setdefault(key, []).append(None)
+    return defs
+
+
+def _infer_kinds(functions: List, arg_kinds: Dict[str, str]) -> _Kinds:
+    """Grow the int/bool01 sets to a fixpoint over all function defs."""
+    ints = {name for name, kind in arg_kinds.items() if kind in ("int", "bool")}
+    bool01 = {name for name, kind in arg_kinds.items() if kind == "bool"}
+    floats = {name for name, kind in arg_kinds.items() if kind == "float"}
+    kinds = _Kinds(ints, bool01, floats)
+    defs = _collect_defs(functions)
+    for _ in range(16):
+        changed = False
+        for key, values in defs.items():
+            if key not in kinds.ints and all(
+                v is not None and kinds.is_int(v) for v in values
+            ):
+                kinds.ints.add(key)
+                changed = True
+            if key not in kinds.bool01 and all(
+                v is not None and kinds.is_bool01(v) for v in values
+            ):
+                kinds.bool01.add(key)
+                changed = True
+            if key not in kinds.floats and all(
+                v is not None and kinds.is_float(v) for v in values
+            ):
+                kinds.floats.add(key)
+                changed = True
+        if not changed:
+            break
+    return kinds
+
+
+# ---------------------------------------------------------------------- #
+# pass 1: constant folding
+# ---------------------------------------------------------------------- #
+class _ProbeAwareTransformer(ast.NodeTransformer):
+    """Base transformer that never descends into probe statements."""
+
+    def visit_Assign(self, node):
+        if _is_cov_store(node):
+            return node
+        return self.generic_visit(node)
+
+    def visit_Expr(self, node):
+        if _is_mcdc_stmt(node):
+            return node
+        return self.generic_visit(node)
+
+
+def _fold_wrapper_call(name: str, value):
+    """Apply a ``_w_*`` / ``_sat_*`` runtime helper to a literal."""
+    from .runtime import _WRAPPERS  # specialized, side-effect free
+
+    if name.startswith("_w_") and name[len("_w_"):] in _WRAPPERS:
+        return _WRAPPERS[name[len("_w_"):]](value)
+    if name.startswith("_sat_"):
+        from ..dtypes import saturate_cast
+
+        return saturate_cast(value, dtype_by_name(name[len("_sat_"):]))
+    raise ValueError(name)
+
+
+class _ConstantFolder(_ProbeAwareTransformer):
+    def __init__(self, kinds: _Kinds):
+        self.kinds = kinds
+        self.changed = 0
+
+    def _const(self, value) -> ast.Constant:
+        self.changed += 1
+        return ast.Constant(value=value)
+
+    def visit_BinOp(self, node):
+        self.generic_visit(node)
+        if (
+            isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+            and type(node.op) in _BIN_OPS
+            and isinstance(node.left.value, (int, float))
+            and isinstance(node.right.value, (int, float))
+        ):
+            try:
+                value = _BIN_OPS[type(node.op)](node.left.value, node.right.value)
+            except ArithmeticError:
+                return node
+            if isinstance(value, int) and abs(value) > 1 << 128:
+                return node  # avoid literal blowup from shifts
+            return self._const(value)
+        return node
+
+    def visit_UnaryOp(self, node):
+        self.generic_visit(node)
+        operand = node.operand
+        if isinstance(operand, ast.Constant) and isinstance(
+            operand.value, (int, float, bool)
+        ):
+            if isinstance(node.op, ast.USub):
+                return self._const(-operand.value)
+            if isinstance(node.op, ast.UAdd):
+                return self._const(+operand.value)
+            if isinstance(node.op, ast.Not):
+                return self._const(not operand.value)
+            if isinstance(node.op, ast.Invert) and isinstance(operand.value, int):
+                return self._const(~operand.value)
+        return node
+
+    def visit_Compare(self, node):
+        self.generic_visit(node)
+        if (
+            len(node.ops) == 1
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.comparators[0], ast.Constant)
+            and type(node.ops[0]) in _CMP_OPS
+        ):
+            try:
+                return self._const(
+                    _CMP_OPS[type(node.ops[0])](
+                        node.left.value, node.comparators[0].value
+                    )
+                )
+            except TypeError:
+                return node
+        return node
+
+    def visit_BoolOp(self, node):
+        self.generic_visit(node)
+        values = list(node.values)
+        is_and = isinstance(node.op, ast.And)
+        out = []
+        for i, value in enumerate(values):
+            if isinstance(value, ast.Constant):
+                truthy = bool(value.value)
+                if truthy == is_and and i < len(values) - 1:
+                    # neutral for this operator and not last: drop it
+                    self.changed += 1
+                    continue
+                if truthy != is_and:
+                    # short-circuit: later operands never evaluate
+                    out.append(value)
+                    self.changed += 1
+                    break
+            out.append(value)
+        else:
+            pass
+        if len(out) == 1:
+            self.changed += 1
+            return out[0]
+        if out != values:
+            node.values = out
+        return node
+
+    def visit_IfExp(self, node):
+        self.generic_visit(node)
+        test = node.test
+        if isinstance(test, ast.Constant):
+            self.changed += 1
+            return node.body if test.value else node.orelse
+        if _is_int_const(node.body, 1) and _is_int_const(node.orelse, 0):
+            # collapse re-normalization of an already-0/1 value
+            if (
+                isinstance(test, ast.IfExp)
+                and _is_int_const(test.body, 1)
+                and _is_int_const(test.orelse, 0)
+            ):
+                self.changed += 1
+                return test
+            if isinstance(test, ast.Name) and test.id in self.kinds.bool01:
+                self.changed += 1
+                return test
+        return node
+
+    def visit_Call(self, node):
+        self.generic_visit(node)
+        if (
+            isinstance(node.func, ast.Name)
+            and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, (int, float, bool))
+            and (
+                node.func.id.startswith("_w_") or node.func.id.startswith("_sat_")
+            )
+        ):
+            try:
+                value = _fold_wrapper_call(node.func.id, node.args[0].value)
+            except Exception:
+                return node
+            if isinstance(value, (int, float, bool)) and value == value:
+                return self._const(value)
+        return node
+
+
+def _is_int_const(node, value) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is int
+        and node.value == value
+    )
+
+
+# ---------------------------------------------------------------------- #
+# pass 2: copy / constant propagation
+# ---------------------------------------------------------------------- #
+class _NameUsage:
+    """Store/load counts for local names across one function."""
+
+    def __init__(self, func):
+        self.stores: Counter = Counter()
+        self.loads: Counter = Counter()
+        self.probe_loads: Counter = Counter()
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name) and isinstance(
+                            leaf.ctx, ast.Store
+                        ):
+                            self.stores[leaf.id] += 1
+            elif isinstance(stmt, (ast.AugAssign, ast.For)):
+                for leaf in ast.walk(stmt.target):
+                    if isinstance(leaf, ast.Name):
+                        self.stores[leaf.id] += 2  # opaque: never propagate
+            elif isinstance(stmt, (ast.comprehension,)):
+                for leaf in ast.walk(stmt.target):
+                    if isinstance(leaf, ast.Name):
+                        self.stores[leaf.id] += 2
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Name) and isinstance(stmt.ctx, ast.Load):
+                self.loads[stmt.id] += 1
+        for stmt in _walk_statements(func):
+            if _is_probe_stmt(stmt):
+                for leaf in ast.walk(stmt):
+                    if isinstance(leaf, ast.Name) and isinstance(leaf.ctx, ast.Load):
+                        self.probe_loads[leaf.id] += 1
+
+
+def _walk_statements(node):
+    """Every statement node in the tree (not expressions)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.stmt):
+            yield sub
+
+
+class _CopyPropagator(_ProbeAwareTransformer):
+    """Substitute single-assignment aliases and literals into their uses."""
+
+    def __init__(self, func):
+        self.usage = _NameUsage(func)
+        self.replacements: Dict[str, ast.expr] = {}
+        self.changed = 0
+        for stmt in _walk_statements(func):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and not _is_probe_stmt(stmt)
+            ):
+                name = stmt.targets[0].id
+                if self.usage.stores[name] != 1:
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, (int, float, bool)
+                ):
+                    self.replacements[name] = value
+                elif (
+                    isinstance(value, ast.Name)
+                    and isinstance(value.ctx, ast.Load)
+                    and self.usage.stores[value.id] <= 1
+                ):
+                    self.replacements[name] = value
+        # resolve alias chains (x -> y, y -> 3  ==>  x -> 3)
+        for _ in range(len(self.replacements)):
+            advanced = False
+            for name, value in list(self.replacements.items()):
+                if isinstance(value, ast.Name) and value.id in self.replacements:
+                    self.replacements[name] = self.replacements[value.id]
+                    advanced = True
+            if not advanced:
+                break
+
+    def _substitute(self, name: str):
+        value = self.replacements[name]
+        self.changed += 1
+        if isinstance(value, ast.Constant):
+            return ast.Constant(value=value.value)
+        return ast.Name(id=value.id, ctx=ast.Load())
+
+    def visit_Name(self, node):
+        if isinstance(node.ctx, ast.Load) and node.id in self.replacements:
+            return self._substitute(node.id)
+        return node
+
+    def visit_Assign(self, node):
+        if _is_cov_store(node):
+            return node
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id in self.replacements
+            and self.usage.probe_loads[node.targets[0].id] == 0
+        ):
+            # every non-probe use is substituted and no probe index reads
+            # this name: the definition itself is dead
+            self.changed += 1
+            return None
+        return self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------- #
+# pass 3: dead store elimination
+# ---------------------------------------------------------------------- #
+def _is_pure_expr(node) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if not isinstance(func, ast.Name):
+                return False
+            if func.id in _PURE_CALLS or func.id.startswith(_PURE_CALL_PREFIXES):
+                continue
+            return False
+        if isinstance(
+            sub,
+            (
+                ast.Lambda,
+                ast.Await,
+                ast.Yield,
+                ast.YieldFrom,
+                ast.NamedExpr,
+                ast.ListComp,
+                ast.SetComp,
+                ast.DictComp,
+                ast.GeneratorExp,
+            ),
+        ):
+            return False
+    return True
+
+
+def _loads_name(stmt, name: str) -> bool:
+    for leaf in ast.walk(stmt):
+        if (
+            isinstance(leaf, ast.Name)
+            and leaf.id == name
+            and isinstance(leaf.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def _stores_name_anywhere(stmt, name: str) -> bool:
+    for leaf in ast.walk(stmt):
+        if (
+            isinstance(leaf, ast.Name)
+            and leaf.id == name
+            and isinstance(leaf.ctx, ast.Store)
+        ):
+            return True
+    return False
+
+
+class _DeadStoreEliminator:
+    """Drop pure stores that are overwritten before any read, and stores
+    to names never read anywhere in the function."""
+
+    def __init__(self, func):
+        self.usage = _NameUsage(func)
+        self.changed = 0
+        self._eliminate_in_lists(func)
+
+    def _eliminate_in_lists(self, node) -> None:
+        for field in ("body", "orelse", "finalbody"):
+            body = getattr(node, field, None)
+            if not isinstance(body, list):
+                continue
+            kept = []
+            for idx, stmt in enumerate(body):
+                self._eliminate_in_lists(stmt)
+                if self._is_dead(stmt, body, idx):
+                    self.changed += 1
+                    continue
+                kept.append(stmt)
+            if kept != body:
+                body[:] = kept or [ast.Pass()]
+
+    def _is_dead(self, stmt, body, idx) -> bool:
+        if (
+            not isinstance(stmt, ast.Assign)
+            or len(stmt.targets) != 1
+            or not isinstance(stmt.targets[0], ast.Name)
+        ):
+            return False
+        name = stmt.targets[0].id
+        if not _is_pure_expr(stmt.value):
+            return False
+        if self.usage.loads[name] == 0:
+            return True  # never read anywhere
+        for later in body[idx + 1:]:
+            if _loads_name(later, name):
+                return False
+            if (
+                isinstance(later, ast.Assign)
+                and len(later.targets) == 1
+                and isinstance(later.targets[0], ast.Name)
+                and later.targets[0].id == name
+            ):
+                return True  # unconditionally overwritten before any read
+            if _stores_name_anywhere(later, name):
+                return False  # conditional overwrite: default still needed
+        return False  # may be read after this body (loop back-edges etc.)
+
+
+# ---------------------------------------------------------------------- #
+# pass 4: wrapper inlining
+# ---------------------------------------------------------------------- #
+def _clone_atom(node):
+    """A fresh copy of a Name/Constant operand (safe to duplicate)."""
+    if isinstance(node, ast.Constant):
+        return ast.Constant(value=node.value)
+    return ast.Name(id=node.id, ctx=ast.Load())
+
+
+def _int_trunc_quotient(a, b):
+    """C-truncating integer quotient with a nonzero divisor:
+    ``a // b if (a < 0) == (b < 0) else -(-a // b)``."""
+    same_sign = ast.Compare(
+        left=ast.Compare(
+            left=_clone_atom(a), ops=[ast.Lt()], comparators=[ast.Constant(value=0)]
+        ),
+        ops=[ast.Eq()],
+        comparators=[
+            ast.Compare(
+                left=_clone_atom(b),
+                ops=[ast.Lt()],
+                comparators=[ast.Constant(value=0)],
+            )
+        ],
+    )
+    floor_q = ast.BinOp(
+        left=_clone_atom(a), op=ast.FloorDiv(), right=_clone_atom(b)
+    )
+    trunc_q = ast.UnaryOp(
+        op=ast.USub(),
+        operand=ast.BinOp(
+            left=ast.UnaryOp(op=ast.USub(), operand=_clone_atom(a)),
+            op=ast.FloorDiv(),
+            right=_clone_atom(b),
+        ),
+    )
+    return ast.IfExp(test=same_sign, body=floor_q, orelse=trunc_q)
+
+
+class _WrapperInliner(_ProbeAwareTransformer):
+    def __init__(self, kinds: _Kinds):
+        self.kinds = kinds
+        self.changed = 0
+
+    def _inline_safe_div_mod(self, node):
+        """``_safe_div``/``_safe_mod`` over Name/Constant operands of a
+        statically known kind become branch expressions.
+
+        Only atoms may be duplicated into the guard and both branches
+        (pure, cheap re-evaluation).  Both-int operands take the C
+        truncation form; a provably float operand takes the true-division
+        form, whose zero-divisor arm matches ``safe_div`` exactly
+        (``-0.0`` is falsy → ``0.0``; NaN divisors are truthy → ``a / b``).
+        Mixed/unknown kinds keep the runtime call.
+        """
+        name = node.func.id
+        a, b = node.args
+        if not all(isinstance(x, (ast.Name, ast.Constant)) for x in (a, b)):
+            return node
+        divisor_nonzero = _clone_atom(b)
+        if self.kinds.is_int(a) and self.kinds.is_int(b):
+            if name == "_safe_div":
+                result = _int_trunc_quotient(a, b)
+            else:  # a - trunc_quotient * b
+                result = ast.BinOp(
+                    left=_clone_atom(a),
+                    op=ast.Sub(),
+                    right=ast.BinOp(
+                        left=_int_trunc_quotient(a, b),
+                        op=ast.Mult(),
+                        right=_clone_atom(b),
+                    ),
+                )
+            self.changed += 1
+            return ast.IfExp(
+                test=divisor_nonzero, body=result, orelse=ast.Constant(value=0)
+            )
+        if name == "_safe_div" and (
+            self.kinds.is_float(a) or self.kinds.is_float(b)
+        ):
+            self.changed += 1
+            return ast.IfExp(
+                test=divisor_nonzero,
+                body=ast.BinOp(
+                    left=_clone_atom(a), op=ast.Div(), right=_clone_atom(b)
+                ),
+                orelse=ast.Constant(value=0.0),
+            )
+        return node
+
+    def visit_Call(self, node):
+        self.generic_visit(node)
+        if not isinstance(node.func, ast.Name) or node.keywords:
+            return node
+        if node.func.id in ("_safe_div", "_safe_mod") and len(node.args) == 2:
+            return self._inline_safe_div_mod(node)
+        if len(node.args) != 1:
+            return node
+        name = node.func.id
+        arg = node.args[0]
+        if name == "_w_boolean":
+            self.changed += 1
+            if self.kinds.is_bool01(arg):
+                return arg
+            return ast.IfExp(
+                test=arg, body=ast.Constant(value=1), orelse=ast.Constant(value=0)
+            )
+        if name == "_w_double":
+            self.changed += 1
+            return ast.Call(
+                func=ast.Name(id="float", ctx=ast.Load()), args=[arg], keywords=[]
+            )
+        if name in _INT_WRAPS:
+            bits, signed = _INT_WRAPS[name]
+            mask = (1 << bits) - 1
+            half = 1 << (bits - 1)
+            self.changed += 1
+            if not self.kinds.is_int(arg):
+                arg = ast.Call(
+                    func=ast.Name(id="int", ctx=ast.Load()), args=[arg], keywords=[]
+                )
+            masked = ast.BinOp(
+                left=arg, op=ast.BitAnd(), right=ast.Constant(value=mask)
+            )
+            if not signed:
+                return masked
+            return ast.BinOp(
+                left=ast.BinOp(
+                    left=masked, op=ast.BitXor(), right=ast.Constant(value=half)
+                ),
+                op=ast.Sub(),
+                right=ast.Constant(value=half),
+            )
+        return node
+
+
+# ---------------------------------------------------------------------- #
+# pass 5: probe-write coalescing
+# ---------------------------------------------------------------------- #
+class _ProbeCoalescer:
+    def __init__(self, func):
+        self.changed = 0
+        self._coalesce_in_lists(func)
+
+    def _coalesce_in_lists(self, node) -> None:
+        for field in ("body", "orelse", "finalbody"):
+            body = getattr(node, field, None)
+            if not isinstance(body, list):
+                continue
+            new_body: List = []
+            run: List = []
+            for stmt in body:
+                self._coalesce_in_lists(stmt)
+                if _is_const_cov_store(stmt):
+                    run.append(stmt)
+                else:
+                    self._flush(run, new_body)
+                    run = []
+                    new_body.append(stmt)
+            self._flush(run, new_body)
+            body[:] = new_body or [ast.Pass()]
+
+    def _flush(self, run: List, out: List) -> None:
+        if len(run) < 2:
+            out.extend(run)
+            return
+        indices = [stmt.targets[0].slice.value for stmt in run]
+        unique = sorted(set(indices))
+        lo, hi = unique[0], unique[-1]
+        self.changed += 1
+        if len(unique) == len(indices) and hi - lo + 1 == len(indices):
+            # contiguous: one slice store at C speed
+            out.append(
+                ast.Assign(
+                    targets=[
+                        ast.Subscript(
+                            value=ast.Name(id="cov", ctx=ast.Load()),
+                            slice=ast.Slice(
+                                lower=ast.Constant(value=lo),
+                                upper=ast.Constant(value=hi + 1),
+                            ),
+                            ctx=ast.Store(),
+                        )
+                    ],
+                    value=ast.Constant(value=b"\x01" * len(indices)),
+                )
+            )
+        else:
+            out.append(
+                ast.Assign(
+                    targets=[stmt.targets[0] for stmt in run],
+                    value=ast.Constant(value=1),
+                )
+            )
+
+
+# ---------------------------------------------------------------------- #
+# pass 6: MCDC call prebinding (_mcdc(g, v, o) -> C-level set.add)
+# ---------------------------------------------------------------------- #
+class _McdcPrebinder:
+    """Rewrite ``_mcdc(g, v, o)`` statements into prebound per-group sinks.
+
+    ``recorder.record_mcdc`` is a one-line method, but the Python frame it
+    opens per call dominates decision-heavy models (25-35% of step time on
+    the bench registry).  Every statement-level ``_mcdc(3, v, o)`` becomes
+    ``_mcdc_a3((v, o))``, where the step prologue binds ``_mcdc_a3`` from
+    a sink table built once per instance by the ``_mcdc_adders`` runtime
+    helper: the group set's bound ``set.add`` (a C call, no frame) when
+    the hook is the stock recorder method, or a bridging closure with
+    identical semantics for any other hook.
+
+    Runs last so every earlier pass sees the canonical ``_mcdc`` form;
+    the probe signature treats both forms as the same group-``g`` probe,
+    so the audit pins the rewrite.  A module that already carries the
+    prebound form (re-optimization) is left untouched.
+    """
+
+    def __init__(self, tree):
+        self.changed = 0
+        init = step = None
+        for func in _module_functions(tree):
+            if func.name == "__init__":
+                init = func
+            elif func.name == "step":
+                step = func
+        if init is None or step is None:
+            return
+        if not any(arg.arg == "mcdc" for arg in init.args.args):
+            return  # unknown __init__ shape: keep the legacy hook calls
+        groups = self._rewrite_calls(step)
+        if not groups:
+            return
+        init.body.append(
+            ast.Assign(
+                targets=[
+                    ast.Attribute(
+                        value=ast.Name(id="self", ctx=ast.Load()),
+                        attr="_mcdc_adds",
+                        ctx=ast.Store(),
+                    )
+                ],
+                value=ast.Call(
+                    func=ast.Name(id="_mcdc_adders", ctx=ast.Load()),
+                    args=[
+                        ast.Name(id="mcdc", ctx=ast.Load()),
+                        ast.Constant(value=max(groups) + 1),
+                    ],
+                    keywords=[],
+                ),
+            )
+        )
+        binds: List = [
+            ast.Assign(
+                targets=[ast.Name(id="_mcdc_adds", ctx=ast.Store())],
+                value=ast.Attribute(
+                    value=ast.Name(id="self", ctx=ast.Load()),
+                    attr="_mcdc_adds",
+                    ctx=ast.Load(),
+                ),
+            )
+        ]
+        for group in sorted(groups):
+            binds.append(
+                ast.Assign(
+                    targets=[
+                        ast.Name(
+                            id="%s%d" % (_MCDC_BIND_PREFIX, group), ctx=ast.Store()
+                        )
+                    ],
+                    value=ast.Subscript(
+                        value=ast.Name(id="_mcdc_adds", ctx=ast.Load()),
+                        slice=ast.Constant(value=group),
+                        ctx=ast.Load(),
+                    ),
+                )
+            )
+        # splice the binds over (or after) the `_mcdc = self._mcdc_hook`
+        # prologue; the hook alias stays only if legacy calls remain
+        body = step.body
+        hook_alias_live = _loads_name(step, "_mcdc")
+        for idx, stmt in enumerate(body):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "_mcdc"
+            ):
+                body[idx:idx + 1] = ([stmt] if hook_alias_live else []) + binds
+                break
+        else:  # handwritten module without the prologue line
+            step.body = binds + body
+
+    def _rewrite_calls(self, func) -> Set[int]:
+        groups: Set[int] = set()
+        for stmt in _walk_statements(func):
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Name)
+                and stmt.value.func.id == "_mcdc"
+            ):
+                continue
+            call = stmt.value
+            if (
+                len(call.args) != 3
+                or call.keywords
+                or not isinstance(call.args[0], ast.Constant)
+                or type(call.args[0].value) is not int
+                or call.args[0].value < 0
+            ):
+                continue  # unexpected shape: leave the legacy call
+            group = call.args[0].value
+            groups.add(group)
+            self.changed += 1
+            stmt.value = ast.Call(
+                func=ast.Name(
+                    id="%s%d" % (_MCDC_BIND_PREFIX, group), ctx=ast.Load()
+                ),
+                args=[
+                    ast.Tuple(elts=[call.args[1], call.args[2]], ctx=ast.Load())
+                ],
+                keywords=[],
+            )
+        return groups
+
+
+# ---------------------------------------------------------------------- #
+# driver
+# ---------------------------------------------------------------------- #
+def _module_functions(tree) -> List:
+    """The method bodies of ``GeneratedModel`` (init / step)."""
+    functions = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "GeneratedModel":
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    functions.append(item)
+    return functions
+
+
+def optimize_source(
+    source: str, arg_kinds: Optional[Dict[str, str]] = None
+) -> Tuple[str, Dict[str, int]]:
+    """Optimize a generated module; returns ``(new_source, pass_stats)``.
+
+    ``arg_kinds`` maps step argument names to ``"int" | "bool" | "float"``
+    (see :func:`step_arg_kinds`); without it the inliner conservatively
+    guards every integer wrap with ``int()``.
+    """
+    tree = ast.parse(source)
+    original = ast.parse(source)  # pristine copy for the probe audit
+    functions = _module_functions(tree)
+    stats = {
+        "folded": 0,
+        "propagated": 0,
+        "dead_stores": 0,
+        "inlined_wrappers": 0,
+        "coalesced_runs": 0,
+        "prebound_mcdc": 0,
+    }
+    arg_kinds = arg_kinds or {}
+    for func in functions:
+        for _ in range(5):
+            kinds = _infer_kinds([func], arg_kinds)
+            folder = _ConstantFolder(kinds)
+            folder.visit(func)
+            propagator = _CopyPropagator(func)
+            propagator.visit(func)
+            eliminator = _DeadStoreEliminator(func)
+            stats["folded"] += folder.changed
+            stats["propagated"] += propagator.changed
+            stats["dead_stores"] += eliminator.changed
+            if not (folder.changed or propagator.changed or eliminator.changed):
+                break
+        kinds = _infer_kinds([func], arg_kinds)
+        inliner = _WrapperInliner(kinds)
+        inliner.visit(func)
+        stats["inlined_wrappers"] += inliner.changed
+        coalescer = _ProbeCoalescer(func)
+        stats["coalesced_runs"] += coalescer.changed
+    prebinder = _McdcPrebinder(tree)
+    stats["prebound_mcdc"] = prebinder.changed
+    ast.fix_missing_locations(tree)
+    audit_probes(original, tree)
+    optimized = ast.unparse(tree)
+    # the unparsed module must itself parse (belt and braces before exec)
+    ast.parse(optimized)
+    return optimized, stats
+
+
+def optimize_module(source: str, arg_kinds: Optional[Dict[str, str]] = None) -> str:
+    """Optimize a generated module's source (see :func:`optimize_source`)."""
+    return optimize_source(source, arg_kinds)[0]

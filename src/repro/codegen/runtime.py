@@ -85,6 +85,33 @@ def _make_sat(dtype: DType) -> Callable:
     return sat
 
 
+def _mcdc_adders(hook, n_groups):
+    """Per-group MCDC sinks for the optimizer's prebound call sites.
+
+    The optimizer rewrites ``_mcdc(g, v, o)`` statements into
+    ``_mcdc_a{g}((v, o))`` against this table (see
+    ``repro.codegen.optimize._McdcPrebinder``).  For the stock recorder
+    hook the sink is the group set's bound ``set.add`` — a C call with no
+    Python frame.  Any other callable is bridged through a closure with
+    identical semantics, and ``None`` stays ``None`` so a missing hook
+    fails on first use exactly like the legacy ``_mcdc(...)`` call.
+    """
+    from ..coverage.recorder import CoverageRecorder
+
+    if getattr(hook, "__func__", None) is CoverageRecorder.record_mcdc:
+        return tuple(vectors.add for vectors in hook.__self__.mcdc_vectors)
+    if hook is None:
+        return (None,) * n_groups
+
+    def _bridge(group):
+        def add(vector_outcome):
+            hook(group, vector_outcome[0], vector_outcome[1])
+
+        return add
+
+    return tuple(_bridge(group) for group in range(n_groups))
+
+
 def runtime_globals() -> Dict[str, object]:
     """Fresh globals dict for executing one generated module."""
     from ..model.blocks.lookup import interp1d, interp2d
@@ -94,6 +121,7 @@ def runtime_globals() -> Dict[str, object]:
         "_safe_mod": safe_mod,
         "_lookup1d": interp1d,
         "_lookup2d": interp2d,
+        "_mcdc_adders": _mcdc_adders,
     }
     for name, impl in BUILTIN_IMPLS.items():
         env["_f_%s" % name] = impl

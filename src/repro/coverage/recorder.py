@@ -5,11 +5,21 @@ whatever harness drives it.  ``curr`` is the per-iteration bitmap the
 paper calls ``g_CurrCov``; ``total`` accumulates across iterations and
 inputs (``g_TotalCov``).  The bytearrays keep their identity for the whole
 recorder lifetime — compiled programs capture them once at instantiation.
+
+Internally ``total`` is mirrored by an integer bitmap so the per-commit
+bookkeeping is big-int arithmetic (one ``int.from_bytes`` plus masking)
+instead of an O(n) Python scan, and ``covered_probes`` is a popcount.
+The ``total`` bytearray stays authoritative for external readers (metrics,
+annotation, tests index into it) and is only rewritten when new probes
+actually land — the rare case on a converged fuzzing run.  Code outside
+this class must treat ``total`` as read-only or the mirror desyncs.
 """
 
 from __future__ import annotations
 
 from typing import List, Set, Tuple
+
+from ..bits import bit_indices, popcount
 
 __all__ = ["CoverageRecorder"]
 
@@ -23,6 +33,7 @@ class CoverageRecorder:
         self.n_probes = n
         self.curr = bytearray(n)
         self.total = bytearray(n)
+        self._total_int = 0
         self._zeros = bytes(n)
         #: per-MCDC-group set of (condition truth vector, outcome)
         self.mcdc_vectors: List[Set[Tuple[int, int]]] = [
@@ -47,17 +58,19 @@ class CoverageRecorder:
 
     def commit_curr(self) -> List[int]:
         """Merge curr into total; returns the newly covered probe ids."""
-        new = [
-            i for i, hit in enumerate(self.curr) if hit and not self.total[i]
-        ]
-        for i in new:
-            self.total[i] = 1
-        return new
+        cur = int.from_bytes(self.curr, "little")
+        new_bits = cur & ~self._total_int
+        if not new_bits:
+            return []
+        self._total_int |= cur
+        self.total[:] = self._total_int.to_bytes(self.n_probes, "little")
+        return bit_indices(new_bits)
 
     def reset_all(self) -> None:
         """Forget everything (fresh measurement)."""
         self.reset_curr()
         self.total[:] = self._zeros
+        self._total_int = 0
         for vectors in self.mcdc_vectors:
             vectors.clear()
 
@@ -65,16 +78,18 @@ class CoverageRecorder:
     # queries
     # ------------------------------------------------------------------ #
     def covered_probes(self) -> int:
-        return sum(self.total)
+        return popcount(self._total_int)
 
     def curr_as_int(self) -> int:
         """The curr bitmap as a little-endian big integer (fast compare)."""
         return int.from_bytes(self.curr, "little")
 
     def total_as_int(self) -> int:
-        return int.from_bytes(self.total, "little")
+        return self._total_int
 
     def absorb_int(self, bitmap: int) -> None:
         """Merge an integer bitmap (from a generated driver) into total."""
-        merged = self.total_as_int() | bitmap
-        self.total[:] = merged.to_bytes(self.n_probes, "little") if self.n_probes else b""
+        self._total_int |= bitmap
+        self.total[:] = (
+            self._total_int.to_bytes(self.n_probes, "little") if self.n_probes else b""
+        )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import List, Optional
 
+from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
 from ..codegen.driver import compile_fuzz_driver
 from ..coverage.metrics import CoverageReport, compute_report
@@ -234,7 +235,7 @@ class Fuzzer:
             now = offset + time.perf_counter() - start
             if found_new:
                 suite.add(TestCase(data, now))
-                timeline.append((now, bin(total_int).count("1")))
+                timeline.append((now, popcount(total_int)))
                 corpus.add(CorpusEntry(data, metric, True, now, iterations=iters))
             elif config.use_iteration_metric:
                 density = metric / (iters + 1.0)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple, TypeVar
 
+from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
 from ..coverage.recorder import CoverageRecorder
 from ..schedule.schedule import Schedule
@@ -61,7 +62,7 @@ def greedy_cover(
         best_index = -1
         best_gain = 0
         for i, (payload, bitmap) in enumerate(remaining):
-            gain = bin(bitmap & ~covered).count("1")
+            gain = popcount(bitmap & ~covered)
             if gain > best_gain or (
                 gain == best_gain
                 and gain > 0

@@ -14,15 +14,16 @@ worker processes:
    a compact seed pool covering the union of worker coverage;
 3. the merged pool is re-broadcast: each worker executes it at the start
    of the next epoch, so discoveries propagate without sharing memory;
-4. after the last epoch the worker suites are unioned (time-sorted,
-   byte-deduplicated) and replayed **once** on the fully instrumented
-   model for the final report and a merged global timeline.
+4. after the last epoch the worker suites are unioned (discovery-rank
+   ordered, byte-deduplicated) and replayed **once** on the fully
+   instrumented model for the final report and a merged global timeline.
 
 ``workers=1`` bypasses multiprocessing entirely and is byte-identical to
 the classic single-process engine for a fixed seed.  Worker payloads and
 states are plain picklable values, so both ``fork`` and ``spawn`` start
 methods work (``spawn`` re-imports this module and re-compiles the model
-per process through the pool initializer).
+per process through the pool initializer — a warm read of the persistent
+compile cache, so per-worker startup no longer pays the codegen cost).
 """
 
 from __future__ import annotations
@@ -207,26 +208,35 @@ class ParallelFuzzer:
                         max_pool=self.merge_pool_size,
                     )
 
-        # union the worker suites: time-sorted, byte-deduplicated (two
-        # workers finding the same input keep only the earliest copy)
+        # union the worker suites, byte-deduplicated.  Ordering is by
+        # *discovery rank* (n-th case of each worker, workers round-robin)
+        # rather than wall-clock found_at: ranks are deterministic for a
+        # fixed seed and input budget, where timestamps carry scheduling
+        # noise that would reorder the merged suite between identical runs
         tagged = [
-            (case.found_at, w, case)
+            (rank, w, case)
             for w, state in enumerate(states)
-            for case in state.suite
+            for rank, case in enumerate(state.suite)
         ]
         tagged.sort(key=lambda item: (item[0], item[1]))
         suite = TestSuite(tool="cftcg")
         seen = set()
-        for found_at, w, case in tagged:
+        for _rank, _w, case in tagged:
             if case.data in seen:
                 continue
             seen.add(case.data)
-            suite.add(TestCase(case.data, found_at, case.origin))
+            suite.add(TestCase(case.data, case.found_at, case.origin))
 
         timeline: List = []
         report = replay_suite(
             self.schedule, suite, compiled=compiled, timeline_out=timeline
         )
+        # rank order tracks wall-clock only approximately, so clamp the
+        # merged curve into its monotone envelope ("coverage reached C
+        # by time T") before handing it out
+        for idx in range(1, len(timeline)):
+            if timeline[idx][0] < timeline[idx - 1][0]:
+                timeline[idx] = (timeline[idx - 1][0], timeline[idx][1])
         elapsed = time.perf_counter() - start
         return FuzzResult(
             suite=suite,

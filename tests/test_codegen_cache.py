@@ -1,0 +1,211 @@
+"""Tests for the persistent compile cache (repro.codegen.cache)."""
+
+import os
+
+import pytest
+
+from repro import convert
+from repro.codegen import (
+    CODEGEN_VERSION,
+    cache_key,
+    canonical_model_form,
+    compile_model,
+)
+from repro.codegen.cache import CompileCache, Uncacheable, default_cache
+
+from conftest import demo_model
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """An isolated cache root for one test (and a reset default cache)."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    import repro.codegen.cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_DEFAULT", None)
+    return root
+
+
+def _entry_files(root):
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(root)
+        for name in names
+    )
+
+
+class TestCanonicalForm:
+    def test_deterministic_across_builds(self):
+        assert canonical_model_form(demo_model()) == canonical_model_form(
+            demo_model()
+        )
+
+    def test_sensitive_to_params(self):
+        a, b = demo_model(), demo_model()
+        b.blocks["Lim"].params["upper"] = 999.0
+        assert canonical_model_form(a) != canonical_model_form(b)
+
+    def test_sensitive_to_wiring(self):
+        a, b = demo_model(), demo_model()
+        b.connections[0], b.connections[1] = b.connections[1], b.connections[0]
+        assert canonical_model_form(a) != canonical_model_form(b)
+
+    def test_dtype_params_canonicalized(self):
+        form = canonical_model_form(demo_model())
+        assert "dtype:" in form
+
+    def test_unknown_param_type_raises(self):
+        model = demo_model()
+        model.blocks["Lim"].params["strange"] = object()
+        with pytest.raises(Uncacheable):
+            cache_key(model, "model", True)
+
+    def test_uncacheable_model_still_compiles(self, cache_dir):
+        model = demo_model()
+        model.blocks["Lim"].params["strange"] = object()
+        result = compile_model(convert(model))
+        assert result.from_cache is None
+        assert not _entry_files(cache_dir)  # silently skipped the cache
+        program, _ = result.instantiate()
+        assert program.step(1, 700)
+
+
+class TestCacheKey:
+    def test_varies_with_level_and_optimize(self):
+        model = demo_model()
+        keys = {
+            cache_key(model, "model", True),
+            cache_key(model, "model", False),
+            cache_key(model, "code", True),
+        }
+        assert len(keys) == 3
+
+    def test_varies_with_codegen_version(self, monkeypatch):
+        model = demo_model()
+        before = cache_key(model, "model", True)
+        import repro.codegen.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "CODEGEN_VERSION", CODEGEN_VERSION + ".bumped"
+        )
+        assert cache_key(model, "model", True) != before
+
+    def test_varies_with_model_mutation(self):
+        a, b = demo_model(), demo_model()
+        b.blocks["Lim"].params["upper"] = 123.0
+        assert cache_key(a, "model", True) != cache_key(b, "model", True)
+
+
+class TestRoundTrip:
+    def test_cold_miss_then_warm_hits(self, cache_dir):
+        schedule = convert(demo_model())
+        cold = compile_model(schedule)
+        assert cold.from_cache is None
+        assert _entry_files(cache_dir)  # entry persisted
+
+        warm = compile_model(schedule)
+        assert warm.from_cache == "memory"
+
+        default_cache().clear_memory()
+        disk = compile_model(schedule)
+        assert disk.from_cache == "disk"
+        assert disk.source == cold.source == warm.source
+
+    def test_warm_artifact_behaves_identically(self, cache_dir):
+        schedule = convert(demo_model())
+        cold = compile_model(schedule)
+        default_cache().clear_memory()
+        warm = compile_model(schedule)
+        assert warm.from_cache == "disk"
+        p1, r1 = cold.instantiate()
+        p2, r2 = warm.instantiate()
+        for tup in [(1, 700), (0, -3), (1, 0), (1, 2000)]:
+            assert p1.step(*tup) == p2.step(*tup)
+        assert bytes(r1.curr) == bytes(r2.curr)
+
+    def test_model_mutation_invalidates(self, cache_dir):
+        schedule = convert(demo_model())
+        compile_model(schedule)
+        mutated = demo_model()
+        mutated.blocks["Lim"].params["upper"] = 555.0
+        result = compile_model(convert(mutated))
+        assert result.from_cache is None  # different key: fresh compile
+
+    def test_version_bump_invalidates(self, cache_dir, monkeypatch):
+        schedule = convert(demo_model())
+        compile_model(schedule)
+        import repro.codegen.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "CODEGEN_VERSION", CODEGEN_VERSION + ".bumped"
+        )
+        result = compile_model(schedule)
+        assert result.from_cache is None
+
+    def test_cache_false_bypasses(self, cache_dir):
+        schedule = convert(demo_model())
+        result = compile_model(schedule, cache=False)
+        assert result.from_cache is None
+        assert not _entry_files(cache_dir)
+
+    def test_env_disable(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        schedule = convert(demo_model())
+        compile_model(schedule)
+        assert not _entry_files(cache_dir)
+
+
+class TestCorruptionRecovery:
+    def _corrupt(self, cache_dir, payload: bytes, suffix=".bin"):
+        files = [p for p in _entry_files(cache_dir) if p.endswith(suffix)]
+        assert files
+        for path in files:
+            with open(path, "wb") as fh:
+                fh.write(payload)
+
+    def test_truncated_bytecode_falls_back(self, cache_dir):
+        schedule = convert(demo_model())
+        cold = compile_model(schedule)
+        self._corrupt(cache_dir, b"")
+        default_cache().clear_memory()
+        again = compile_model(schedule)
+        assert again.from_cache is None  # corrupted entry treated as a miss
+        assert again.source == cold.source
+        # and the fresh compile repaired the entry
+        default_cache().clear_memory()
+        assert compile_model(schedule).from_cache == "disk"
+
+    def test_garbage_bytecode_falls_back(self, cache_dir):
+        schedule = convert(demo_model())
+        compile_model(schedule)
+        self._corrupt(cache_dir, b"\x00garbage\xff" * 7)
+        default_cache().clear_memory()
+        again = compile_model(schedule)
+        assert again.from_cache is None
+        program, recorder = again.instantiate()
+        assert program.step(1, 700)  # usable artifact
+
+    def test_missing_source_falls_back(self, cache_dir):
+        schedule = convert(demo_model())
+        compile_model(schedule)
+        for path in _entry_files(cache_dir):
+            if path.endswith(".py"):
+                os.unlink(path)
+        default_cache().clear_memory()
+        assert compile_model(schedule).from_cache is None
+
+
+class TestMemoryLRU:
+    def test_eviction_order(self):
+        cache = CompileCache(root="unused", memory_slots=2)
+        cache.put_memory("a", "sa", 1)
+        cache.put_memory("b", "sb", 2)
+        assert cache.get_memory("a") == ("sa", 1)  # refresh a
+        cache.put_memory("c", "sc", 3)  # evicts b (LRU)
+        assert cache.get_memory("b") is None
+        assert cache.get_memory("a") == ("sa", 1)
+        assert cache.get_memory("c") == ("sc", 3)

@@ -36,7 +36,7 @@ class TestDriverSource:
         """The generated driver mirrors the paper's Figure 3 shape."""
         source = generate_fuzz_driver(setup[0])
         assert "def fuzz_test_one_input(" in source
-        assert "program.init()" in source  # model initialization
+        assert "program.reset()" in source  # model initialization re-arm
         assert "while True:" in source  # the tuple-splitting loop
         assert "break  # not enough data left" in source  # segmentation rule
 

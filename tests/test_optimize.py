@@ -1,0 +1,393 @@
+"""Tests for the AST optimizer (repro.codegen.optimize).
+
+The heart of this module is the registry-wide differential: for every
+benchmark model, the optimized compiled program must produce byte-
+identical outputs, probe bitmaps and MCDC vector sets to both the
+unoptimized compiled program and the interpreter on a shared random
+input set — the runtime half of the instrumentation-preservation
+invariant (the static half is the probe-signature audit).
+"""
+
+import ast
+import random
+
+import pytest
+
+from repro import CoverageRecorder, ModelInstance, convert
+from repro.bench.registry import build_schedule, model_names
+from repro.codegen import (
+    compile_model,
+    generate_model_code,
+    optimize_module,
+    optimize_source,
+    step_arg_kinds,
+)
+from repro.codegen.optimize import audit_probes, probe_signature
+from repro.errors import CodegenError
+
+from conftest import demo_model
+
+
+# ---------------------------------------------------------------------- #
+# pass-level units (tiny handwritten modules in the emitter's shape)
+# ---------------------------------------------------------------------- #
+def _wrap(body_lines):
+    body = "\n".join("        " + line for line in body_lines)
+    return (
+        "class GeneratedModel:\n"
+        "    def __init__(self, cov, mcdc=None):\n"
+        "        self.cov = cov\n"
+        "        self._mcdc_hook = mcdc\n"
+        "    def step(self, i_1):\n"
+        "        cov = self.cov\n"
+        "        _mcdc = self._mcdc_hook\n"
+        "%s\n"
+        "        return (out,)\n" % body
+    )
+
+
+class TestConstantFolding:
+    def test_arithmetic_and_compare(self):
+        src = _wrap(["t = 2 + 3 * 4", "u = 1 if 5 > 2 else 0", "out = t + u"])
+        opt = optimize_module(src)
+        assert "2 + 3" not in opt and "5 > 2" not in opt
+        assert "15" in opt  # 14 + 1 propagated or folded parts visible
+
+    def test_nested_bool_normalization_collapses(self):
+        src = _wrap(["t = 1 if (1 if i_1 else 0) else 0", "out = t"])
+        opt = optimize_module(src)
+        assert opt.count("1 if") == 1
+
+    def test_wrapper_of_literal_folds(self):
+        src = _wrap(["t = _w_int8(300)", "out = t"])
+        opt = optimize_module(src)
+        assert "_w_int8" not in opt
+        assert "44" in opt  # 300 wraps to 44 in int8
+
+    def test_division_by_zero_not_folded(self):
+        src = _wrap(["t = 1 // 0 if i_1 else 0", "out = t"])
+        opt = optimize_module(src)  # must not raise at optimize time
+        assert "// 0" in opt or "//0" in opt
+
+
+class TestPropagationAndDeadStores:
+    def test_single_use_alias_substituted(self):
+        src = _wrap(["t_1 = i_1", "t_2 = t_1", "out = t_2"])
+        opt = optimize_module(src)
+        assert "t_2" not in opt
+        assert "return (i_1,)" in opt  # the chain collapses into the return
+
+    def test_dead_default_overwritten_is_dropped(self):
+        src = _wrap(["t = 0", "t = i_1 + 1", "out = t"])
+        opt = optimize_module(src)
+        assert "t = 0" not in opt
+
+    def test_conditional_overwrite_keeps_default(self):
+        src = _wrap(["t = 0", "if i_1:", "    t = 5", "out = t"])
+        opt = optimize_module(src)
+        assert "t = 0" in opt  # the default is live on the else path
+
+    def test_impure_dead_store_kept(self):
+        src = _wrap(["t = unknown_call(i_1)", "out = i_1"])
+        opt = optimize_module(src)
+        assert "unknown_call" in opt  # side effects unknown: keep
+
+    def test_probe_feeding_definition_survives(self):
+        # `sel` is only read inside a probe statement; deleting its
+        # definition after substituting other uses would NameError
+        src = _wrap(["sel = 1 if i_1 else 0", "cov[3 + sel] = 1", "out = i_1"])
+        opt = optimize_module(src)
+        assert "sel" in opt
+        assert "cov[3 + sel] = 1" in opt  # probe untouched
+        compiled = compile(opt, "<t>", "exec")
+        env = {}
+        exec(compiled, env)
+        cov = bytearray(8)
+        env["GeneratedModel"](cov).step(1)
+        assert cov[4] == 1
+
+
+class TestWrapperInlining:
+    def _run(self, src, arg_kinds, value):
+        from repro.codegen.runtime import runtime_globals
+
+        env = runtime_globals()
+        exec(compile(src, "<t>", "exec"), env)
+        cov = bytearray(4)
+        return env["GeneratedModel"](cov).step(value)
+
+    @pytest.mark.parametrize("value", [-1000, -129, -128, -1, 0, 127, 128, 1000])
+    def test_signed_wrap_identity(self, value):
+        src = _wrap(["out = _w_int8(i_1)"])
+        opt = optimize_module(src, {"i_1": "int"})
+        assert "_w_int8" not in opt
+        assert self._run(opt, {"i_1": "int"}, value) == self._run(src, None, value)
+
+    @pytest.mark.parametrize("value", [-1.9, -0.5, 0.0, 0.5, 300.7])
+    def test_float_operand_gets_int_guard(self, value):
+        src = _wrap(["out = _w_uint8(i_1)"])
+        opt = optimize_module(src, {"i_1": "float"})
+        assert "int(" in opt  # not provably int: the guard must remain
+        assert self._run(opt, None, value) == self._run(src, None, value)
+
+    def test_boolean_wrapper_on_known_bool01_vanishes(self):
+        src = _wrap(["out = _w_boolean(i_1)"])
+        opt = optimize_module(src, {"i_1": "bool"})
+        assert "_w_boolean" not in opt and "1 if" not in opt
+
+    def test_single_precision_wrapper_is_kept(self):
+        src = _wrap(["out = _w_single(i_1)"])
+        opt = optimize_module(src, {"i_1": "float"})
+        assert "_w_single" in opt  # rounding through float32: not inlinable
+
+
+class TestSafeDivModInlining:
+    def _run(self, src, value):
+        from repro.codegen.runtime import runtime_globals
+
+        env = runtime_globals()
+        exec(compile(src, "<t>", "exec"), env)
+        return env["GeneratedModel"](bytearray(4)).step(value)
+
+    @pytest.mark.parametrize("value", [-100, -7, -1, 0, 1, 7, 100])
+    def test_int_div_identity(self, value):
+        src = _wrap(["out = _safe_div(i_1, -3)"])
+        opt = optimize_module(src, {"i_1": "int"})
+        assert "_safe_div" not in opt
+        assert self._run(opt, value) == self._run(src, value)
+
+    @pytest.mark.parametrize("value", [-3, 0, 2])
+    def test_int_div_variable_divisor(self, value):
+        src = _wrap(["out = _safe_div(7, i_1)"])
+        opt = optimize_module(src, {"i_1": "int"})
+        assert "_safe_div" not in opt
+        assert self._run(opt, value) == self._run(src, value)
+
+    @pytest.mark.parametrize("value", [-100, -7, -1, 0, 1, 7, 100])
+    def test_int_mod_identity(self, value):
+        src = _wrap(["out = _safe_mod(i_1, -3)"])
+        opt = optimize_module(src, {"i_1": "int"})
+        assert "_safe_mod" not in opt
+        assert self._run(opt, value) == self._run(src, value)
+
+    @pytest.mark.parametrize("value", [-1.5, -0.0, 0.0, 2.5, float("nan")])
+    def test_float_div_identity(self, value):
+        src = _wrap(["out = _safe_div(1.0, i_1)"])
+        opt = optimize_module(src, {"i_1": "float"})
+        assert "_safe_div" not in opt
+        a, = self._run(opt, value)
+        b, = self._run(src, value)
+        assert a == b or (a != a and b != b)  # NaN-aware equality
+
+    def test_unknown_kind_keeps_call(self):
+        src = _wrap(["out = _safe_div(i_1, i_1)"])
+        opt = optimize_module(src)  # no arg kinds: nothing provable
+        assert "_safe_div" in opt
+
+    def test_float_mod_keeps_call(self):
+        src = _wrap(["out = _safe_mod(i_1, 3.0)"])
+        opt = optimize_module(src, {"i_1": "float"})
+        assert "_safe_mod" in opt  # fmod semantics are not inlined
+
+    def test_non_atom_operand_keeps_call(self):
+        src = _wrap(["out = _safe_div(i_1 + 1, 3)"])
+        opt = optimize_module(src, {"i_1": "int"})
+        assert "_safe_div" in opt  # only Names/Constants may be duplicated
+
+
+class TestMcdcPrebinding:
+    SRC = _wrap(["_mcdc(0, 3, 1)", "_mcdc(1, i_1, 0)", "out = i_1"])
+
+    def _program(self, src, cov, hook):
+        from repro.codegen.runtime import runtime_globals
+
+        env = runtime_globals()
+        exec(compile(src, "<t>", "exec"), env)
+        return env["GeneratedModel"](cov, hook)
+
+    def test_rewrites_to_prebound_sinks(self):
+        opt = optimize_module(self.SRC)
+        assert "_mcdc(" not in opt
+        assert "_mcdc_a0((3, 1))" in opt
+        assert "_mcdc_adders(mcdc, 2)" in opt
+
+    def test_signature_stable(self):
+        opt = optimize_module(self.SRC)
+        assert probe_signature(ast.parse(self.SRC)) == probe_signature(
+            ast.parse(opt)
+        )
+
+    def test_recorder_hook_uses_raw_set_add(self):
+        class _DB:
+            n_probes = 4
+            mcdc_groups = [object(), object()]
+
+        recorder = CoverageRecorder(_DB())
+        opt = optimize_module(self.SRC)
+        program = self._program(opt, recorder.curr, recorder.record_mcdc)
+        program.step(5)
+        assert recorder.mcdc_vectors[0] == {(3, 1)}
+        assert recorder.mcdc_vectors[1] == {(5, 0)}
+        # the sink is the group set's bound add — no Python frame per call
+        assert program._mcdc_adds[0].__self__ is recorder.mcdc_vectors[0]
+
+    def test_custom_hook_is_bridged(self):
+        calls = []
+        opt = optimize_module(self.SRC)
+        program = self._program(
+            opt, bytearray(4), lambda g, v, o: calls.append((g, v, o))
+        )
+        program.step(7)
+        assert calls == [(0, 3, 1), (1, 7, 0)]
+
+    def test_reoptimization_is_stable(self):
+        once = optimize_module(self.SRC)
+        twice = optimize_module(once)
+        assert probe_signature(ast.parse(once)) == probe_signature(
+            ast.parse(twice)
+        )
+        assert twice.count("_mcdc_adders") == 1  # no double prebinding
+
+
+class TestProbeCoalescing:
+    def test_contiguous_run_becomes_slice(self):
+        src = _wrap(["cov[4] = 1", "cov[5] = 1", "cov[6] = 1", "out = i_1"])
+        opt = optimize_module(src)
+        assert "cov[4:7]" in opt
+        env = {}
+        exec(compile(opt, "<t>", "exec"), env)
+        cov = bytearray(9)
+        env["GeneratedModel"](cov).step(0)
+        assert bytes(cov) == b"\x00" * 4 + b"\x01\x01\x01" + b"\x00" * 2
+
+    def test_non_contiguous_run_becomes_multi_target(self):
+        src = _wrap(["cov[2] = 1", "cov[7] = 1", "out = i_1"])
+        opt = optimize_module(src)
+        assert "cov[2] = cov[7] = 1" in opt
+        env = {}
+        exec(compile(opt, "<t>", "exec"), env)
+        cov = bytearray(9)
+        env["GeneratedModel"](cov).step(0)
+        assert cov[2] == 1 and cov[7] == 1 and sum(cov) == 2
+
+    def test_signature_stable_across_coalescing(self):
+        src = _wrap(["cov[4] = 1", "cov[5] = 1", "cov[6] = 1", "out = i_1"])
+        opt = optimize_module(src)
+        assert probe_signature(ast.parse(src)) == probe_signature(ast.parse(opt))
+
+
+class TestAudit:
+    def test_detects_dropped_probe(self):
+        a = ast.parse(_wrap(["cov[1] = 1", "out = i_1"]))
+        b = ast.parse(_wrap(["out = i_1"]))
+        with pytest.raises(CodegenError):
+            audit_probes(a, b)
+
+    def test_detects_renumbered_probe(self):
+        a = ast.parse(_wrap(["cov[1] = 1", "out = i_1"]))
+        b = ast.parse(_wrap(["cov[2] = 1", "out = i_1"]))
+        with pytest.raises(CodegenError):
+            audit_probes(a, b)
+
+    def test_detects_dropped_mcdc_call(self):
+        a = ast.parse(_wrap(["_mcdc(0, 3, 1)", "out = i_1"]))
+        b = ast.parse(_wrap(["out = i_1"]))
+        with pytest.raises(CodegenError):
+            audit_probes(a, b)
+
+    def test_accepts_equivalent_modules(self):
+        a = ast.parse(_wrap(["cov[1] = 1", "_mcdc(0, 3, 1)", "out = i_1"]))
+        audit_probes(a, a)
+
+
+# ---------------------------------------------------------------------- #
+# registry-wide differential (the instrumentation-preservation invariant)
+# ---------------------------------------------------------------------- #
+def _random_inputs(schedule, n, rng):
+    rows = []
+    for _ in range(n):
+        row = []
+        for field in schedule.layout.fields:
+            dtype = field.dtype
+            if dtype.is_bool:
+                row.append(rng.randint(0, 1))
+            elif dtype.is_float:
+                row.append(
+                    rng.choice(
+                        [0.0, 1.0, -1.0, rng.uniform(-1e3, 1e3), rng.uniform(-5, 5)]
+                    )
+                )
+            else:
+                row.append(rng.randint(dtype.min_value, dtype.max_value))
+        rows.append(tuple(row))
+    return rows
+
+
+def _run_compiled(schedule, optimize, rows):
+    compiled = compile_model(schedule, "model", optimize=optimize, cache=False)
+    program, recorder = compiled.instantiate()
+    outputs = []
+    for row in rows:
+        recorder.reset_curr()
+        outputs.append(program.step(*row))
+        recorder.commit_curr()
+    return outputs, bytes(recorder.total), [frozenset(v) for v in recorder.mcdc_vectors]
+
+
+def _run_interpreter(schedule, rows):
+    recorder = CoverageRecorder(schedule.branch_db)
+    instance = ModelInstance(schedule, recorder, monitor=None)
+    instance.init()
+    outputs = []
+    for row in rows:
+        recorder.reset_curr()
+        outputs.append(tuple(instance.step(*row)))
+        recorder.commit_curr()
+    return outputs, bytes(recorder.total), [frozenset(v) for v in recorder.mcdc_vectors]
+
+
+@pytest.mark.parametrize("name", model_names())
+def test_registry_differential(name):
+    schedule = build_schedule(name)
+    rows = _random_inputs(schedule, 150, random.Random(0xC0F7C6))
+    out_plain, probes_plain, mcdc_plain = _run_compiled(schedule, False, rows)
+    out_opt, probes_opt, mcdc_opt = _run_compiled(schedule, True, rows)
+    out_ref, probes_ref, mcdc_ref = _run_interpreter(schedule, rows)
+    assert out_opt == out_plain == out_ref
+    assert probes_opt == probes_plain == probes_ref
+    assert mcdc_opt == mcdc_plain == mcdc_ref
+
+
+@pytest.mark.parametrize("name", model_names())
+def test_registry_audit_passes(name):
+    """optimize_source must succeed (audit inside) on every bench model."""
+    schedule = build_schedule(name)
+    source = generate_model_code(schedule, "model")
+    optimized, stats = optimize_source(source, step_arg_kinds(schedule))
+    assert sum(stats.values()) > 0  # the optimizer found work on real models
+    assert probe_signature(ast.parse(source)) == probe_signature(
+        ast.parse(optimized)
+    )
+
+
+def test_demo_model_differential_all_levels():
+    schedule = convert(demo_model())
+    rows = _random_inputs(schedule, 200, random.Random(99))
+    for level in ("model", "code", "none"):
+        a = compile_model(schedule, level, optimize=False, cache=False)
+        b = compile_model(schedule, level, optimize=True, cache=False)
+        pa, ra = a.instantiate()
+        pb, rb = b.instantiate()
+        for row in rows:
+            assert pa.step(*row) == pb.step(*row)
+        assert bytes(ra.curr) == bytes(rb.curr)
+
+
+def test_optimized_output_is_stable():
+    """Optimizing twice (idempotence up to a fixpoint) keeps semantics."""
+    schedule = convert(demo_model())
+    source = generate_model_code(schedule, "model")
+    kinds = step_arg_kinds(schedule)
+    once = optimize_module(source, kinds)
+    twice = optimize_module(once, kinds)
+    assert probe_signature(ast.parse(once)) == probe_signature(ast.parse(twice))

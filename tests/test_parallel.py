@@ -57,6 +57,21 @@ class TestDeterminismRegression:
         assert result.inputs_executed == max_inputs
         assert _suite_digest(result.suite) == self.GOLDEN[(seed, max_inputs)]
 
+    @pytest.mark.parametrize("seed,max_inputs", sorted(GOLDEN))
+    def test_optimizer_does_not_perturb_suite_bytes(
+        self, schedule, seed, max_inputs
+    ):
+        """The default (optimized) compile and an optimize=False compile
+        must both reproduce the golden digests: the AST optimizer is
+        campaign-invisible down to the suite bytes."""
+        from repro.codegen import compile_model
+
+        unoptimized = compile_model(schedule, "model", optimize=False, cache=False)
+        assert not unoptimized.optimized
+        config = FuzzerConfig(max_seconds=600.0, max_inputs=max_inputs, seed=seed)
+        result = Fuzzer(schedule, config, compiled=unoptimized).run()
+        assert _suite_digest(result.suite) == self.GOLDEN[(seed, max_inputs)]
+
     def test_run_campaign_workers1_is_byte_identical(self, schedule):
         config = FuzzerConfig(max_seconds=600.0, max_inputs=300, seed=7, workers=1)
         via_campaign = run_campaign(schedule, config)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Dump generated model modules (raw and optimized) for inspection.
+
+Writes, for each requested benchmark model, the unoptimized module, the
+optimized module and the fuzz driver side by side, plus a one-line diff
+summary (line counts and optimizer pass statistics) — the quickest way to
+eyeball what the optimizer actually did to a model:
+
+    PYTHONPATH=src python tools/dump_codegen.py --out /tmp/codegen RAC AFC
+    PYTHONPATH=src python tools/dump_codegen.py --level code --all
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.registry import build_schedule, model_names  # noqa: E402
+from repro.codegen import (  # noqa: E402
+    generate_fuzz_driver,
+    generate_model_code,
+    optimize_source,
+    step_arg_kinds,
+)
+
+
+def dump_one(name: str, level: str, out_dir: str) -> None:
+    schedule = build_schedule(name)
+    raw = generate_model_code(schedule, level)
+    optimized, stats = optimize_source(raw, step_arg_kinds(schedule))
+    driver = generate_fuzz_driver(schedule)
+    for suffix, text in (
+        ("%s.py" % level, raw),
+        ("%s_opt.py" % level, optimized),
+        ("driver.py", driver),
+    ):
+        path = os.path.join(out_dir, "%s_%s" % (name, suffix))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(
+        "%-10s %4d -> %4d lines   %s"
+        % (
+            name,
+            len(raw.splitlines()),
+            len(optimized.splitlines()),
+            ", ".join("%s=%d" % item for item in sorted(stats.items())),
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("models", nargs="*", help="benchmark model names")
+    parser.add_argument("--all", action="store_true", help="dump every benchmark")
+    parser.add_argument("--level", choices=("model", "code", "none"), default="model")
+    parser.add_argument("--out", default="codegen_dump", help="output directory")
+    args = parser.parse_args(argv)
+
+    names = model_names() if args.all or not args.models else args.models
+    unknown = [n for n in names if n not in model_names()]
+    if unknown:
+        parser.error("unknown models: %s" % ", ".join(unknown))
+    os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        dump_one(name, args.level, args.out)
+    print("written to %s/" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
