@@ -46,15 +46,26 @@ def _load_schedule(target: str):
 
 def _cmd_fuzz(args) -> int:
     from .fuzzing.parallel import run_campaign
+    from .telemetry import Telemetry, telemetry_scope
 
-    schedule = _load_schedule(args.model)
-    config = FuzzerConfig(
-        max_seconds=args.seconds,
-        seed=args.seed,
-        workers=args.workers,
-        sync_rounds=args.sync_rounds,
+    tel = Telemetry(
+        enabled=bool(args.stats or args.trace),
+        trace_path=args.trace,
+        stats_stream=sys.stderr if args.stats else None,
     )
-    result = run_campaign(schedule, config)
+    try:
+        with telemetry_scope(tel):
+            with tel.phase("parse"):
+                schedule = _load_schedule(args.model)
+            config = FuzzerConfig(
+                max_seconds=args.seconds,
+                seed=args.seed,
+                workers=args.workers,
+                sync_rounds=args.sync_rounds,
+            )
+            result = run_campaign(schedule, config)
+    finally:
+        tel.close()
     print(
         "executed %d inputs (%.0f model iterations/s, %.0f execs/s, %d worker%s)"
         % (
@@ -67,6 +78,18 @@ def _cmd_fuzz(args) -> int:
     )
     print("coverage:", result.report)
     print("test cases: %d" % len(result.suite))
+    if (args.verbose or args.stats) and result.phase_times:
+        print(
+            "phase times: "
+            + "  ".join(
+                "%s=%.3fs" % (name, secs)
+                for name, secs in sorted(
+                    result.phase_times.items(), key=lambda kv: -kv[1]
+                )
+            )
+        )
+    if args.trace:
+        print("trace written to %s" % args.trace)
     if args.out:
         result.suite.save(args.out)
         suite_to_csv_dir(result.suite, schedule.layout, os.path.join(args.out, "csv"))
@@ -80,17 +103,33 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_codegen(args) -> int:
     from .codegen import optimize_source, step_arg_kinds
+    from .telemetry import Telemetry, telemetry_scope
 
-    schedule = _load_schedule(args.model)
-    source = generate_model_code(schedule, args.level)
-    if args.optimized:
-        source, stats = optimize_source(source, step_arg_kinds(schedule))
-        print(
-            "# optimizer: %s"
-            % ", ".join("%s=%d" % item for item in sorted(stats.items())),
-            file=sys.stderr,
-        )
-    driver = generate_fuzz_driver(schedule)
+    tel = Telemetry(enabled=True, trace_path=args.trace)
+    try:
+        with telemetry_scope(tel):
+            with tel.phase("parse"):
+                schedule = _load_schedule(args.model)
+            with tel.phase("codegen"):
+                source = generate_model_code(schedule, args.level)
+            if args.optimized:
+                with tel.phase("optimize"):
+                    source, _ = optimize_source(source, step_arg_kinds(schedule))
+                counters = tel.snapshot()["counters"]
+                print(
+                    "# optimizer: %s"
+                    % ", ".join(
+                        "%s=%d" % (name.split(".", 1)[1], value)
+                        for name, value in sorted(counters.items())
+                        if name.startswith("optimizer.")
+                    ),
+                    file=sys.stderr,
+                )
+            driver = generate_fuzz_driver(schedule)
+    finally:
+        tel.close()
+    if args.trace:
+        print("trace written to %s" % args.trace, file=sys.stderr)
     if args.dump:
         os.makedirs(args.dump, exist_ok=True)
         suffix = "_opt" if args.optimized else ""
@@ -138,6 +177,18 @@ def _cmd_compare(args) -> int:
 def _cmd_report(args) -> int:
     from .codegen import compile_model
 
+    if args.trace:
+        from .telemetry import read_trace, render_trace_report
+
+        if args.model or args.suite:
+            raise ReproError(
+                "report --trace reads a campaign trace alone; "
+                "drop the model/suite arguments"
+            )
+        print(render_trace_report(read_trace(args.trace)))
+        return 0
+    if not args.model or not args.suite:
+        raise ReproError("report needs either --trace PATH or MODEL SUITE")
     schedule = _load_schedule(args.model)
     suite = TestSuite.load(args.suite)
     compiled = compile_model(schedule, "model")
@@ -216,6 +267,16 @@ def main(argv=None) -> int:
         help="corpus-merge sync epochs in a multi-worker campaign",
     )
     p.add_argument("--out", help="directory for the generated suite")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print LibFuzzer-style status lines to stderr while fuzzing",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a structured JSONL campaign trace to PATH",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fuzz)
 
@@ -232,6 +293,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="run the audited AST optimizer over the module first",
     )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write codegen telemetry events (optimizer stats, cache tier) to PATH",
+    )
     p.set_defaults(func=_cmd_codegen)
 
     p = sub.add_parser("compare", help="run all generators on one model")
@@ -240,9 +306,18 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_compare)
 
-    p = sub.add_parser("report", help="replay a saved suite, print coverage")
-    p.add_argument("model")
-    p.add_argument("suite", help="directory written by 'fuzz --out'")
+    p = sub.add_parser(
+        "report", help="replay a saved suite — or render a campaign trace"
+    )
+    p.add_argument("model", nargs="?", help="benchmark name or .slxz path")
+    p.add_argument(
+        "suite", nargs="?", help="directory written by 'fuzz --out'"
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="render a JSONL campaign trace (no model execution)",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_report)
 

@@ -167,6 +167,17 @@ class CompileCache:
         self._memory_slots = memory_slots
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss counters per tier — the telemetry-facing snapshot."""
+        return {
+            "memory_hits": self.hits,
+            "memory_misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+        }
 
     # -------------------------- memory tier -------------------------- #
     def get_memory(self, key: str) -> Optional[Tuple[str, object]]:
@@ -174,6 +185,8 @@ class CompileCache:
         if entry is not None:
             self._memory.move_to_end(key)
             self.hits += 1
+        else:
+            self.misses += 1
         return entry
 
     def put_memory(self, key: str, source: str, value: object) -> None:
@@ -203,9 +216,12 @@ class CompileCache:
                 code = marshal.load(fh)
         except (OSError, ValueError, EOFError, TypeError):
             # missing, unreadable or truncated/corrupted: plain miss
+            self.disk_misses += 1
             return None
         if not source or not hasattr(code, "co_code"):
+            self.disk_misses += 1
             return None  # corrupted entry masquerading as data
+        self.disk_hits += 1
         return source, code
 
     def put_disk(self, key: str, source: str, code) -> None:

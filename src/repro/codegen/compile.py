@@ -22,6 +22,7 @@ from typing import Optional
 from ..coverage.recorder import CoverageRecorder
 from ..errors import CodegenError
 from ..schedule.schedule import Schedule
+from ..telemetry.core import get_telemetry
 from .cache import Uncacheable, cache_key, default_cache
 from .emitter import generate_model_code
 from .optimize import optimize_module, step_arg_kinds
@@ -73,9 +74,12 @@ class CompiledModel:
 
 
 def _generate_source(schedule: Schedule, level: str, optimize: bool) -> str:
-    source = generate_model_code(schedule, level)
+    tel = get_telemetry()
+    with tel.phase("codegen"):
+        source = generate_model_code(schedule, level)
     if optimize:
-        source = optimize_module(source, step_arg_kinds(schedule))
+        with tel.phase("optimize"):
+            source = optimize_module(source, step_arg_kinds(schedule))
     return source
 
 
@@ -104,18 +108,23 @@ def compile_model(
     ``cache`` consults the persistent compile cache first (silently skipped
     when the cache is disabled or the model is uncacheable).
     """
+    tel = get_telemetry()
     store = default_cache() if cache else None
     key = None
+    uncacheable = False
     if store is not None:
         try:
             key = cache_key(schedule.model, level, optimize)
         except Uncacheable:
             store = None
+            uncacheable = True
 
     if store is not None and key is not None:
         hit = store.get_memory(key)
         if hit is not None:
             source, cls = hit
+            if tel.enabled:
+                tel.emit("compile_cache", tier="memory", level=level)
             return CompiledModel(
                 schedule, level, source, cls, optimized=optimize, from_cache="memory"
             )
@@ -123,11 +132,14 @@ def compile_model(
         if disk is not None:
             source, code = disk
             try:
-                _, cls = _exec_module(source, code, schedule)
+                with tel.phase("compile"):
+                    _, cls = _exec_module(source, code, schedule)
             except Exception:
                 disk = None  # corrupted bytecode: recompile from scratch
             else:
                 store.put_memory(key, source, cls)
+                if tel.enabled:
+                    tel.emit("compile_cache", tier="disk", level=level)
                 return CompiledModel(
                     schedule,
                     level,
@@ -137,8 +149,15 @@ def compile_model(
                     from_cache="disk",
                 )
 
+    if tel.enabled and cache:
+        tel.emit(
+            "compile_cache",
+            tier="uncacheable" if uncacheable else "miss",
+            level=level,
+        )
     source = _generate_source(schedule, level, optimize)
-    code, cls = _exec_module(source, None, schedule)
+    with tel.phase("compile"):
+        code, cls = _exec_module(source, None, schedule)
     if store is not None and key is not None:
         store.put_disk(key, source, code)
         store.put_memory(key, source, cls)

@@ -62,6 +62,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..dtypes import dtype_by_name
 from ..errors import CodegenError
+from ..telemetry.core import get_telemetry
 
 __all__ = [
     "optimize_module",
@@ -1206,6 +1207,11 @@ def optimize_source(
     optimized = ast.unparse(tree)
     # the unparsed module must itself parse (belt and braces before exec)
     ast.parse(optimized)
+    tel = get_telemetry()
+    if tel.enabled:
+        for name, value in sorted(stats.items()):
+            tel.counter("optimizer.%s" % name).inc(value)
+        tel.emit("optimizer_stats", stats=dict(stats))
     return optimized, stats
 
 

@@ -80,6 +80,10 @@ class CoverageRecorder:
     def covered_probes(self) -> int:
         return popcount(self._total_int)
 
+    def coverage_fraction(self) -> float:
+        """Covered share of the probe bitmap (the ``ft:`` stat field)."""
+        return popcount(self._total_int) / self.n_probes if self.n_probes else 0.0
+
     def curr_as_int(self) -> int:
         """The curr bitmap as a little-endian big integer (fast compare)."""
         return int.from_bytes(self.curr, "little")

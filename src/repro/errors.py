@@ -39,3 +39,7 @@ class FuzzingError(ReproError):
 
 class SolverError(ReproError):
     """The constraint-directed (SLDV-like) generator failed internally."""
+
+
+class TelemetryError(ReproError):
+    """A campaign trace is unreadable, malformed, or schema-invalid."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 from ..baselines.fuzz_only import FuzzOnlyConfig, run_fuzz_only
@@ -13,6 +14,7 @@ from ..fuzzing.engine import FuzzerConfig, FuzzResult
 from ..fuzzing.hybrid import HybridConfig, HybridFuzzer
 from ..fuzzing.parallel import run_campaign
 from ..schedule.schedule import Schedule
+from ..telemetry.core import get_telemetry
 
 __all__ = ["TOOLS", "run_tool"]
 
@@ -42,27 +44,41 @@ def run_tool(
     overrides = overrides or {}
     if compiled is not None and compiled.level != "model":
         raise ReproError("run_tool needs a model-level compiled artifact")
+    start = time.perf_counter()
     if tool == "cftcg":
         config = FuzzerConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return run_campaign(schedule, config, compiled=compiled)
-    if tool == "sldv":
+        result = run_campaign(schedule, config, compiled=compiled)
+    elif tool == "sldv":
         config = SldvConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return SldvGenerator(schedule, config, compiled=compiled).run()
-    if tool == "simcotest":
+        result = SldvGenerator(schedule, config, compiled=compiled).run()
+    elif tool == "simcotest":
         config = SimCoTestConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return SimCoTestGenerator(schedule, config, compiled=compiled).run()
-    if tool == "fuzz_only":
+        result = SimCoTestGenerator(schedule, config, compiled=compiled).run()
+    elif tool == "fuzz_only":
         config = FuzzOnlyConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return run_fuzz_only(schedule, config, compiled=compiled)
-    if tool == "hybrid":
+        result = run_fuzz_only(schedule, config, compiled=compiled)
+    elif tool == "hybrid":
         config = HybridConfig(max_seconds=max_seconds, seed=seed)
         _apply(config, overrides)
-        return HybridFuzzer(schedule, config, compiled=compiled).run()
-    raise ReproError("unknown tool %r (have: %s)" % (tool, ", ".join(TOOLS)))
+        result = HybridFuzzer(schedule, config, compiled=compiled).run()
+    else:
+        raise ReproError("unknown tool %r (have: %s)" % (tool, ", ".join(TOOLS)))
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.emit(
+            "tool_run",
+            tool=tool,
+            seconds=round(time.perf_counter() - start, 3),
+            decision=round(result.report.decision, 2),
+            condition=round(result.report.condition, 2),
+            mcdc=round(result.report.mcdc, 2),
+            cases=len(result.suite),
+        )
+    return result
 
 
 def _apply(config, overrides: Dict) -> None:

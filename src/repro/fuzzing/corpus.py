@@ -52,11 +52,13 @@ class Corpus:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def add(self, entry: CorpusEntry) -> None:
+    def add(self, entry: CorpusEntry) -> Optional[CorpusEntry]:
         """Admit an entry, evicting the weakest seed when full.
 
         New-coverage finders are never evicted before metric-only entries;
-        within a class, lowest metric goes first.
+        within a class, lowest metric goes first.  Returns the evicted
+        entry (or ``None``) so callers can attribute evictions — the
+        telemetry layer turns it into a ``corpus_evict`` trace event.
         """
         self.entries.append(entry)
         if len(self.entries) > self.max_entries:
@@ -65,6 +67,8 @@ class Corpus:
                 key=lambda e: (e.found_new, e.metric, -e.selections),
             )
             self.entries.remove(victim)
+            return victim
+        return None
 
     def select(self, rng, bump: bool = True) -> Optional[CorpusEntry]:
         """Pick a parent: metric-proportional with recency preference.

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
@@ -29,6 +29,8 @@ from ..coverage.metrics import CoverageReport, compute_report
 from ..coverage.recorder import CoverageRecorder
 from ..errors import FuzzingError
 from ..schedule.schedule import Schedule
+from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
+from ..telemetry.stats import StatusPrinter
 from .corpus import Corpus, CorpusEntry
 from .mutations import mutate_field_wise, mutate_generic
 from .testcase import TestCase, TestSuite
@@ -37,6 +39,13 @@ __all__ = ["FuzzerConfig", "FuzzResult", "FuzzState", "Fuzzer", "replay_suite"]
 
 #: multiplier decorrelating the per-slice RNG streams of resumed runs
 _SLICE_SEED_STRIDE = 0x9E3779B1
+
+#: seconds without new coverage before a ``plateau`` trace event fires
+_PLATEAU_SECONDS = 2.0
+
+#: telemetry tick: uninteresting execs skip all trace-side bookkeeping
+#: between ticks, keeping the enabled hot path within the overhead budget
+_TICK_SECONDS = 0.1
 
 
 @dataclass
@@ -84,6 +93,13 @@ class FuzzState:
     timeline: List = field(default_factory=list)  # (t, probes_covered)
     seeded: bool = False  # initial seed inputs already executed?
     rounds: int = 0  # completed resume slices
+    corpus_adds: int = 0  # discovery rank counter for corpus_add events
+    #: cumulative per-operator mutation counts (telemetry-enabled runs
+    #: only; empty otherwise, so pickled payloads stay small)
+    op_applied: Dict[str, int] = field(default_factory=dict)
+    #: per-operator counts of mutations that produced a corpus-adding
+    #: input — the numerator of the operator-effectiveness table
+    op_wins: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,6 +112,10 @@ class FuzzResult:
     iterations_executed: int
     elapsed: float
     timeline: List = field(default_factory=list)  # (t, probes_covered)
+    #: wall-time attribution per pipeline phase (codegen, optimize,
+    #: compile, seed, mutate_exec, merge, replay, ...) — populated for
+    #: every run; an empty dict only when a caller bypassed the engine
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def execs_per_second(self) -> float:
@@ -115,26 +135,38 @@ class Fuzzer:
         config: Optional[FuzzerConfig] = None,
         compiled: Optional[CompiledModel] = None,
         replay_compiled: Optional[CompiledModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.schedule = schedule
         self.config = config or FuzzerConfig()
         if self.config.level not in ("model", "code"):
             raise FuzzingError("fuzzer level must be 'model' or 'code'")
-        self.compiled = compiled or compile_model(schedule, self.config.level)
-        if self.compiled.level != self.config.level:
-            raise FuzzingError(
-                "compiled model level %r does not match config %r"
-                % (self.compiled.level, self.config.level)
-            )
-        if not schedule.layout.fields:
-            raise FuzzingError(
-                "model %r has no inports; nothing to fuzz"
-                % (schedule.model.name,)
-            )
-        if replay_compiled is not None and replay_compiled.level != "model":
-            raise FuzzingError("replay requires a model-level compiled program")
-        self._replay_compiled = replay_compiled
-        self.driver = compile_fuzz_driver(schedule)
+        # the per-run telemetry: an explicit argument, else the active
+        # scope, else a private disabled registry — never the shared NULL
+        # singleton, so phase attribution works even with telemetry off
+        tel = telemetry if telemetry is not None else get_telemetry()
+        if tel is NULL:
+            tel = Telemetry(enabled=False)
+        self.telemetry = tel
+        with telemetry_scope(tel):
+            self.compiled = compiled or compile_model(schedule, self.config.level)
+            if self.compiled.level != self.config.level:
+                raise FuzzingError(
+                    "compiled model level %r does not match config %r"
+                    % (self.compiled.level, self.config.level)
+                )
+            if not schedule.layout.fields:
+                raise FuzzingError(
+                    "model %r has no inports; nothing to fuzz"
+                    % (schedule.model.name,)
+                )
+            if replay_compiled is not None and replay_compiled.level != "model":
+                raise FuzzingError(
+                    "replay requires a model-level compiled program"
+                )
+            self._replay_compiled = replay_compiled
+            with tel.phase("compile"):
+                self.driver = compile_fuzz_driver(schedule)
         self.layout = schedule.layout
 
     def replay_compiled(self) -> CompiledModel:
@@ -147,7 +179,8 @@ class Fuzzer:
             if self.compiled.level == "model":
                 self._replay_compiled = self.compiled
             else:
-                self._replay_compiled = compile_model(self.schedule, "model")
+                with telemetry_scope(self.telemetry):
+                    self._replay_compiled = compile_model(self.schedule, "model")
         return self._replay_compiled
 
     # ------------------------------------------------------------------ #
@@ -217,6 +250,24 @@ class Fuzzer:
         program, _ = self.compiled.instantiate(recorder)
         driver = self.driver
 
+        # telemetry locals: one `tel_on` check is the entire disabled cost
+        tel = self.telemetry
+        tel_on = tel.enabled
+        printer = (
+            StatusPrinter(tel.stats_stream, tel.stats_interval)
+            if tel_on and tel.stats_stream is not None
+            else None
+        )
+        if tel_on and state.rounds == 0 and "worker" not in tel.tags:
+            tel.emit(
+                "campaign_start",
+                model=self.schedule.model.name,
+                seed=config.seed,
+                workers=config.workers,
+                n_probes=self.schedule.branch_db.n_probes,
+                level=config.level,
+            )
+
         offset = state.elapsed
         start = time.perf_counter()
         deadline = start + slice_seconds
@@ -224,8 +275,80 @@ class Fuzzer:
         # little-endian integer over n_probes 0x01 bytes
         n_probes = self.schedule.branch_db.n_probes
         full = int.from_bytes(b"\x01" * n_probes, "little") if n_probes else 0
+        # plateau bookkeeping (telemetry-enabled runs only)
+        last_new_t = offset
+        plateau_reported = False
+        next_tick = 0.0  # campaign-time of the next telemetry tick
+        ops_log: List[str] = []  # batched operator names, flushed per tick
 
-        def run_one(data: bytes, parent_density: float) -> None:
+        def flush_ops() -> None:
+            """Fold the batched operator log into the cumulative counters."""
+            if ops_log:
+                applied = state.op_applied
+                for op in ops_log:
+                    applied[op] = applied.get(op, 0) + 1
+                ops_log.clear()
+
+        def observe(found_new, added, evicted, now, ops) -> None:
+            """Trace-side bookkeeping for one executed input (tel_on only).
+
+            Called for every *interesting* exec (new coverage, corpus
+            change) and otherwise at most once per :data:`_TICK_SECONDS`
+            — uninteresting execs between ticks pay only the gate check.
+            """
+            nonlocal last_new_t, plateau_reported, next_tick
+            next_tick = now + _TICK_SECONDS
+            flush_ops()
+            if found_new:
+                last_new_t = now
+                plateau_reported = False
+                tel.emit(
+                    "cov",
+                    t=round(now, 6),
+                    execs=state.inputs_executed,
+                    covered=popcount(state.total_int),
+                    bits="%x" % state.total_int,
+                )
+            if added:
+                state.corpus_adds += 1
+                if ops:
+                    wins = state.op_wins
+                    for op in ops:
+                        wins[op] = wins.get(op, 0) + 1
+                tel.emit(
+                    "corpus_add",
+                    t=round(now, 6),
+                    rank=state.corpus_adds,
+                    reason="new_cov" if found_new else "idc",
+                    size=len(corpus),
+                )
+            if evicted is not None:
+                tel.emit(
+                    "corpus_evict",
+                    t=round(now, 6),
+                    reason="new_cov" if evicted.found_new else "idc",
+                    size=len(corpus),
+                )
+            if not found_new and not plateau_reported:
+                idle = now - last_new_t
+                if idle >= _PLATEAU_SECONDS:
+                    plateau_reported = True
+                    tel.emit(
+                        "plateau",
+                        t=round(now, 6),
+                        execs=state.inputs_executed,
+                        covered=popcount(state.total_int),
+                        idle_s=round(idle, 3),
+                    )
+            if printer is not None:
+                printer.maybe_print(
+                    state.inputs_executed,
+                    popcount(state.total_int),
+                    n_probes,
+                    len(corpus),
+                )
+
+        def run_one(data: bytes, parent_density: float, ops=None) -> None:
             metric, found_new, total_int, iters = driver(
                 program, recorder.curr, data, state.total_int
             )
@@ -233,16 +356,27 @@ class Fuzzer:
             state.inputs_executed += 1
             state.iterations_executed += iters
             now = offset + time.perf_counter() - start
+            added = False
+            evicted = None
             if found_new:
                 suite.add(TestCase(data, now))
                 timeline.append((now, popcount(total_int)))
-                corpus.add(CorpusEntry(data, metric, True, now, iterations=iters))
+                evicted = corpus.add(
+                    CorpusEntry(data, metric, True, now, iterations=iters)
+                )
+                added = True
             elif config.use_iteration_metric:
                 density = metric / (iters + 1.0)
                 if density > parent_density:
-                    corpus.add(
+                    evicted = corpus.add(
                         CorpusEntry(data, metric, False, now, iterations=iters)
                     )
+                    added = True
+            if tel_on:
+                if ops:
+                    ops_log.extend(ops)
+                if found_new or added or evicted is not None or now >= next_tick:
+                    observe(found_new, added, evicted, now, ops)
 
         def exhausted() -> bool:
             if time.perf_counter() >= deadline:
@@ -259,19 +393,30 @@ class Fuzzer:
                 if exhausted():
                     break
                 run_one(seed_data, -1.0)
+            if tel_on:
+                tel.emit(
+                    "seed_phase",
+                    t=round(offset + time.perf_counter() - start, 6),
+                    execs=state.inputs_executed,
+                )
         for seed_data in extra_seeds or ():
             if exhausted():
                 break
             run_one(seed_data, -1.0)
+        seed_done = time.perf_counter()
+        tel.add_phase("seed", seed_done - start)
 
         while not exhausted():
             parent = corpus.select(rng)
+            ops: Optional[List[str]] = [] if tel_on else None
             if parent is None:
                 data = bytes(
                     rng.randrange(256)
                     for _ in range(self.layout.size * config.initial_tuples)
                 )
                 parent_density = -1.0
+                if ops is not None:
+                    ops.append("random_stream")
             else:
                 other = corpus.select(rng, bump=False)
                 rounds = 1 + rng.randrange(config.max_mutation_rounds)
@@ -283,6 +428,7 @@ class Fuzzer:
                         other=other.data if other else None,
                         rounds=rounds,
                         max_len=config.max_len,
+                        ops_out=ops,
                     )
                 else:
                     data = mutate_generic(
@@ -291,19 +437,53 @@ class Fuzzer:
                         other=other.data if other else None,
                         rounds=rounds,
                         max_len=config.max_len,
+                        ops_out=ops,
                     )
                 parent_density = parent.density
-            run_one(data, parent_density)
+            run_one(data, parent_density, ops)
 
+        tel.add_phase("mutate_exec", time.perf_counter() - seed_done)
         state.elapsed = offset + time.perf_counter() - start
         state.rounds += 1
+        if tel_on:
+            flush_ops()
+            tel.emit(
+                "slice_end",
+                t=round(state.elapsed, 6),
+                execs=state.inputs_executed,
+                iterations=state.iterations_executed,
+                corpus=len(corpus),
+                covered=popcount(state.total_int),
+            )
+            tel.emit(
+                "mutation_stats",
+                applied=state.op_applied,
+                wins=state.op_wins,
+            )
+            tel.flush()
         return state
 
     def finalize(self, state: FuzzState) -> FuzzResult:
         """Replay the state's suite and package the campaign result."""
-        report = replay_suite(
-            self.schedule, state.suite, compiled=self.replay_compiled()
-        )
+        tel = self.telemetry
+        with tel.phase("replay"):
+            report = replay_suite(
+                self.schedule, state.suite, compiled=self.replay_compiled()
+            )
+        if tel.enabled:
+            tel.emit(
+                "campaign_end",
+                t=round(state.elapsed, 6),
+                execs=state.inputs_executed,
+                iterations=state.iterations_executed,
+                covered=popcount(state.total_int),
+                decision=round(report.decision, 3),
+                condition=round(report.condition, 3),
+                mcdc=round(report.mcdc, 3),
+                cases=len(state.suite),
+                phases={k: round(v, 6) for k, v in tel.phase_times.items()},
+            )
+            tel.flush()
         return FuzzResult(
             suite=state.suite,
             report=report,
@@ -311,6 +491,7 @@ class Fuzzer:
             iterations_executed=state.iterations_executed,
             elapsed=state.elapsed,
             timeline=state.timeline,
+            phase_times=dict(tel.phase_times),
         )
 
     def run(self) -> FuzzResult:

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 from ..baselines.sldv import SldvConfig, SldvGenerator
 from ..codegen.compile import CompiledModel, compile_model
 from ..schedule.schedule import Schedule
+from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
 from .engine import Fuzzer, FuzzerConfig, FuzzResult, replay_suite
 from .testcase import TestCase, TestSuite
 
@@ -51,10 +52,18 @@ class HybridFuzzer:
         schedule: Schedule,
         config: Optional[HybridConfig] = None,
         compiled: Optional[CompiledModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.schedule = schedule
         self.config = config or HybridConfig()
-        self.compiled: CompiledModel = compiled or compile_model(schedule, "model")
+        tel = telemetry if telemetry is not None else get_telemetry()
+        if tel is NULL:
+            tel = Telemetry(enabled=False)
+        self.telemetry = tel
+        with telemetry_scope(tel):
+            self.compiled: CompiledModel = (
+                compiled or compile_model(schedule, "model")
+            )
 
     # ------------------------------------------------------------------ #
     def _missed_targets(self, report) -> List[Tuple[int, int]]:
@@ -70,12 +79,23 @@ class HybridFuzzer:
 
     def run(self) -> FuzzResult:
         config = self.config
+        tel = self.telemetry
         suite = TestSuite(tool="cftcg+solver")
         timeline: List = []
         inputs_executed = 0
         iterations_executed = 0
         start = time.perf_counter()
         deadline = start + config.max_seconds
+        if tel.enabled:
+            tel.emit(
+                "campaign_start",
+                model=self.schedule.model.name,
+                seed=config.seed,
+                workers=1,
+                n_probes=self.schedule.branch_db.n_probes,
+                level="model",
+                mode="hybrid",
+            )
 
         seeds: List[bytes] = []
         previous_covered = -1
@@ -90,9 +110,16 @@ class HybridFuzzer:
                 seed=config.seed + round_index,
                 seeds=seeds[-64:],
             )
-            result = Fuzzer(
-                self.schedule, fuzz_config, compiled=self.compiled
-            ).run()
+            # the chunk fuzzers stay telemetry-quiet: the hybrid loop owns
+            # the trace narrative (rounds, plateaus, escalations), and
+            # per-chunk campaign_start/end events would drown it
+            with tel.phase("mutate_exec"):
+                result = Fuzzer(
+                    self.schedule,
+                    fuzz_config,
+                    compiled=self.compiled,
+                    telemetry=Telemetry(enabled=False),
+                ).run()
             offset = time.perf_counter() - start - result.elapsed
             for case in result.suite:
                 suite.add(TestCase(case.data, case.found_at + offset, "hybrid"))
@@ -100,12 +127,23 @@ class HybridFuzzer:
             iterations_executed += result.iterations_executed
             round_index += 1
 
-            report = replay_suite(self.schedule, suite, compiled=self.compiled)
+            with tel.phase("replay"):
+                report = replay_suite(
+                    self.schedule, suite, compiled=self.compiled
+                )
             covered = report.decision_covered
             timeline.append((time.perf_counter() - start, covered))
             plateaued = covered <= previous_covered
             previous_covered = covered
             seeds = [case.data for case in result.suite]
+            if tel.enabled:
+                tel.emit(
+                    "hybrid_round",
+                    round=round_index,
+                    t=round(time.perf_counter() - start, 6),
+                    covered=covered,
+                    plateaued=plateaued,
+                )
 
             if plateaued and time.perf_counter() < deadline:
                 targets = self._missed_targets(report)[: config.max_solver_targets]
@@ -123,16 +161,40 @@ class HybridFuzzer:
                         targets=targets,
                     ),
                 )
-                solved = solver.run()
+                with tel.phase("solve"):
+                    solved = solver.run()
                 now = time.perf_counter() - start
                 for case in solved.suite:
                     seeds.append(case.data)
                     suite.add(TestCase(case.data, now, "hybrid-solver"))
                 inputs_executed += solved.inputs_executed
                 iterations_executed += solved.iterations_executed
+                if tel.enabled:
+                    tel.emit(
+                        "solver_escalation",
+                        round=round_index,
+                        t=round(now, 6),
+                        targets=len(targets),
+                        solved=len(solved.suite),
+                    )
 
         elapsed = time.perf_counter() - start
-        report = replay_suite(self.schedule, suite, compiled=self.compiled)
+        with tel.phase("replay"):
+            report = replay_suite(self.schedule, suite, compiled=self.compiled)
+        if tel.enabled:
+            tel.emit(
+                "campaign_end",
+                t=round(elapsed, 6),
+                execs=inputs_executed,
+                iterations=iterations_executed,
+                covered=report.probe_covered,
+                decision=round(report.decision, 3),
+                condition=round(report.condition, 3),
+                mcdc=round(report.mcdc, 3),
+                cases=len(suite),
+                phases={k: round(v, 6) for k, v in tel.phase_times.items()},
+            )
+            tel.flush()
         return FuzzResult(
             suite=suite,
             report=report,
@@ -140,4 +202,5 @@ class HybridFuzzer:
             iterations_executed=iterations_executed,
             elapsed=elapsed,
             timeline=timeline,
+            phase_times=dict(tel.phase_times),
         )

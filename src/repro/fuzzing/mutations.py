@@ -284,12 +284,21 @@ _WEIGHTED_INDICES = tuple(
 def mutate_field_wise(
     data: bytes, layout: TupleLayout, rng, other: Optional[bytes] = None,
     rounds: int = 1, max_len: int = 1 << 16,
+    ops_out: Optional[List[str]] = None,
 ) -> bytes:
-    """Apply 1..rounds random field-wise strategies (weighted mix)."""
+    """Apply 1..rounds random field-wise strategies (weighted mix).
+
+    ``ops_out``, when given a list, receives the name of every applied
+    strategy — pure observation for the telemetry operator-effectiveness
+    attribution; it never touches the RNG stream, so mutated bytes are
+    identical with or without it.
+    """
     for _ in range(max(rounds, 1)):
         name, strategy, needs_other = MUTATION_STRATEGIES[
             rng.choice(_WEIGHTED_INDICES)
         ]
+        if ops_out is not None:
+            ops_out.append(name)
         if needs_other:
             data = strategy(data, layout, rng, other if other is not None else data)
         else:
@@ -353,12 +362,15 @@ GENERIC_STRATEGIES = (
 def mutate_generic(
     data: bytes, rng, other: Optional[bytes] = None,
     rounds: int = 1, max_len: int = 1 << 16,
+    ops_out: Optional[List[str]] = None,
 ) -> bytes:
     """Apply 1..rounds generic (alignment-oblivious) byte mutations."""
     for _ in range(max(rounds, 1)):
         name, strategy, needs_other = GENERIC_STRATEGIES[
             rng.randrange(len(GENERIC_STRATEGIES))
         ]
+        if ops_out is not None:
+            ops_out.append(name)
         if needs_other:
             data = strategy(data, rng, other if other is not None else data)
         else:

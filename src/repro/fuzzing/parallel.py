@@ -29,14 +29,18 @@ compile cache, so per-worker startup no longer pays the codegen cost).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
 from ..coverage.recorder import CoverageRecorder
-from ..errors import FuzzingError
+from ..errors import FuzzingError, TelemetryError
 from ..schedule.schedule import Schedule
+from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
+from ..telemetry.events import read_trace
 from .engine import Fuzzer, FuzzerConfig, FuzzResult, FuzzState, replay_suite
 from .minimize import case_bitmap, greedy_cover
 from .testcase import TestCase, TestSuite
@@ -73,6 +77,11 @@ def _pool_init(schedule: Schedule, base_config: FuzzerConfig) -> None:
     _PROCESS_CTX["fuzzer"] = Fuzzer(schedule, base_config)
 
 
+def _worker_trace_path(trace_path: str, worker: int) -> str:
+    """The private JSONL file of one campaign worker."""
+    return "%s.worker%d" % (trace_path, worker)
+
+
 def _epoch_task(payload: Dict) -> FuzzState:
     """Run one worker's budget slice; executed inside a pool process."""
     fuzzer: Fuzzer = _PROCESS_CTX["fuzzer"]  # type: ignore[assignment]
@@ -80,12 +89,38 @@ def _epoch_task(payload: Dict) -> FuzzState:
     state = payload["state"]
     if state is None:
         state = fuzzer.new_state()
-    fuzzer.resume(
-        state,
-        max_seconds=payload["max_seconds"],
-        max_inputs=payload["max_inputs"],
-        extra_seeds=payload["extra_seeds"],
-    )
+    trace_path = payload.get("trace_path")
+    worker = payload.get("worker", 0)
+    if trace_path:
+        # a private, append-mode trace per worker per process; the parent
+        # absorbs the files into the campaign trace after the last epoch
+        tel = Telemetry(
+            enabled=True,
+            trace_path=_worker_trace_path(trace_path, worker),
+            tags={"worker": worker},
+            append=True,
+        )
+    else:
+        tel = Telemetry(enabled=False)
+    fuzzer.telemetry = tel
+    try:
+        fuzzer.resume(
+            state,
+            max_seconds=payload["max_seconds"],
+            max_inputs=payload["max_inputs"],
+            extra_seeds=payload["extra_seeds"],
+        )
+        tel.emit(
+            "heartbeat",
+            worker=worker,
+            epoch=payload.get("epoch", 0),
+            t=round(state.elapsed, 6),
+            execs=state.inputs_executed,
+            covered=popcount(state.total_int),
+            corpus=len(state.corpus),
+        )
+    finally:
+        tel.close()
     return state
 
 
@@ -122,6 +157,7 @@ class ParallelFuzzer:
         compiled: Optional[CompiledModel] = None,
         start_method: Optional[str] = None,
         merge_pool_size: int = 64,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.schedule = schedule
         self.config = config or FuzzerConfig(workers=2)
@@ -134,6 +170,10 @@ class ParallelFuzzer:
         self._compiled = compiled
         self.start_method = start_method
         self.merge_pool_size = merge_pool_size
+        tel = telemetry if telemetry is not None else get_telemetry()
+        if tel is NULL:
+            tel = Telemetry(enabled=False)
+        self.telemetry = tel
 
     # ------------------------------------------------------------------ #
     def _worker_caps(self) -> List[Optional[int]]:
@@ -148,9 +188,32 @@ class ParallelFuzzer:
         config = self.config
         if config.workers == 1:
             # the classic path: byte-identical single-process behavior
-            return Fuzzer(self.schedule, config, replay_compiled=self._compiled).run()
+            return Fuzzer(
+                self.schedule,
+                config,
+                replay_compiled=self._compiled,
+                telemetry=self.telemetry,
+            ).run()
 
-        compiled = self._compiled or compile_model(self.schedule, "model")
+        tel = self.telemetry
+        trace_path = tel.trace_path if tel.enabled else None
+        with telemetry_scope(tel):
+            compiled = self._compiled or compile_model(self.schedule, "model")
+        if tel.enabled:
+            tel.emit(
+                "campaign_start",
+                model=self.schedule.model.name,
+                seed=config.seed,
+                workers=config.workers,
+                n_probes=self.schedule.branch_db.n_probes,
+                level=config.level,
+            )
+        if trace_path:
+            for w in range(config.workers):
+                try:  # clear stale per-worker files (they open in append)
+                    os.unlink(_worker_trace_path(trace_path, w))
+                except OSError:
+                    pass
         workers = config.workers
         rounds = config.sync_rounds
         epoch_seconds = config.max_seconds / rounds
@@ -188,12 +251,23 @@ class ParallelFuzzer:
                             "max_seconds": epoch_seconds,
                             "max_inputs": cap,
                             "extra_seeds": merged_seeds,
+                            "trace_path": trace_path,
+                            "worker": w,
+                            "epoch": epoch,
                         }
                     )
                 states = pool.map(_epoch_task, payloads, chunksize=1)
                 union_int = 0
                 for state in states:
                     union_int |= state.total_int
+                if tel.enabled:
+                    tel.emit(
+                        "sync_epoch",
+                        epoch=epoch,
+                        union_covered=popcount(union_int),
+                        pool=len(merged_seeds),
+                        execs=sum(s.inputs_executed for s in states),
+                    )
                 if config.stop_on_full_coverage and full and union_int == full:
                     break
                 if epoch < rounds - 1:
@@ -201,12 +275,13 @@ class ParallelFuzzer:
                     for state in states:
                         candidates.extend(e.data for e in state.corpus.entries)
                         candidates.extend(c.data for c in state.suite)
-                    merged_seeds = merge_seed_pool(
-                        self.schedule,
-                        candidates,
-                        compiled=compiled,
-                        max_pool=self.merge_pool_size,
-                    )
+                    with tel.phase("merge"):
+                        merged_seeds = merge_seed_pool(
+                            self.schedule,
+                            candidates,
+                            compiled=compiled,
+                            max_pool=self.merge_pool_size,
+                        )
 
         # union the worker suites, byte-deduplicated.  Ordering is by
         # *discovery rank* (n-th case of each worker, workers round-robin)
@@ -228,9 +303,10 @@ class ParallelFuzzer:
             suite.add(TestCase(case.data, case.found_at, case.origin))
 
         timeline: List = []
-        report = replay_suite(
-            self.schedule, suite, compiled=compiled, timeline_out=timeline
-        )
+        with tel.phase("replay"):
+            report = replay_suite(
+                self.schedule, suite, compiled=compiled, timeline_out=timeline
+            )
         # rank order tracks wall-clock only approximately, so clamp the
         # merged curve into its monotone envelope ("coverage reached C
         # by time T") before handing it out
@@ -238,13 +314,46 @@ class ParallelFuzzer:
             if timeline[idx][0] < timeline[idx - 1][0]:
                 timeline[idx] = (timeline[idx - 1][0], timeline[idx][1])
         elapsed = time.perf_counter() - start
+        inputs_executed = sum(s.inputs_executed for s in states)
+        iterations_executed = sum(s.iterations_executed for s in states)
+        if tel.enabled:
+            union_int = 0
+            for state in states:
+                union_int |= state.total_int
+            tel.emit(
+                "campaign_end",
+                t=round(elapsed, 6),
+                execs=inputs_executed,
+                iterations=iterations_executed,
+                covered=popcount(union_int),
+                decision=round(report.decision, 3),
+                condition=round(report.condition, 3),
+                mcdc=round(report.mcdc, 3),
+                cases=len(suite),
+                phases={k: round(v, 6) for k, v in tel.phase_times.items()},
+            )
+            if trace_path:
+                # fold the workers' private traces into the campaign trace
+                # (the parent's writer stays open — no file juggling)
+                for w in range(workers):
+                    worker_path = _worker_trace_path(trace_path, w)
+                    try:
+                        tel.absorb(read_trace(worker_path))
+                    except TelemetryError:
+                        continue  # the worker never opened its trace
+                    try:
+                        os.unlink(worker_path)
+                    except OSError:
+                        pass
+            tel.flush()
         return FuzzResult(
             suite=suite,
             report=report,
-            inputs_executed=sum(s.inputs_executed for s in states),
-            iterations_executed=sum(s.iterations_executed for s in states),
+            inputs_executed=inputs_executed,
+            iterations_executed=iterations_executed,
             elapsed=elapsed,
             timeline=timeline,
+            phase_times=dict(tel.phase_times),
         )
 
 
@@ -253,18 +362,22 @@ def run_campaign(
     config: Optional[FuzzerConfig] = None,
     compiled: Optional[CompiledModel] = None,
     start_method: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> FuzzResult:
     """Route a campaign by ``config.workers``: 1 = classic engine, N>1 =
     the multiprocessing campaign.  ``compiled`` is an optional cached
-    model-level artifact reused for merge and replay."""
+    model-level artifact reused for merge and replay.  ``telemetry``
+    overrides the active process-local registry for this campaign."""
     config = config or FuzzerConfig()
     if config.workers < 1:
         raise FuzzingError("workers must be >= 1")
     if config.workers == 1:
         main = compiled if (compiled is not None and compiled.level == config.level) else None
         return Fuzzer(
-            schedule, config, compiled=main, replay_compiled=compiled
+            schedule, config, compiled=main, replay_compiled=compiled,
+            telemetry=telemetry,
         ).run()
     return ParallelFuzzer(
-        schedule, config, compiled=compiled, start_method=start_method
+        schedule, config, compiled=compiled, start_method=start_method,
+        telemetry=telemetry,
     ).run()

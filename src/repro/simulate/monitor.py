@@ -53,6 +53,17 @@ class SignalStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def recent(self) -> List[float]:
+        """The recorded samples, oldest first — never the ring's padding.
+
+        Before the ring wraps (``count < _RING_SIZE``) only the slots that
+        were actually written are returned; exposing the raw ``ring`` list
+        would interleave phantom ``0.0`` padding with real samples.
+        """
+        if self.count >= _RING_SIZE:
+            return self.ring[self._pos:] + self.ring[: self._pos]
+        return self.ring[: self._pos]
+
 
 class SignalMonitor:
     """Signal log for one simulation run (keyed by level-local signal)."""

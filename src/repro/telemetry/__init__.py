@@ -1,0 +1,57 @@
+"""Campaign observability: metrics, structured event traces, live stats.
+
+The subsystem CFTCG's rate argument deserves: LibFuzzer prints periodic
+stat lines and AFL writes ``plot_data``; our campaigns emit a structured
+JSONL **event trace** (:mod:`repro.telemetry.events` documents the
+schema), keep a registry of counters/gauges/histograms with phase-time
+attribution (:mod:`repro.telemetry.core`), print throttled status lines
+(:mod:`repro.telemetry.stats`), and reconstruct coverage-over-time curves
+plus mutation-operator effectiveness tables from a trace alone
+(:mod:`repro.telemetry.report`) — no re-execution required.
+
+Disabled telemetry (the default) is a no-op fast path: campaigns produce
+byte-identical suites with telemetry on or off, and the enabled overhead
+is bounded by ``benchmarks/bench_telemetry.py``.
+"""
+
+from .core import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_scope,
+)
+from .events import EVENT_TYPES, merge_traces, read_trace, validate_event
+from .report import (
+    coverage_curve,
+    final_summary,
+    mutation_table,
+    phase_table,
+    render_trace_report,
+)
+from .stats import StatusPrinter, format_status_line
+
+__all__ = [
+    "NULL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_scope",
+    "EVENT_TYPES",
+    "merge_traces",
+    "read_trace",
+    "validate_event",
+    "coverage_curve",
+    "final_summary",
+    "mutation_table",
+    "phase_table",
+    "render_trace_report",
+    "StatusPrinter",
+    "format_status_line",
+]

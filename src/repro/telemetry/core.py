@@ -1,0 +1,293 @@
+"""The telemetry registry: counters, gauges, histograms, phases, events.
+
+Design constraints (mirrored by ``benchmarks/bench_telemetry.py``):
+
+* **no-op fast path** — a disabled :class:`Telemetry` must cost one
+  attribute check (``tel.enabled``) on the fuzzing hot path, nothing
+  else; campaign byte streams are *identical* with telemetry on or off
+  because nothing here ever touches the RNG or the corpus;
+* **dependency-free** — stdlib only (``json``, ``time``), no background
+  threads, no sockets; the trace sink is a line-buffered JSONL file;
+* **process-local** — one registry per process.  Parallel campaign
+  workers each build their own registry writing a private trace file;
+  the parent merges the files afterwards (:func:`repro.telemetry.events.
+  merge_traces` via :meth:`Telemetry.absorb`).
+
+The *active* telemetry is a module global manipulated with
+:func:`set_telemetry` / :func:`telemetry_scope`; code deep in the stack
+(``compile_model``, ``optimize_source``, the experiment runner) reports
+through :func:`get_telemetry` without any signature changes.  The default
+is :data:`NULL`, whose every method is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, TextIO
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "NULL",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_scope",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of a value distribution (count/min/max/total)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+class _NullPhase:
+    """Reusable no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Context manager accumulating one phase's wall time."""
+
+    __slots__ = ("_tel", "_name", "_start")
+
+    def __init__(self, tel: "Telemetry", name: str):
+        self._tel = tel
+        self._name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._tel.add_phase(self._name, time.perf_counter() - self._start)
+        return False
+
+
+class Telemetry:
+    """Process-local registry of metrics, phase timers and an event sink.
+
+    ``enabled`` gates event emission and metric updates on hot paths
+    (callers check it once and skip all bookkeeping when ``False``).
+    Phase timing stays live even on a disabled registry — it is a handful
+    of ``perf_counter`` pairs per campaign, and it is what populates
+    ``FuzzResult.phase_times`` for every run.
+
+    ``tags`` are merged into every emitted event (a parallel worker sets
+    ``{"worker": N}`` so the merged campaign trace stays attributable).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_path: Optional[str] = None,
+        stats_stream: Optional[TextIO] = None,
+        stats_interval: float = 0.5,
+        tags: Optional[Dict] = None,
+        append: bool = False,
+    ):
+        self.enabled = enabled
+        self.trace_path = trace_path
+        self.stats_stream = stats_stream
+        self.stats_interval = stats_interval
+        self.tags = dict(tags or {})
+        self.phase_times: Dict[str, float] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._trace_fh: Optional[TextIO] = None
+        if enabled and trace_path:
+            self._trace_fh = open(
+                trace_path, "a" if append else "w", encoding="utf-8"
+            )
+
+    # --------------------------- metrics ------------------------------ #
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metric values plus phase times, as one plain dict."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.as_dict() for k, h in sorted(self._histograms.items())
+            },
+            "phases": dict(self.phase_times),
+        }
+
+    # ---------------------------- phases ------------------------------ #
+    def phase(self, name: str) -> object:
+        """Context manager accumulating wall time under ``name``."""
+        return _Phase(self, name)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
+
+    # ---------------------------- events ------------------------------ #
+    def emit(self, ev: str, **fields) -> None:
+        """Append one structured event to the JSONL trace (if any)."""
+        if not self.enabled or self._trace_fh is None:
+            return
+        event = {"ev": ev, "ts": round(time.time(), 6)}
+        if self.tags:
+            event.update(self.tags)
+        event.update(fields)
+        self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def absorb(self, events) -> None:
+        """Re-emit raw event dicts (a worker trace) through this sink."""
+        if not self.enabled or self._trace_fh is None:
+            return
+        for event in events:
+            self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        if self._trace_fh is not None:
+            self._trace_fh.flush()
+
+    def close(self) -> None:
+        if self._trace_fh is not None:
+            self._trace_fh.flush()
+            self._trace_fh.close()
+            self._trace_fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class _NullTelemetry(Telemetry):
+    """The shared disabled singleton: every method a no-op.
+
+    Unlike a plain disabled :class:`Telemetry`, the singleton also drops
+    phase timing — it is shared process-wide, so accumulating state on it
+    would bleed between unrelated runs.
+    """
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def phase(self, name: str):
+        return _NULL_PHASE
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        pass
+
+    def emit(self, ev: str, **fields) -> None:
+        pass
+
+
+NULL = _NullTelemetry()
+
+_ACTIVE: Telemetry = NULL
+
+
+def get_telemetry() -> Telemetry:
+    """The currently installed process-local telemetry (default NULL)."""
+    return _ACTIVE
+
+
+def set_telemetry(tel: Optional[Telemetry]) -> Telemetry:
+    """Install ``tel`` (or NULL) as the active telemetry; returns the old."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tel if tel is not None else NULL
+    return previous
+
+
+@contextmanager
+def telemetry_scope(tel: Optional[Telemetry]) -> Iterator[Telemetry]:
+    """Temporarily install ``tel`` as the active telemetry."""
+    previous = set_telemetry(tel)
+    try:
+        yield get_telemetry()
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,150 @@
+"""The campaign event schema and JSONL trace IO.
+
+Every trace line is one JSON object with at least ``ev`` (the event type)
+and ``ts`` (absolute wall-clock seconds, ``time.time()``).  Campaign-time
+fields (``t``) are seconds since the campaign's own start, which is what
+the coverage-over-time reconstruction sorts on.  Events from parallel
+workers additionally carry ``worker`` (the worker index tag).
+
+This schema is the contract downstream consumers build on — the trace
+report renderer (:mod:`repro.telemetry.report`), the CI artifact, and
+future adaptive-scheduling / distributed-campaign work.  Add fields
+freely; never repurpose an existing one.
+
+==================  =====================================================
+event               required fields (beyond ``ev``/``ts``)
+==================  =====================================================
+campaign_start      model, seed, workers, n_probes
+seed_phase          t, execs — the initial seed inputs finished executing
+cov                 t, execs, covered, bits — new-coverage delta; ``bits``
+                    is the hex total probe bitmap, so worker curves can
+                    be unioned without re-executing anything
+corpus_add          t, rank, reason ("new_cov" | "idc"), size
+corpus_evict        t, reason, size
+plateau             t, execs, covered, idle_s — no new coverage lately
+slice_end           t, execs, iterations, corpus, covered
+mutation_stats      applied, wins — cumulative per-operator dicts
+heartbeat           worker, epoch, t, execs, covered, corpus
+sync_epoch          epoch, union_covered, pool, execs
+compile_cache       tier ("memory" | "disk" | "miss" | "uncacheable"),
+                    level
+optimizer_stats     stats — the optimizer pass counters
+tool_run            tool, seconds, decision, condition, mcdc, cases
+hybrid_round        round, t, covered, plateaued
+solver_escalation   round, t, targets, solved
+campaign_end        t, execs, iterations, covered, decision, condition,
+                    mcdc, cases
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import TelemetryError
+
+__all__ = ["EVENT_TYPES", "validate_event", "read_trace", "merge_traces"]
+
+#: event type -> tuple of required field names (beyond ev/ts)
+EVENT_TYPES: Dict[str, tuple] = {
+    "campaign_start": ("model", "seed", "workers", "n_probes"),
+    "seed_phase": ("t", "execs"),
+    "cov": ("t", "execs", "covered", "bits"),
+    "corpus_add": ("t", "rank", "reason", "size"),
+    "corpus_evict": ("t", "reason", "size"),
+    "plateau": ("t", "execs", "covered", "idle_s"),
+    "slice_end": ("t", "execs", "iterations", "corpus", "covered"),
+    "mutation_stats": ("applied", "wins"),
+    "heartbeat": ("worker", "epoch", "t", "execs", "covered", "corpus"),
+    "sync_epoch": ("epoch", "union_covered", "pool", "execs"),
+    "compile_cache": ("tier", "level"),
+    "optimizer_stats": ("stats",),
+    "tool_run": ("tool", "seconds", "decision", "condition", "mcdc", "cases"),
+    "hybrid_round": ("round", "t", "covered", "plateaued"),
+    "solver_escalation": ("round", "t", "targets", "solved"),
+    "campaign_end": (
+        "t",
+        "execs",
+        "iterations",
+        "covered",
+        "decision",
+        "condition",
+        "mcdc",
+        "cases",
+    ),
+}
+
+
+def validate_event(event: Dict) -> None:
+    """Raise :class:`TelemetryError` unless ``event`` matches the schema."""
+    ev = event.get("ev")
+    if ev not in EVENT_TYPES:
+        raise TelemetryError("unknown event type %r" % (ev,))
+    if "ts" not in event:
+        raise TelemetryError("event %r missing 'ts'" % (ev,))
+    missing = [f for f in EVENT_TYPES[ev] if f not in event]
+    if missing:
+        raise TelemetryError(
+            "event %r missing fields: %s" % (ev, ", ".join(missing))
+        )
+
+
+def read_trace(path: str, strict: bool = False) -> List[Dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    ``strict=True`` additionally validates every event against
+    :data:`EVENT_TYPES`.  A truncated final line (a crashed writer) is
+    tolerated in non-strict mode and fatal in strict mode.
+    """
+    events: List[Dict] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError("cannot read trace %r: %s" % (path, exc)) from exc
+    with fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                if strict:
+                    raise TelemetryError(
+                        "%s:%d: malformed trace line: %s" % (path, lineno, exc)
+                    ) from exc
+                continue  # tolerate a torn tail line
+            if strict:
+                validate_event(event)
+            events.append(event)
+    return events
+
+
+def merge_traces(
+    paths: Sequence[str],
+    out_path: Optional[str] = None,
+    extra: Optional[Iterable[Dict]] = None,
+) -> List[Dict]:
+    """Merge several trace files into one time-sorted event list.
+
+    Events are ordered by absolute ``ts`` (stable, so same-timestamp
+    events keep their per-file order).  ``out_path``, when given, receives
+    the merged JSONL; ``extra`` events join the merge unsorted-cost-free.
+    Missing input files are skipped — a worker that found nothing may
+    never have opened its trace.
+    """
+    events: List[Dict] = []
+    for path in paths:
+        try:
+            events.extend(read_trace(path))
+        except TelemetryError:
+            continue
+    if extra:
+        events.extend(extra)
+    events.sort(key=lambda e: e.get("ts", 0.0))
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+    return events

@@ -1,0 +1,69 @@
+"""LibFuzzer-style periodic status lines for live campaigns.
+
+LibFuzzer prints ``#2097152 cov: 123 ft: 417 corp: 58/1024b exec/s:
+52428`` every power-of-two execs; AFL writes ``plot_data``.  Our
+equivalent is a throttled one-line-per-interval printer fed by the
+fuzzing loop (``repro fuzz --stats``):
+
+    #4096  cov: 37/40  ft: 0.925  corp: 12  exec/s: 20480
+
+``cov`` is covered/total probes, ``ft`` the covered fraction (the
+"features" slot), ``corp`` the live corpus size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, TextIO
+
+__all__ = ["format_status_line", "StatusPrinter"]
+
+
+def format_status_line(
+    execs: int,
+    covered: int,
+    n_probes: int,
+    corpus: int,
+    execs_per_s: float,
+) -> str:
+    fraction = covered / n_probes if n_probes else 0.0
+    return "#%-7d cov: %d/%d  ft: %.3f  corp: %d  exec/s: %.0f" % (
+        execs,
+        covered,
+        n_probes,
+        fraction,
+        corpus,
+        execs_per_s,
+    )
+
+
+class StatusPrinter:
+    """Throttled status-line emitter (at most one line per interval)."""
+
+    def __init__(self, stream: TextIO, interval: float = 0.5):
+        self.stream = stream
+        self.interval = interval
+        self._next = 0.0
+        self._last_execs = 0
+        self._last_time: Optional[float] = None
+
+    def maybe_print(
+        self, execs: int, covered: int, n_probes: int, corpus: int
+    ) -> bool:
+        """Print one line if the interval elapsed; returns whether it did."""
+        now = time.perf_counter()
+        if now < self._next:
+            return False
+        if self._last_time is None:
+            rate = 0.0
+        else:
+            window = now - self._last_time
+            rate = (execs - self._last_execs) / window if window > 0 else 0.0
+        self.stream.write(
+            format_status_line(execs, covered, n_probes, corpus, rate) + "\n"
+        )
+        self.stream.flush()
+        self._next = now + self.interval
+        self._last_execs = execs
+        self._last_time = now
+        return True
