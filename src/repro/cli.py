@@ -62,6 +62,8 @@ def _cmd_fuzz(args) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 sync_rounds=args.sync_rounds,
+                max_exec_steps=args.max_exec_steps,
+                crash_dir=args.crash_dir,
             )
             result = run_campaign(schedule, config)
     finally:
@@ -78,6 +80,16 @@ def _cmd_fuzz(args) -> int:
     )
     print("coverage:", result.report)
     print("test cases: %d" % len(result.suite))
+    if result.timeouts:
+        print(
+            "timeouts: %d input%s exceeded the %d-step budget%s"
+            % (
+                result.timeouts,
+                "s" if result.timeouts != 1 else "",
+                args.max_exec_steps or 0,
+                " (artifacts in %s)" % args.crash_dir if args.crash_dir else "",
+            )
+        )
     if (args.verbose or args.stats) and result.phase_times:
         print(
             "phase times: "
@@ -265,6 +277,21 @@ def main(argv=None) -> int:
         default=4,
         dest="sync_rounds",
         help="corpus-merge sync epochs in a multi-worker campaign",
+    )
+    p.add_argument(
+        "--max-exec-steps",
+        type=int,
+        default=None,
+        dest="max_exec_steps",
+        metavar="N",
+        help="per-input step budget for generated code; an input that "
+        "exceeds it is recorded as a timeout artifact (default: no limit)",
+    )
+    p.add_argument(
+        "--crash-dir",
+        dest="crash_dir",
+        metavar="DIR",
+        help="persist deduplicated crash/timeout artifacts into DIR",
     )
     p.add_argument("--out", help="directory for the generated suite")
     p.add_argument(

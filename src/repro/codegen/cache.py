@@ -19,10 +19,15 @@ cache entirely):
   ``sys.implementation.cache_tag`` exactly like CPython's own ``.pyc``
   files so interpreters never load each other's bytecode.
 
-Writes are atomic (temp file + ``os.replace``); a corrupted or truncated
-entry is treated as a miss and silently overwritten by a fresh compile.
-An in-memory LRU of executed classes sits in front of the disk tier so
-repeat compiles inside one process skip even the ``exec``.
+Writes are atomic (temp file + ``os.replace``); a missing or unreadable
+entry is a plain miss.  An entry that is *present but corrupted* (bad
+marshal payload, non-code object, failed validation — or an injected
+``cache_corrupt`` fault) is **quarantined**: both files are moved into a
+``quarantine/`` subdirectory so the poisoned entry can never be read
+again, a ``fault`` telemetry event records it, and the caller recompiles
+from scratch — the retry then re-persists a fresh entry under the same
+key.  An in-memory LRU of executed classes sits in front of the disk
+tier so repeat compiles inside one process skip even the ``exec``.
 
 Models whose parameters are not canonicalizable (an unknown object type
 in ``block.params``) are **uncacheable**: :func:`cache_key` raises
@@ -41,6 +46,7 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from ..dtypes import DType
+from ..faults.plan import should_fire as _should_fire
 
 __all__ = [
     "CODEGEN_VERSION",
@@ -54,7 +60,7 @@ __all__ = [
 #: Bump on ANY change to code generation, optimization or the runtime
 #: helpers: the constant is folded into every cache key, so stale disk
 #: entries from older generators can never be loaded.
-CODEGEN_VERSION = "1"
+CODEGEN_VERSION = "2"
 
 _MEMORY_SLOTS = 32
 
@@ -169,6 +175,7 @@ class CompileCache:
         self.misses = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.quarantined = 0
 
     def stats(self) -> dict:
         """Hit/miss counters per tier — the telemetry-facing snapshot."""
@@ -177,6 +184,7 @@ class CompileCache:
             "memory_misses": self.misses,
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
+            "quarantined": self.quarantined,
         }
 
     # -------------------------- memory tier -------------------------- #
@@ -207,22 +215,57 @@ class CompileCache:
         )
 
     def get_disk(self, key: str):
-        """``(source, code)`` from disk, or ``None`` on miss/corruption."""
+        """``(source, code)`` from disk, or ``None`` on miss/corruption.
+
+        A present-but-corrupted entry is quarantined (see
+        :meth:`quarantine`) before reporting the miss, so the caller's
+        fresh recompile can re-persist a clean entry under the same key.
+        """
         src_path, bin_path = self._paths(key)
         try:
             with open(src_path, "r", encoding="utf-8") as fh:
                 source = fh.read()
             with open(bin_path, "rb") as fh:
-                code = marshal.load(fh)
-        except (OSError, ValueError, EOFError, TypeError):
-            # missing, unreadable or truncated/corrupted: plain miss
+                payload = fh.read()
+        except OSError:
+            # missing or unreadable: plain miss, nothing to quarantine
             self.disk_misses += 1
             return None
-        if not source or not hasattr(code, "co_code"):
+        try:
+            if _should_fire("cache_corrupt"):
+                raise ValueError("injected cache_corrupt fault")
+            code = marshal.loads(payload)
+            if not source or not hasattr(code, "co_code"):
+                raise ValueError("cache entry failed validation")
+        except (ValueError, EOFError, TypeError) as exc:
+            self.quarantine(key, exc)
             self.disk_misses += 1
-            return None  # corrupted entry masquerading as data
+            return None
         self.disk_hits += 1
         return source, code
+
+    def quarantine(self, key: str, error: Exception) -> None:
+        """Move a corrupted entry into ``quarantine/`` and record a fault.
+
+        The moved files keep their names, so the poisoned payload stays
+        available for post-mortem while the live key becomes a clean miss.
+        Quarantine failures (read-only FS) are non-fatal: the entry is
+        still reported as a miss and the recompile's ``put_disk``
+        overwrites it atomically.
+        """
+        from ..telemetry.core import get_telemetry  # local: avoid cycle at import
+
+        self.quarantined += 1
+        qdir = os.path.join(self.root, "quarantine")
+        for path in self._paths(key):
+            try:
+                os.makedirs(qdir, exist_ok=True)
+                os.replace(path, os.path.join(qdir, os.path.basename(path)))
+            except OSError:
+                pass
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit("fault", kind="cache_corrupt", key=key, error=str(error))
 
     def put_disk(self, key: str, source: str, code) -> None:
         """Atomically persist one entry; IO errors are non-fatal."""

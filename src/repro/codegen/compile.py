@@ -134,8 +134,12 @@ def compile_model(
             try:
                 with tel.phase("compile"):
                     _, cls = _exec_module(source, code, schedule)
-            except Exception:
-                disk = None  # corrupted bytecode: recompile from scratch
+            except Exception as exc:
+                # bytecode that unmarshalled but won't execute: poison —
+                # quarantine the entry, then recompile from scratch (the
+                # fresh compile re-persists a clean entry under this key)
+                store.quarantine(key, exc)
+                disk = None
             else:
                 store.put_memory(key, source, cls)
                 if tel.enabled:

@@ -34,6 +34,7 @@ import struct
 from typing import Callable
 
 from ..bits import popcount
+from ..faults.watchdog import WATCHDOG
 from ..schedule.schedule import Schedule
 
 __all__ = ["generate_fuzz_driver", "compile_fuzz_driver"]
@@ -62,6 +63,7 @@ def generate_fuzz_driver(schedule: Schedule, fast: bool = True) -> str:
         "    size = len(data)",
         "    data_len = %d  # input bytes required for one iteration" % layout.size,
         "    program.%s()  # model initialization code" % ("reset" if fast else "init"),
+        "    _wd_arm()  # restart the step budget for this input",
         "    metric = 0",
         "    last_int = 0",
     ]
@@ -148,6 +150,7 @@ def compile_fuzz_driver(schedule: Schedule, fast: bool = True) -> Callable:
         "_unpack": struct.Struct(fmt).unpack_from,
         "_ZEROS": bytes(schedule.branch_db.n_probes),
         "_popcount": popcount,
+        "_wd_arm": WATCHDOG.arm,
     }
     exec(compile(source, "<fuzz driver:%s>" % schedule.model.name, "exec"), env)
     return env["fuzz_test_one_input"]

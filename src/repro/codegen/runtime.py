@@ -15,6 +15,7 @@ import struct
 from typing import Callable, Dict
 
 from ..dtypes import DType, saturate_cast
+from ..faults.watchdog import WATCHDOG
 from ..lang.ops import BUILTIN_IMPLS, safe_div, safe_mod
 
 __all__ = ["runtime_globals", "wrapper_name", "sat_name"]
@@ -122,6 +123,10 @@ def runtime_globals() -> Dict[str, object]:
         "_lookup1d": interp1d,
         "_lookup2d": interp2d,
         "_mcdc_adders": _mcdc_adders,
+        # while-loop bodies call this once per iteration; a bound C-method
+        # no-op when the watchdog is disarmed, raises WatchdogTimeout when
+        # an armed budget runs out (see repro.faults.watchdog)
+        "_wd_tick": WATCHDOG.tick,
     }
     for name, impl in BUILTIN_IMPLS.items():
         env["_f_%s" % name] = impl

@@ -43,3 +43,21 @@ class SolverError(ReproError):
 
 class TelemetryError(ReproError):
     """A campaign trace is unreadable, malformed, or schema-invalid."""
+
+
+class WatchdogTimeout(ReproError):
+    """Generated code exceeded its per-execution step budget.
+
+    Raised from inside generated loop bodies (and the interpreter's loop
+    execution) when the armed :class:`repro.faults.watchdog.Watchdog`
+    runs out of steps — the campaign-level signal that an input drove a
+    MATLAB-function ``while`` loop (or similar) into nontermination.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection spec (``REPRO_FAULTS``) could not be parsed."""
+
+
+class CampaignDegradedError(FuzzingError):
+    """Every worker of a parallel campaign died beyond its respawn budget."""

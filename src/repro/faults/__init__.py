@@ -1,0 +1,56 @@
+"""Robustness subsystem: deterministic fault injection, the execution
+watchdog, and crash-artifact bookkeeping.
+
+Long CFTCG campaigns must survive hostile conditions — nonterminating
+generated code (``while`` loops in MATLAB-function bodies), dying or
+hanging worker processes, corrupt compile-cache entries, trace-file IO
+errors.  Each of those failure modes is handled by a hardened execution
+path elsewhere in the stack; this package supplies the pieces they share:
+
+* :mod:`repro.faults.plan` — a deterministic fault-injection API.  A
+  :class:`FaultPlan` (parsed from the ``REPRO_FAULTS`` environment
+  variable or built programmatically) is installed process-locally with
+  :func:`install`; instrumented sites ask :func:`should_fire` whether to
+  simulate their failure.  Every fault fires a bounded number of times at
+  a deterministic site, so each recovery path is exactly reproducible in
+  tests and in the CI fault matrix.
+* :mod:`repro.faults.watchdog` — the per-execution step budget that
+  converts an infinite generated loop into a typed
+  :class:`~repro.errors.WatchdogTimeout` instead of a stuck campaign.
+* :mod:`repro.faults.crashes` — LibFuzzer-style crash artifacts: inputs
+  that hung (or crashed) generated code, deduplicated by the stack hash
+  of the failure point and persisted to a crash directory.
+"""
+
+from .crashes import CrashArtifact, CrashStore, stack_hash
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    clear,
+    fault_scope,
+    get_plan,
+    install,
+    parse_faults,
+    plan_from_env,
+    should_fire,
+)
+from .watchdog import WATCHDOG, Watchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "CrashArtifact",
+    "CrashStore",
+    "stack_hash",
+    "Watchdog",
+    "WATCHDOG",
+    "clear",
+    "fault_scope",
+    "get_plan",
+    "install",
+    "parse_faults",
+    "plan_from_env",
+    "should_fire",
+]

@@ -1,0 +1,74 @@
+"""The per-execution step-budget watchdog.
+
+Generated model code may contain genuine loops — ``while`` statements in
+MATLAB-function bodies — and a fuzzer that feeds such code adversarial
+inputs *will* eventually drive one into nontermination.  LibFuzzer
+handles this with an alarm that turns a hung run into a ``timeout-...``
+crash artifact; our equivalent is an instruction budget checked from
+inside every generated loop body.
+
+One process-global :class:`Watchdog` instance (:data:`WATCHDOG`) is
+shared by the generated-code runtime and the interpreter so both engines
+enforce identical budgets:
+
+* the fuzz driver calls ``arm()`` once per input, loading ``remaining``
+  from the configured ``limit``;
+* every generated loop-body iteration calls ``tick()`` — a decrement and
+  a comparison — and raises :class:`~repro.errors.WatchdogTimeout` when
+  the budget is exhausted;
+* with no limit configured (``limit is None``, the default) ``tick()``
+  is a single attribute check, so loop-free models and unbounded runs
+  pay nothing.
+
+The budget is deliberately a *step* count, not wall time: identical
+inputs exhaust it at identical points on every machine, which keeps
+timeout artifacts and campaign byte streams deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import WatchdogTimeout
+
+__all__ = ["Watchdog", "WATCHDOG"]
+
+
+class Watchdog:
+    """A rearmable countdown of generated-loop steps."""
+
+    __slots__ = ("limit", "remaining")
+
+    def __init__(self, limit: Optional[int] = None):
+        #: steps granted to each execution; ``None`` disables the watchdog
+        self.limit = limit
+        #: steps left in the current execution (``None`` = disarmed)
+        self.remaining: Optional[int] = None
+
+    def configure(self, limit: Optional[int]) -> None:
+        """Set the per-execution budget (and disarm until the next arm)."""
+        self.limit = limit
+        self.remaining = None
+
+    def arm(self) -> None:
+        """Start one execution's countdown from the configured limit."""
+        self.remaining = self.limit
+
+    def disarm(self) -> None:
+        self.remaining = None
+
+    def tick(self) -> None:
+        """Consume one step; raises on an exhausted budget."""
+        remaining = self.remaining
+        if remaining is None:
+            return
+        if remaining <= 0:
+            raise WatchdogTimeout(
+                "generated code exceeded the %d-step execution budget"
+                % (self.limit or 0)
+            )
+        self.remaining = remaining - 1
+
+
+#: the process-global watchdog shared by generated code and interpreter
+WATCHDOG = Watchdog()

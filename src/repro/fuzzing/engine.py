@@ -27,7 +27,9 @@ from ..codegen.compile import CompiledModel, compile_model
 from ..codegen.driver import compile_fuzz_driver
 from ..coverage.metrics import CoverageReport, compute_report
 from ..coverage.recorder import CoverageRecorder
-from ..errors import FuzzingError
+from ..errors import FuzzingError, WatchdogTimeout
+from ..faults.crashes import CrashStore
+from ..faults.watchdog import WATCHDOG
 from ..schedule.schedule import Schedule
 from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
 from ..telemetry.stats import StatusPrinter
@@ -72,6 +74,19 @@ class FuzzerConfig:
     workers: int = 1
     #: corpus-merge sync epochs in a multi-worker campaign
     sync_rounds: int = 4
+    #: per-input step budget for generated code (while-loop iterations);
+    #: ``None`` disables the watchdog and a nonterminating loop hangs the
+    #: campaign.  Step counts, not wall time, so the abort point is
+    #: deterministic across machines and engines.
+    max_exec_steps: Optional[int] = None
+    #: directory where crash/timeout artifacts persist (LibFuzzer's
+    #: ``-artifact_prefix``); ``None`` keeps artifacts in memory only
+    crash_dir: Optional[str] = None
+    #: parallel supervision: seconds without a worker heartbeat before
+    #: the worker is declared hung and its slice re-dispatched
+    worker_timeout: float = 30.0
+    #: parallel supervision: respawn budget per worker slot per campaign
+    max_respawns: int = 3
 
 
 @dataclass
@@ -93,6 +108,7 @@ class FuzzState:
     timeline: List = field(default_factory=list)  # (t, probes_covered)
     seeded: bool = False  # initial seed inputs already executed?
     rounds: int = 0  # completed resume slices
+    timeouts: int = 0  # inputs aborted by the execution watchdog
     corpus_adds: int = 0  # discovery rank counter for corpus_add events
     #: cumulative per-operator mutation counts (telemetry-enabled runs
     #: only; empty otherwise, so pickled payloads stay small)
@@ -116,6 +132,9 @@ class FuzzResult:
     #: compile, seed, mutate_exec, merge, replay, ...) — populated for
     #: every run; an empty dict only when a caller bypassed the engine
     phase_times: Dict[str, float] = field(default_factory=dict)
+    #: inputs aborted by the execution watchdog (each recorded as a
+    #: deduplicated timeout artifact in the fuzzer's crash store)
+    timeouts: int = 0
 
     @property
     def execs_per_second(self) -> float:
@@ -168,6 +187,9 @@ class Fuzzer:
             with tel.phase("compile"):
                 self.driver = compile_fuzz_driver(schedule)
         self.layout = schedule.layout
+        #: timeout/crash artifacts found by this fuzzer (disk-backed when
+        #: ``config.crash_dir`` is set, in-memory otherwise)
+        self.crash_store = CrashStore(self.config.crash_dir)
 
     def replay_compiled(self) -> CompiledModel:
         """The cached model-level artifact used for suite replay.
@@ -249,6 +271,10 @@ class Fuzzer:
         recorder = CoverageRecorder(self.schedule.branch_db)
         program, _ = self.compiled.instantiate(recorder)
         driver = self.driver
+        crash_store = self.crash_store
+        # the generated driver re-arms the budget per input (_wd_arm);
+        # configuring here makes that arm a no-op when no budget is set
+        WATCHDOG.configure(config.max_exec_steps)
 
         # telemetry locals: one `tel_on` check is the entire disabled cost
         tel = self.telemetry
@@ -349,9 +375,29 @@ class Fuzzer:
                 )
 
         def run_one(data: bytes, parent_density: float, ops=None) -> None:
-            metric, found_new, total_int, iters = driver(
-                program, recorder.curr, data, state.total_int
-            )
+            try:
+                metric, found_new, total_int, iters = driver(
+                    program, recorder.curr, data, state.total_int
+                )
+            except WatchdogTimeout as exc:
+                # LibFuzzer-style timeout crash: record the input as a
+                # deduplicated artifact and keep fuzzing — the next input
+                # resets the program and re-arms the budget
+                WATCHDOG.disarm()
+                now = offset + time.perf_counter() - start
+                state.inputs_executed += 1
+                state.timeouts += 1
+                artifact = crash_store.record("timeout", data, exc, found_at=now)
+                if tel_on:
+                    tel.emit(
+                        "crash_artifact",
+                        t=round(now, 6),
+                        kind=artifact.kind,
+                        hash=artifact.hash,
+                        count=artifact.count,
+                        size=len(data),
+                    )
+                return
             state.total_int = total_int
             state.inputs_executed += 1
             state.iterations_executed += iters
@@ -443,6 +489,7 @@ class Fuzzer:
             run_one(data, parent_density, ops)
 
         tel.add_phase("mutate_exec", time.perf_counter() - seed_done)
+        WATCHDOG.disarm()
         state.elapsed = offset + time.perf_counter() - start
         state.rounds += 1
         if tel_on:
@@ -492,6 +539,7 @@ class Fuzzer:
             elapsed=state.elapsed,
             timeline=state.timeline,
             phase_times=dict(tel.phase_times),
+            timeouts=state.timeouts,
         )
 
     def run(self) -> FuzzResult:

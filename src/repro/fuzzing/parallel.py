@@ -18,11 +18,27 @@ worker processes:
    ordered, byte-deduplicated) and replayed **once** on the fully
    instrumented model for the final report and a merged global timeline.
 
+**Supervision.**  Workers are long-lived processes owned by the parent,
+fed through per-worker task queues and answering on one shared result
+queue.  Each accepted payload is acknowledged with a start-of-slice
+heartbeat; a worker that dies (crash, OOM-kill, injected
+``worker_death`` fault) or goes silent past its deadline (hung generated
+code, injected ``slow_exec``) is detected by the parent, which respawns
+the slot — bounded by ``config.max_respawns``, with exponential backoff
+— and re-dispatches the *same* payload with injected faults stripped.
+Because workers are stateless between epochs (the state travels inside
+the payload), the retried slice reproduces the lost work exactly, so a
+campaign that survives an injected worker death still produces the
+byte-identical merged suite of a fault-free run.  A slot that exhausts
+its respawn budget is retired and the campaign continues degraded on the
+remaining workers; when every slot is gone the campaign raises
+:class:`~repro.errors.CampaignDegradedError`.
+
 ``workers=1`` bypasses multiprocessing entirely and is byte-identical to
 the classic single-process engine for a fixed seed.  Worker payloads and
 states are plain picklable values, so both ``fork`` and ``spawn`` start
 methods work (``spawn`` re-imports this module and re-compiles the model
-per process through the pool initializer — a warm read of the persistent
+per process through the worker's startup — a warm read of the persistent
 compile cache, so per-worker startup no longer pays the codegen cost).
 """
 
@@ -30,14 +46,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as _queue
 import time
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
 from ..coverage.recorder import CoverageRecorder
-from ..errors import FuzzingError, TelemetryError
+from ..errors import CampaignDegradedError, FuzzingError, TelemetryError
+from ..faults.plan import get_plan, install as faults_install
+from ..faults.plan import should_fire as faults_should_fire
 from ..schedule.schedule import Schedule
 from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
 from ..telemetry.events import read_trace
@@ -56,9 +75,18 @@ __all__ = [
 #: collide with the slice-stride derivation inside ``Fuzzer.resume``
 _WORKER_SEED_STRIDE = 1_000_003
 
-#: per-process cache installed by the pool initializer (compiled model +
-#: fuzz driver are built once per worker process, not once per epoch)
-_PROCESS_CTX: Dict[str, object] = {}
+#: exit code of a worker killed by an injected ``worker_death`` fault
+_DEATH_EXIT_CODE = 87
+
+#: how long the parent blocks on the result queue between liveness checks
+_POLL_SECONDS = 0.05
+
+#: respawn backoff: ``base * 2**(attempt-1)`` seconds, capped
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
+
+#: grace period for joining/terminating workers during shutdown
+_JOIN_SECONDS = 5.0
 
 
 def derive_worker_seed(seed: int, worker_index: int) -> int:
@@ -72,19 +100,13 @@ def _default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
-def _pool_init(schedule: Schedule, base_config: FuzzerConfig) -> None:
-    """Worker-process initializer: compile model + driver exactly once."""
-    _PROCESS_CTX["fuzzer"] = Fuzzer(schedule, base_config)
-
-
 def _worker_trace_path(trace_path: str, worker: int) -> str:
     """The private JSONL file of one campaign worker."""
     return "%s.worker%d" % (trace_path, worker)
 
 
-def _epoch_task(payload: Dict) -> FuzzState:
-    """Run one worker's budget slice; executed inside a pool process."""
-    fuzzer: Fuzzer = _PROCESS_CTX["fuzzer"]  # type: ignore[assignment]
+def _run_slice(fuzzer: Fuzzer, payload: Dict) -> FuzzState:
+    """Run one worker's budget slice; executed inside a worker process."""
     fuzzer.config = payload["config"]
     state = payload["state"]
     if state is None:
@@ -122,6 +144,54 @@ def _epoch_task(payload: Dict) -> FuzzState:
     finally:
         tel.close()
     return state
+
+
+def _worker_main(
+    schedule: Schedule,
+    base_config: FuzzerConfig,
+    slot: int,
+    gen: int,
+    task_q,
+    result_q,
+) -> None:
+    """Entry point of one supervised campaign worker process.
+
+    Long-lived: compiles the model once (a warm compile-cache read), then
+    serves epoch payloads from ``task_q`` until it receives ``None``.
+    Every accepted payload is acknowledged with a ``("hb", ...)`` message
+    *before* the slice runs, so the parent can tell "still fuzzing" from
+    "never picked the task up".  Messages carry the spawn generation so
+    the parent can discard stragglers from a superseded process.
+
+    Injected faults fire here, right after the acknowledgement — exactly
+    where a real crash or hang would bite.  The payload's plan replaces
+    any environment-derived plan, which is how a respawned worker
+    (payload shipped with ``faults=None``) re-runs clean.
+    """
+    fuzzer = Fuzzer(schedule, base_config)
+    while True:
+        payload = task_q.get()
+        if payload is None:
+            return
+        epoch = payload.get("epoch", 0)
+        worker = payload.get("worker", slot)
+        result_q.put(("hb", slot, gen, epoch, None))
+        plan = payload.get("faults")
+        faults_install(plan if plan else None)
+        spec = faults_should_fire("worker_death", worker=worker, epoch=epoch)
+        if spec is not None:
+            os._exit(_DEATH_EXIT_CODE)
+        spec = faults_should_fire("slow_exec", worker=worker, epoch=epoch)
+        if spec is not None:
+            time.sleep(spec.param("seconds", 3600.0))
+        try:
+            state = _run_slice(fuzzer, payload)
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            result_q.put(
+                ("err", slot, gen, epoch, "%s: %s" % (type(exc).__name__, exc))
+            )
+        else:
+            result_q.put(("ok", slot, gen, epoch, state))
 
 
 def merge_seed_pool(
@@ -184,6 +254,23 @@ class ParallelFuzzer:
         base, rem = divmod(config.max_inputs, config.workers)
         return [base + (1 if i < rem else 0) for i in range(config.workers)]
 
+    def _unlink_quietly(self, path: str) -> None:
+        """Remove a stale/absorbed worker trace; record failures as faults."""
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass  # a worker that found nothing never opened its trace
+        except OSError as exc:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.emit(
+                    "fault",
+                    kind="trace_io_error",
+                    op="unlink",
+                    path=path,
+                    error=str(exc),
+                )
+
     def run(self) -> FuzzResult:
         config = self.config
         if config.workers == 1:
@@ -210,16 +297,22 @@ class ParallelFuzzer:
             )
         if trace_path:
             for w in range(config.workers):
-                try:  # clear stale per-worker files (they open in append)
-                    os.unlink(_worker_trace_path(trace_path, w))
-                except OSError:
-                    pass
+                # clear stale per-worker files (they open in append mode)
+                self._unlink_quietly(_worker_trace_path(trace_path, w))
         workers = config.workers
         rounds = config.sync_rounds
         epoch_seconds = config.max_seconds / rounds
         worker_totals = self._worker_caps()
         n_probes = self.schedule.branch_db.n_probes
         full = int.from_bytes(b"\x01" * n_probes, "little") if n_probes else 0
+        # a slot is declared hung when its slice overruns the epoch budget
+        # by more than the configured grace period
+        grace = epoch_seconds + max(config.worker_timeout, 2 * _POLL_SECONDS)
+        # the parent's fault plan: injected worker faults ship inside the
+        # epoch payloads (and are stripped from respawn payloads), so a
+        # retried slice reproduces the lost work without re-faulting
+        plan = get_plan()
+        shipped = plan.for_kinds("worker_death", "slow_exec") if plan else None
 
         base_config = replace(config, workers=1)
         ctx = multiprocessing.get_context(
@@ -228,51 +321,174 @@ class ParallelFuzzer:
         states: List[Optional[FuzzState]] = [None] * workers
         merged_seeds: List[bytes] = []
         start = time.perf_counter()
-        with ctx.Pool(
-            processes=workers,
-            initializer=_pool_init,
-            initargs=(self.schedule, base_config),
-        ) as pool:
+
+        result_q = ctx.Queue()
+        procs: List[Optional[object]] = [None] * workers
+        task_qs: List[Optional[object]] = [None] * workers
+        gens = [0] * workers  # spawn generation per slot (stale-msg filter)
+        respawns = [0] * workers
+        live: Set[int] = set(range(workers))
+        pending: Set[int] = set()
+        deadlines: Dict[int, float] = {}
+        payloads: Dict[int, Dict] = {}
+
+        def spawn(slot: int) -> None:
+            # a fresh task queue per spawn: a queue fed to a dead worker
+            # may still hold the undelivered payload, which must not leak
+            # into the replacement
+            gens[slot] += 1
+            task_qs[slot] = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    self.schedule,
+                    base_config,
+                    slot,
+                    gens[slot],
+                    task_qs[slot],
+                    result_q,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs[slot] = proc
+
+        def reap(slot: int) -> None:
+            proc = procs[slot]
+            if proc is None:
+                return
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(_JOIN_SECONDS)
+
+        def handle_failure(slot: int, epoch: int, reason: str) -> None:
+            """A worker died, hung or errored: respawn or retire the slot."""
+            respawns[slot] += 1
+            if tel.enabled:
+                tel.emit(
+                    "fault",
+                    kind="worker_failure",
+                    worker=slot,
+                    epoch=epoch,
+                    error=reason,
+                )
+            reap(slot)
+            if respawns[slot] > config.max_respawns:
+                # graceful degradation: keep the slot's last completed
+                # state, carry on with the surviving workers
+                live.discard(slot)
+                pending.discard(slot)
+                deadlines.pop(slot, None)
+                if tel.enabled:
+                    tel.emit(
+                        "worker_dead", worker=slot, epoch=epoch, reason=reason
+                    )
+                    tel.emit("degraded", workers_left=len(live))
+                if not live:
+                    raise CampaignDegradedError(
+                        "all %d campaign workers died beyond their respawn "
+                        "budget (last failure: worker %d, epoch %d, %s)"
+                        % (workers, slot, epoch, reason)
+                    )
+                return
+            backoff = min(
+                _BACKOFF_BASE * (2 ** (respawns[slot] - 1)), _BACKOFF_CAP
+            )
+            if tel.enabled:
+                tel.emit(
+                    "worker_respawn",
+                    worker=slot,
+                    epoch=epoch,
+                    attempt=respawns[slot],
+                    backoff_s=round(backoff, 3),
+                )
+            time.sleep(backoff)
+            # re-dispatch the SAME payload with injected faults stripped:
+            # the respawned worker reproduces the lost slice exactly
+            retry = dict(payloads[slot])
+            retry["faults"] = None
+            payloads[slot] = retry
+            spawn(slot)
+            task_qs[slot].put(retry)
+            deadlines[slot] = time.monotonic() + grace
+
+        for w in range(workers):
+            spawn(w)
+        try:
             for epoch in range(rounds):
-                payloads = []
-                for w in range(workers):
+                pending.clear()
+                deadlines.clear()
+                for w in sorted(live):
                     cap = worker_totals[w]
                     if cap is not None:
                         # cumulative share: the cap applies to the
                         # state's total, so scale it with the epoch
                         cap = cap * (epoch + 1) // rounds
-                    payloads.append(
-                        {
-                            "config": replace(
-                                base_config,
-                                seed=derive_worker_seed(config.seed, w),
-                            ),
-                            "state": states[w],
-                            "max_seconds": epoch_seconds,
-                            "max_inputs": cap,
-                            "extra_seeds": merged_seeds,
-                            "trace_path": trace_path,
-                            "worker": w,
-                            "epoch": epoch,
-                        }
-                    )
-                states = pool.map(_epoch_task, payloads, chunksize=1)
+                    payloads[w] = {
+                        "config": replace(
+                            base_config,
+                            seed=derive_worker_seed(config.seed, w),
+                        ),
+                        "state": states[w],
+                        "max_seconds": epoch_seconds,
+                        "max_inputs": cap,
+                        "extra_seeds": merged_seeds,
+                        "trace_path": trace_path,
+                        "worker": w,
+                        "epoch": epoch,
+                        "faults": shipped,
+                    }
+                    task_qs[w].put(payloads[w])
+                    deadlines[w] = time.monotonic() + grace
+                    pending.add(w)
+                while pending:
+                    try:
+                        msg = result_q.get(timeout=_POLL_SECONDS)
+                    except _queue.Empty:
+                        now = time.monotonic()
+                        for w in sorted(pending):
+                            proc = procs[w]
+                            if proc is not None and not proc.is_alive():
+                                handle_failure(w, epoch, "worker process died")
+                            elif now > deadlines.get(w, now):
+                                handle_failure(
+                                    w,
+                                    epoch,
+                                    "no result within %.1fs (hung)" % grace,
+                                )
+                        continue
+                    kind, w, gen, ep, body = msg
+                    if gen != gens[w] or ep != epoch or w not in pending:
+                        continue  # straggler from a superseded process
+                    if kind == "hb":
+                        deadlines[w] = time.monotonic() + grace
+                    elif kind == "ok":
+                        states[w] = body
+                        pending.discard(w)
+                        deadlines.pop(w, None)
+                    elif kind == "err":
+                        handle_failure(w, epoch, body)
                 union_int = 0
                 for state in states:
-                    union_int |= state.total_int
+                    if state is not None:
+                        union_int |= state.total_int
                 if tel.enabled:
                     tel.emit(
                         "sync_epoch",
                         epoch=epoch,
                         union_covered=popcount(union_int),
                         pool=len(merged_seeds),
-                        execs=sum(s.inputs_executed for s in states),
+                        execs=sum(
+                            s.inputs_executed for s in states if s is not None
+                        ),
                     )
                 if config.stop_on_full_coverage and full and union_int == full:
                     break
                 if epoch < rounds - 1:
                     candidates: List[bytes] = []
                     for state in states:
+                        if state is None:
+                            continue
                         candidates.extend(e.data for e in state.corpus.entries)
                         candidates.extend(c.data for c in state.suite)
                     with tel.phase("merge"):
@@ -282,6 +498,16 @@ class ParallelFuzzer:
                             compiled=compiled,
                             max_pool=self.merge_pool_size,
                         )
+        finally:
+            for w in range(workers):
+                proc, task_q = procs[w], task_qs[w]
+                if proc is not None and proc.is_alive() and task_q is not None:
+                    try:
+                        task_q.put(None)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            for w in range(workers):
+                reap(w)
 
         # union the worker suites, byte-deduplicated.  Ordering is by
         # *discovery rank* (n-th case of each worker, workers round-robin)
@@ -291,6 +517,7 @@ class ParallelFuzzer:
         tagged = [
             (rank, w, case)
             for w, state in enumerate(states)
+            if state is not None
             for rank, case in enumerate(state.suite)
         ]
         tagged.sort(key=lambda item: (item[0], item[1]))
@@ -314,11 +541,13 @@ class ParallelFuzzer:
             if timeline[idx][0] < timeline[idx - 1][0]:
                 timeline[idx] = (timeline[idx - 1][0], timeline[idx][1])
         elapsed = time.perf_counter() - start
-        inputs_executed = sum(s.inputs_executed for s in states)
-        iterations_executed = sum(s.iterations_executed for s in states)
+        alive_states = [s for s in states if s is not None]
+        inputs_executed = sum(s.inputs_executed for s in alive_states)
+        iterations_executed = sum(s.iterations_executed for s in alive_states)
+        timeouts = sum(s.timeouts for s in alive_states)
         if tel.enabled:
             union_int = 0
-            for state in states:
+            for state in alive_states:
                 union_int |= state.total_int
             tel.emit(
                 "campaign_end",
@@ -339,12 +568,18 @@ class ParallelFuzzer:
                     worker_path = _worker_trace_path(trace_path, w)
                     try:
                         tel.absorb(read_trace(worker_path))
-                    except TelemetryError:
-                        continue  # the worker never opened its trace
-                    try:
-                        os.unlink(worker_path)
-                    except OSError:
-                        pass
+                    except TelemetryError as exc:
+                        # a worker that found nothing never opened its
+                        # trace — but record the skip instead of hiding it
+                        tel.emit(
+                            "fault",
+                            kind="trace_io_error",
+                            op="read",
+                            path=worker_path,
+                            error=str(exc),
+                        )
+                        continue
+                    self._unlink_quietly(worker_path)
             tel.flush()
         return FuzzResult(
             suite=suite,
@@ -354,6 +589,7 @@ class ParallelFuzzer:
             elapsed=elapsed,
             timeline=timeline,
             phase_times=dict(tel.phase_times),
+            timeouts=timeouts,
         )
 
 

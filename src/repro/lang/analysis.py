@@ -27,6 +27,7 @@ from .ast import (
     Program,
     Stmt,
     Unary,
+    While,
     BOOL_OPS,
 )
 
@@ -78,6 +79,10 @@ def _collect_used(node, names: Set[str]) -> None:
                 _collect_used(stmt, names)
         for stmt in node.orelse:
             _collect_used(stmt, names)
+    elif isinstance(node, While):
+        _collect_used(node.cond, names)
+        for stmt in node.body:
+            _collect_used(stmt, names)
     elif isinstance(node, Name):
         names.add(node.id)
     elif isinstance(node, Unary):
@@ -112,4 +117,7 @@ def _collect_assigned(node, names: Set[str]) -> None:
             for stmt in body:
                 _collect_assigned(stmt, names)
         for stmt in node.orelse:
+            _collect_assigned(stmt, names)
+    elif isinstance(node, While):
+        for stmt in node.body:
             _collect_assigned(stmt, names)

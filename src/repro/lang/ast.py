@@ -20,6 +20,7 @@ __all__ = [
     "Stmt",
     "Assign",
     "If",
+    "While",
     "Program",
     "BOOL_OPS",
     "CMP_OPS",
@@ -114,6 +115,22 @@ class If(Stmt):
 
     branches: List[Tuple[Expr, List[Stmt]]]
     orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    """``while cond ... end`` loop.
+
+    The guard carries no branch probes (a loop is bounded-or-buggy, not
+    a coverage target); nested ``if`` statements inside the body are
+    instrumented normally.  Both executors charge every body iteration
+    one step against the armed watchdog
+    (:data:`repro.faults.watchdog.WATCHDOG`), so a nonterminating loop
+    raises :class:`~repro.errors.WatchdogTimeout` instead of hanging.
+    """
+
+    cond: Expr
+    body: List[Stmt] = field(default_factory=list)
 
 
 @dataclass(eq=False)

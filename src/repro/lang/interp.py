@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..faults.watchdog import WATCHDOG
 from .ast import (
     Assign,
     Bin,
@@ -32,6 +33,7 @@ from .ast import (
     Num,
     Program,
     Unary,
+    While,
     BOOL_OPS,
     CMP_OPS,
 )
@@ -211,6 +213,8 @@ def number_ifs(program: Program) -> int:
                 for _, body in stmt.branches:
                     walk(body)
                 walk(stmt.orelse)
+            elif isinstance(stmt, While):
+                walk(stmt.body)
 
     walk(program.body)
     return counter[0]
@@ -253,6 +257,14 @@ def _exec_stmts(stmts, env, if_hook, wrap_map=None) -> None:
             env[stmt.target] = value
         elif isinstance(stmt, If):
             _exec_if(stmt, env, if_hook, wrap_map)
+        elif isinstance(stmt, While):
+            # charge each body iteration one watchdog step, matching the
+            # generated code's _wd_tick() emission — both engines abort
+            # a runaway loop at the identical iteration count
+            tick = WATCHDOG.tick
+            while eval_expr(stmt.cond, env):
+                tick()
+                _exec_stmts(stmt.body, env, if_hook, wrap_map)
         else:  # pragma: no cover - defensive
             raise SimulationError("unknown statement %r" % (stmt,))
 

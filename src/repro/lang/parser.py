@@ -5,6 +5,7 @@ Grammar (statements)::
     program  := stmt*
     stmt     := 'if' expr sep block ('elseif' expr sep block)*
                 ('else' sep block)? 'end'
+              | 'while' expr sep block 'end'
               | NAME '=' expr
     block    := stmt*
     sep      := ';' | NEWLINE (any number)
@@ -23,7 +24,7 @@ import re
 from typing import List, Optional, Tuple
 
 from ..errors import ParseError
-from .ast import Assign, Bin, Call, Expr, If, Name, Num, Program, Stmt, Unary
+from .ast import Assign, Bin, Call, Expr, If, Name, Num, Program, Stmt, Unary, While
 
 __all__ = ["tokenize", "parse_expr", "parse_program"]
 
@@ -40,7 +41,7 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = ("if", "elseif", "else", "end")
+_KEYWORDS = ("if", "elseif", "else", "end", "while")
 
 
 class Token:
@@ -204,6 +205,8 @@ class _Parser:
     def _statement(self) -> Stmt:
         if self._peek().kind == "kw" and self._peek().text == "if":
             return self._if_statement()
+        if self._peek().kind == "kw" and self._peek().text == "while":
+            return self._while_statement()
         name = self._expect("name")
         self._expect("op", "=")
         value = self.parse_expr()
@@ -221,6 +224,13 @@ class _Parser:
             orelse = self._block(("end",))
         self._expect("kw", "end")
         return If(branches, orelse)
+
+    def _while_statement(self) -> While:
+        self._expect("kw", "while")
+        cond = self.parse_expr()
+        body = self._block(("end",))
+        self._expect("kw", "end")
+        return While(cond, body)
 
 
 def parse_expr(source: str) -> Expr:

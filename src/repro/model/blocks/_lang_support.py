@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ...errors import CodegenError
 from ...lang.analysis import extract_conditions
-from ...lang.ast import Expr, If, Program
+from ...lang.ast import Expr, If, Program, While
 from ...lang.interp import eval_guard, exec_program
 from ...lang.pyemit import emit_expr
 
@@ -154,6 +154,11 @@ def build_program_info(sink, program: Program, label: str) -> ProgramInfo:
                 for _, body in stmt.branches:
                     walk(body)
                 walk(stmt.orelse)
+            elif isinstance(stmt, While):
+                # loop guards are deliberately probe-free (a loop is a
+                # computation bound, not a coverage target); only the
+                # Ifs inside the body declare branch elements
+                walk(stmt.body)
 
     walk(program.body)
     return info
@@ -248,6 +253,13 @@ def _emit_stmts(ctx, info, stmts, var_map, wrap_map):
             ctx.line("%s = %s" % (var_map[stmt.target], ctx.wrap(value, dtype)))
         elif isinstance(stmt, If):
             _emit_if(ctx, info, stmt, var_map, wrap_map)
+        elif isinstance(stmt, While):
+            # the watchdog tick leads the body so even a pass-through
+            # iteration (while 1 ... end) charges the step budget; see
+            # repro.faults.watchdog
+            with ctx.suite("while %s:" % emit_expr(stmt.cond, var_map)):
+                ctx.line("_wd_tick()")
+                _emit_stmts(ctx, info, stmt.body, var_map, wrap_map)
         else:  # pragma: no cover - defensive
             raise CodegenError("cannot emit statement %r" % (stmt,))
 

@@ -27,6 +27,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, TextIO
 
+from ..faults.plan import should_fire as _should_fire
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -161,6 +163,9 @@ class Telemetry:
         self.stats_interval = stats_interval
         self.tags = dict(tags or {})
         self.phase_times: Dict[str, float] = {}
+        #: trace-sink write/flush failures absorbed so far; a nonzero
+        #: count means the sink degraded to no-trace mid-run
+        self.io_errors = 0
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -210,30 +215,62 @@ class Telemetry:
 
     # ---------------------------- events ------------------------------ #
     def emit(self, ev: str, **fields) -> None:
-        """Append one structured event to the JSONL trace (if any)."""
+        """Append one structured event to the JSONL trace (if any).
+
+        A failing sink (disk full, revoked handle — or an injected
+        ``trace_io_error`` fault) degrades the registry to no-trace
+        instead of crashing the campaign: the error is counted in
+        :attr:`io_errors` and subsequent emits become no-ops.
+        """
         if not self.enabled or self._trace_fh is None:
             return
         event = {"ev": ev, "ts": round(time.time(), 6)}
         if self.tags:
             event.update(self.tags)
         event.update(fields)
-        self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        try:
+            if _should_fire("trace_io_error"):
+                raise OSError("injected trace_io_error fault")
+            self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        except OSError:
+            self._sink_failed()
 
     def absorb(self, events) -> None:
         """Re-emit raw event dicts (a worker trace) through this sink."""
         if not self.enabled or self._trace_fh is None:
             return
-        for event in events:
-            self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        try:
+            for event in events:
+                self._trace_fh.write(
+                    json.dumps(event, separators=(",", ":")) + "\n"
+                )
+        except OSError:
+            self._sink_failed()
+
+    def _sink_failed(self) -> None:
+        """Degrade to no-trace: close the sink, keep the campaign alive."""
+        self.io_errors += 1
+        fh, self._trace_fh = self._trace_fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
 
     def flush(self) -> None:
         if self._trace_fh is not None:
-            self._trace_fh.flush()
+            try:
+                self._trace_fh.flush()
+            except OSError:
+                self._sink_failed()
 
     def close(self) -> None:
         if self._trace_fh is not None:
-            self._trace_fh.flush()
-            self._trace_fh.close()
+            try:
+                self._trace_fh.flush()
+                self._trace_fh.close()
+            except OSError:
+                self.io_errors += 1
             self._trace_fh = None
 
     def __enter__(self):

@@ -32,6 +32,18 @@ optimizer_stats     stats — the optimizer pass counters
 tool_run            tool, seconds, decision, condition, mcdc, cases
 hybrid_round        round, t, covered, plateaued
 solver_escalation   round, t, targets, solved
+fault               kind — an injected or observed fault (swallowed IO
+                    error, corrupted cache entry, dead worker signal);
+                    context fields (op, path, error, worker, epoch) vary
+                    by kind
+crash_artifact      t, kind, hash, count, size — a deduplicated
+                    crash/timeout input recorded by the fuzzer
+worker_respawn      worker, epoch, attempt, backoff_s — a campaign
+                    worker slot was restarted after death/hang
+worker_dead         worker, epoch, reason — a worker slot exhausted its
+                    respawn budget and was retired
+degraded            workers_left — the campaign continues on fewer
+                    workers than configured
 campaign_end        t, execs, iterations, covered, decision, condition,
                     mcdc, cases
 ==================  =====================================================
@@ -63,6 +75,11 @@ EVENT_TYPES: Dict[str, tuple] = {
     "tool_run": ("tool", "seconds", "decision", "condition", "mcdc", "cases"),
     "hybrid_round": ("round", "t", "covered", "plateaued"),
     "solver_escalation": ("round", "t", "targets", "solved"),
+    "fault": ("kind",),
+    "crash_artifact": ("t", "kind", "hash", "count", "size"),
+    "worker_respawn": ("worker", "epoch", "attempt", "backoff_s"),
+    "worker_dead": ("worker", "epoch", "reason"),
+    "degraded": ("workers_left",),
     "campaign_end": (
         "t",
         "execs",

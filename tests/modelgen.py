@@ -1,0 +1,460 @@
+"""Seeded random model generator + differential validation harness.
+
+SLGPT-style growth over the block registry: starting from a few random
+inports, each step appends one block wired to randomly chosen existing
+signals, covering arithmetic, saturation/deadzone nonlinearities, logic,
+relational tests, switches, state blocks (UnitDelay/Memory/Delay),
+MATLAB Function blocks with if-chains and bounded ``while`` loops, and
+small Stateflow-style charts.  Generation is a pure function of the
+integer seed, so every divergence is reproducible from ``(seed,
+optimize, rows)`` alone.
+
+The differential property (the paper's own correctness methodology):
+for any generated model and any input rows, the interpreter
+(:class:`repro.simulate.ModelInstance`) and the compiled generated code
+must produce identical outputs, identical per-step probe bytes and
+identical MCDC vectors — with the optimizer both on and off.
+
+Divergences are shrunk (:func:`minimize_divergence`: row truncation,
+row deletion, byte zeroing) and dumped as JSON repro artifacts
+(:func:`dump_divergence`) so a CI failure is directly actionable.
+
+Also runnable as a script (the CI differential job)::
+
+    PYTHONPATH=src python tests/modelgen.py --models 200 --out artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import (
+    CoverageRecorder,
+    ModelBuilder,
+    ModelInstance,
+    compile_model,
+    convert,
+)
+from repro.faults.watchdog import WATCHDOG
+
+__all__ = [
+    "generate_model",
+    "generate_rows",
+    "Divergence",
+    "run_differential",
+    "minimize_divergence",
+    "dump_divergence",
+]
+
+_INT_DTYPES = ("int8", "int16", "int32", "uint8", "uint16")
+
+#: generous per-step budget: generated while-loops are bounded by
+#: construction, so hitting this means a generator bug — better a
+#: WatchdogTimeout than a hung CI job
+_STEP_BUDGET = 1_000_000
+
+
+# -------------------------------------------------------------------- #
+# MATLAB Function body generation
+# -------------------------------------------------------------------- #
+def _gen_expr(rng: random.Random, names: Tuple[str, ...], depth: int = 0) -> str:
+    roll = rng.random()
+    if depth >= 2 or roll < 0.35:
+        if rng.random() < 0.5:
+            return rng.choice(names)
+        return str(rng.randint(-20, 20))
+    if roll < 0.55:
+        fn = rng.choice(("min", "max"))
+        return "%s(%s, %s)" % (
+            fn,
+            _gen_expr(rng, names, depth + 1),
+            _gen_expr(rng, names, depth + 1),
+        )
+    if roll < 0.65:
+        return "abs(%s)" % _gen_expr(rng, names, depth + 1)
+    op = rng.choice(("+", "-", "*", "%"))
+    return "(%s %s %s)" % (
+        _gen_expr(rng, names, depth + 1),
+        op,
+        _gen_expr(rng, names, depth + 1),
+    )
+
+
+def _gen_guard(rng: random.Random, names: Tuple[str, ...]) -> str:
+    def atom() -> str:
+        op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+        return "%s %s %s" % (rng.choice(names), op, rng.randint(-15, 15))
+
+    if rng.random() < 0.4:
+        return "%s %s %s" % (atom(), rng.choice(("&&", "||")), atom())
+    return atom()
+
+
+def _gen_fn_body(rng: random.Random, in_names: Tuple[str, ...]) -> str:
+    """A random terminating mini-language program computing ``y``.
+
+    The ``while`` loop is bounded by construction: the guard compares the
+    dedicated counter ``i`` against a loop-invariant bound (a literal or
+    an expression over the *inputs*, which the body never reassigns), and
+    the body's final statement is always ``i = i + 1``.
+    """
+    names = in_names + ("acc",)
+    lines = ["acc = %s" % _gen_expr(rng, in_names)]
+    for _ in range(rng.randint(0, 2)):
+        lines.append("acc = %s" % _gen_expr(rng, names))
+    if rng.random() < 0.7:  # an if / elseif / else chain
+        lines.append("if %s" % _gen_guard(rng, names))
+        lines.append("  acc = %s" % _gen_expr(rng, names))
+        if rng.random() < 0.5:
+            lines.append("elseif %s" % _gen_guard(rng, names))
+            lines.append("  acc = %s" % _gen_expr(rng, names))
+        if rng.random() < 0.6:
+            lines.append("else")
+            lines.append("  acc = %s" % _gen_expr(rng, names))
+        lines.append("end")
+    if rng.random() < 0.6:  # a bounded while loop
+        if rng.random() < 0.5:
+            bound = str(rng.randint(1, 6))
+        else:
+            # input-dependent but loop-invariant; may be <= 0 (loop skipped)
+            bound = "(%s %% %d)" % (rng.choice(in_names), rng.randint(2, 7))
+        lines.append("i = 0")
+        lines.append("while i < %s" % bound)
+        lines.append("  acc = %s" % _gen_expr(rng, names + ("i",)))
+        if rng.random() < 0.5:
+            lines.append("  if %s" % _gen_guard(rng, names + ("i",)))
+            lines.append("    acc = acc + i")
+            lines.append("  end")
+        lines.append("  i = i + 1")
+        lines.append("end")
+    lines.append("y = %s" % _gen_expr(rng, names))
+    return "\n".join(lines)
+
+
+def _add_matlab_fn(b: ModelBuilder, name: str, rng: random.Random, pick):
+    n_in = rng.randint(1, 2)
+    in_names = tuple("a%d" % i for i in range(n_in))
+    body = _gen_fn_body(rng, in_names)
+    return b.block(
+        "MatlabFunction",
+        name,
+        inputs=list(in_names),
+        outputs=[("y", "int32")],
+        body=body,
+        locals={"acc": ("int32", 0), "i": ("int32", 0)},
+    )(*[pick() for _ in range(n_in)])
+
+
+def _add_chart(b: ModelBuilder, name: str, rng: random.Random, pick):
+    n_states = rng.randint(2, 3)
+    states = ["S%d" % i for i in range(n_states)]
+    transitions = []
+    for i, src in enumerate(states):
+        dst = states[(i + rng.randint(1, n_states - 1)) % n_states]
+        tr = {"src": src, "dst": dst, "guard": _gen_guard(rng, ("g", "v"))}
+        if rng.random() < 0.5:
+            tr["action"] = "cnt = cnt + 1"
+        transitions.append(tr)
+    entry = {
+        s: "m = %d" % rng.randint(-5, 5)
+        for s in states
+        if rng.random() < 0.6
+    }
+    return b.block(
+        "Chart",
+        name,
+        states=states,
+        initial=states[0],
+        inputs=["g", "v"],
+        outputs=[("m", "int32")],
+        locals={"m": ("int32", 0), "cnt": ("int32", 0)},
+        transitions=transitions,
+        entry=entry,
+    )(pick(), pick())
+
+
+# -------------------------------------------------------------------- #
+# model generation
+# -------------------------------------------------------------------- #
+def generate_model(seed: int):
+    """A random scalar dataflow model; pure function of ``seed``."""
+    rng = random.Random(0xD1FF ^ (seed * 2_654_435_761))
+    b = ModelBuilder("gen%d" % seed)
+    signals = [
+        b.inport("u%d" % (i + 1), rng.choice(_INT_DTYPES))
+        for i in range(rng.randint(1, 3))
+    ]
+    signals.append(b.const(rng.randint(-40, 40)))
+
+    def pick():
+        return signals[rng.randrange(len(signals))]
+
+    n_blocks = rng.randint(4, 12)
+    for i in range(n_blocks):
+        name = "blk%d" % i
+        kind = rng.randrange(16)
+        if kind == 0:
+            sig = b.block("Sum", name, signs=rng.choice(("++", "+-", "-+")))(
+                pick(), pick()
+            )
+        elif kind == 1:
+            sig = b.block("Gain", name, gain=rng.randint(-4, 4))(pick())
+        elif kind == 2:
+            lo = rng.randint(-80, 0)
+            sig = b.block(
+                "Saturation", name, lower=lo, upper=lo + rng.randint(1, 120)
+            )(pick())
+        elif kind == 3:
+            sig = b.block(
+                "Switch",
+                name,
+                criterion=rng.choice((">=", ">", "~=0")),
+                threshold=rng.randint(-20, 20),
+            )(pick(), pick(), pick())
+        elif kind == 4:
+            sig = b.block(
+                "UnitDelay", name, dtype=rng.choice(("int16", "int32"))
+            )(pick())
+        elif kind == 5:
+            sig = b.block(
+                "Logical", name, op=rng.choice(("AND", "OR", "XOR", "NAND"))
+            )(pick(), pick())
+        elif kind == 6:
+            sig = b.block(
+                "Relational", name, op=rng.choice(("<", "<=", ">", ">=", "==", "!="))
+            )(pick(), pick())
+        elif kind == 7:
+            sig = b.block(
+                "CompareToConstant",
+                name,
+                op=rng.choice(("<", ">", "==", "!=")),
+                value=rng.randint(-25, 25),
+            )(pick())
+        elif kind == 8:
+            start = rng.randint(-30, 0)
+            sig = b.block(
+                "DeadZone", name, start=start, end=start + rng.randint(1, 40)
+            )(pick())
+        elif kind == 9:
+            off = rng.randint(-20, 10)
+            sig = b.block(
+                "Relay", name, off_point=off, on_point=off + rng.randint(1, 30)
+            )(pick())
+        elif kind == 10:
+            sig = b.block("Quantizer", name, interval=rng.randint(1, 9))(pick())
+        elif kind == 11:
+            sig = b.block(
+                "Delay",
+                name,
+                steps=rng.randint(1, 3),
+                dtype=rng.choice(("int16", "int32")),
+            )(pick())
+        elif kind == 12:
+            sig = b.block(
+                "DataTypeConversion", name, dtype=rng.choice(_INT_DTYPES)
+            )(pick())
+        elif kind == 13:
+            sig = b.block(
+                rng.choice(("Abs", "Sign", "UnaryMinus", "Not", "Increment")),
+                name,
+            )(pick())
+        elif kind == 14:
+            sig = _add_matlab_fn(b, name, rng, pick)
+        else:
+            sig = _add_chart(b, name, rng, pick)
+        signals.append(sig)
+    b.outport("y", signals[-1])
+    b.outport("z", pick())
+    return b.build()
+
+
+def generate_rows(layout, seed: int, n_rows: int = 16) -> List[bytes]:
+    """Random per-step raw input tuples (packed bytes) for a layout."""
+    rng = random.Random(0xB0B ^ (seed * 40_503))
+    return [
+        bytes(rng.randrange(256) for _ in range(layout.size))
+        for _ in range(n_rows)
+    ]
+
+
+# -------------------------------------------------------------------- #
+# the differential oracle
+# -------------------------------------------------------------------- #
+@dataclass
+class Divergence:
+    """One reproducible engine disagreement on a generated model."""
+
+    seed: int
+    optimize: bool
+    rows: List[bytes]
+    row_index: int
+    detail: str
+    compiled_out: Optional[tuple] = None
+    interp_out: Optional[tuple] = None
+    minimized: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+def _compare_once(
+    schedule, rows: List[bytes], optimize: bool, seed: int
+) -> Optional[Divergence]:
+    """Run both engines over ``rows``; first disagreement or ``None``."""
+    compiled = compile_model(schedule, "model", optimize=optimize)
+    program, prog_rec = compiled.instantiate()
+    program.init()
+    interp_rec = CoverageRecorder(schedule.branch_db)
+    instance = ModelInstance(schedule, recorder=interp_rec)
+    instance.init()
+    layout = schedule.layout
+    WATCHDOG.configure(_STEP_BUDGET)
+    try:
+        for idx, raw in enumerate(rows):
+            fields = layout.unpack_tuple(raw)
+            prog_rec.reset_curr()
+            interp_rec.reset_curr()
+            WATCHDOG.arm()
+            out_c = program.step(*fields)
+            WATCHDOG.arm()
+            out_i = tuple(instance.step(*fields))
+            if out_c != out_i:
+                return Divergence(
+                    seed, optimize, rows, idx, "outputs differ", out_c, out_i
+                )
+            if bytes(prog_rec.curr) != bytes(interp_rec.curr):
+                return Divergence(
+                    seed, optimize, rows, idx, "probe bytes differ", out_c, out_i
+                )
+            prog_rec.commit_curr()
+            interp_rec.commit_curr()
+        if prog_rec.mcdc_vectors != interp_rec.mcdc_vectors:
+            return Divergence(
+                seed, optimize, rows, len(rows) - 1, "mcdc vectors differ"
+            )
+    finally:
+        WATCHDOG.configure(None)
+    return None
+
+
+def run_differential(
+    seed: int, n_rows: int = 16, optimize: bool = True
+) -> Optional[Divergence]:
+    """The property under test: both engines agree on model ``seed``."""
+    schedule = convert(generate_model(seed))
+    rows = generate_rows(schedule.layout, seed, n_rows)
+    return _compare_once(schedule, rows, optimize, seed)
+
+
+# -------------------------------------------------------------------- #
+# divergence shrinking + artifact dump
+# -------------------------------------------------------------------- #
+def minimize_divergence(div: Divergence) -> Divergence:
+    """Shrink a divergence's input rows while it still reproduces.
+
+    Three deterministic passes: truncate after the divergent row, delete
+    earlier rows one at a time (state blocks may need a prefix, so each
+    deletion is re-validated), then zero out input bytes greedily.
+    """
+    schedule = convert(generate_model(div.seed))
+
+    def still_fails(rows: List[bytes]) -> Optional[Divergence]:
+        if not rows:
+            return None
+        return _compare_once(schedule, rows, div.optimize, div.seed)
+
+    best = div
+    rows = list(div.rows[: div.row_index + 1])  # truncation pass
+    got = still_fails(rows)
+    if got is not None:
+        best, rows = got, list(rows)
+    idx = 0
+    while idx < len(rows):  # deletion pass
+        trial = rows[:idx] + rows[idx + 1 :]
+        got = still_fails(trial)
+        if got is not None:
+            best, rows = got, trial
+        else:
+            idx += 1
+    for r, raw in enumerate(list(rows)):  # byte-zeroing pass
+        for i in range(len(raw)):
+            if raw[i] == 0:
+                continue
+            trial_raw = raw[:i] + b"\x00" + raw[i + 1 :]
+            trial = list(rows)
+            trial[r] = trial_raw
+            got = still_fails(trial)
+            if got is not None:
+                best, rows, raw = got, trial, trial_raw
+    best.minimized = True
+    return best
+
+
+def dump_divergence(div: Divergence, out_dir: str) -> str:
+    """Persist one divergence as a JSON repro artifact; returns the path."""
+    from repro.codegen.cache import canonical_model_form
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(
+        out_dir,
+        "divergence-seed%d-opt%d.json" % (div.seed, int(div.optimize)),
+    )
+    payload = {
+        "seed": div.seed,
+        "optimize": div.optimize,
+        "detail": div.detail,
+        "row_index": div.row_index,
+        "rows_hex": [r.hex() for r in div.rows],
+        "compiled_out": list(div.compiled_out) if div.compiled_out else None,
+        "interp_out": list(div.interp_out) if div.interp_out else None,
+        "minimized": div.minimized,
+        "model": canonical_model_form(generate_model(div.seed)),
+        "repro": "PYTHONPATH=src python tests/modelgen.py --seed %d%s"
+        % (div.seed, "" if div.optimize else " --no-optimize"),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
+# -------------------------------------------------------------------- #
+# CLI (the CI differential job)
+# -------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", type=int, default=200)
+    parser.add_argument("--rows", type=int, default=16)
+    parser.add_argument("--seed", type=int, help="check one seed only")
+    parser.add_argument("--no-optimize", action="store_true")
+    parser.add_argument("--out", default="diff-artifacts")
+    args = parser.parse_args(argv)
+
+    seeds = [args.seed] if args.seed is not None else list(range(args.models))
+    modes = [not args.no_optimize] if args.seed is not None else [True, False]
+    failures = 0
+    for seed in seeds:
+        for optimize in modes:
+            div = run_differential(seed, n_rows=args.rows, optimize=optimize)
+            if div is None:
+                continue
+            failures += 1
+            div = minimize_divergence(div)
+            path = dump_divergence(div, args.out)
+            print(
+                "DIVERGENCE seed=%d optimize=%s row=%d (%s) -> %s"
+                % (seed, optimize, div.row_index, div.detail, path)
+            )
+    checked = len(seeds) * len(modes)
+    print(
+        "differential: %d model/mode checks, %d divergences"
+        % (checked, failures)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
