@@ -64,6 +64,7 @@ def _cmd_fuzz(args) -> int:
                 sync_rounds=args.sync_rounds,
                 max_exec_steps=args.max_exec_steps,
                 crash_dir=args.crash_dir,
+                lanes=args.lanes,
             )
             result = run_campaign(schedule, config)
     finally:
@@ -292,6 +293,15 @@ def main(argv=None) -> int:
         dest="crash_dir",
         metavar="DIR",
         help="persist deduplicated crash/timeout artifacts into DIR",
+    )
+    p.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="batched lane-parallel execution: step N inputs in lockstep "
+        "through vectorized generated code (needs numpy, max 64; "
+        "default 1 = the scalar engine)",
     )
     p.add_argument("--out", help="directory for the generated suite")
     p.add_argument(

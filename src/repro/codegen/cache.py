@@ -60,7 +60,7 @@ __all__ = [
 #: Bump on ANY change to code generation, optimization or the runtime
 #: helpers: the constant is folded into every cache key, so stale disk
 #: entries from older generators can never be loaded.
-CODEGEN_VERSION = "2"
+CODEGEN_VERSION = "3"
 
 _MEMORY_SLOTS = 32
 
@@ -129,8 +129,8 @@ def canonical_model_form(model) -> str:
     return "".join(out)
 
 
-def cache_key(model, level: str, optimize: bool) -> str:
-    """SHA-256 key for one (model, level, optimize, generator) variant.
+def cache_key(model, level: str, optimize: bool, batch: bool = False) -> str:
+    """SHA-256 key for one (model, level, optimize, batch, generator) variant.
 
     Raises :class:`Uncacheable` for models whose parameters cannot be
     serialized deterministically.
@@ -140,6 +140,7 @@ def cache_key(model, level: str, optimize: bool) -> str:
             canonical_model_form(model),
             "level=%s" % level,
             "optimize=%d" % bool(optimize),
+            "batch=%d" % bool(batch),
             "codegen=%s" % CODEGEN_VERSION,
         )
     )

@@ -34,7 +34,7 @@ import struct
 from typing import Callable
 
 from ..bits import popcount
-from ..faults.watchdog import WATCHDOG
+from ..faults.watchdog import WATCHDOG, WatchdogTimeout
 from ..schedule.schedule import Schedule
 
 __all__ = ["generate_fuzz_driver", "compile_fuzz_driver"]
@@ -69,71 +69,77 @@ def generate_fuzz_driver(schedule: Schedule, fast: bool = True) -> str:
     ]
     if fast:
         lines.append("    last_bytes = _ZEROS")
-    lines.extend(
-        [
-            "    found_new = False",
-            "    step = program.step",
-            "    i = 0",
-            "    while True:",
-            "        # the loop that splits one test case into iteration tuples",
-            "        if (i + 1) * data_len > size:",
-            "            break  # not enough data left: discard the remainder",
-            "        cov[:] = _ZEROS",
-        ]
-    )
+    loop = [
+        "found_new = False",
+        "step = program.step",
+        "i = 0",
+        "while True:",
+        "    # the loop that splits one test case into iteration tuples",
+        "    if (i + 1) * data_len > size:",
+        "        break  # not enough data left: discard the remainder",
+        "    cov[:] = _ZEROS",
+    ]
     if n_fields == 1:
-        lines.append("        %s, = _unpack(data, i * data_len)" % field_vars[0])
+        loop.append("    %s, = _unpack(data, i * data_len)" % field_vars[0])
     else:
-        lines.append(
-            "        %s = _unpack(data, i * data_len)" % ", ".join(field_vars)
-        )
+        loop.append("    %s = _unpack(data, i * data_len)" % ", ".join(field_vars))
     for field, var in zip(layout.fields, field_vars):
         if field.dtype.is_bool:
-            lines.append("        %s = 1 if %s else 0" % (var, var))
+            loop.append("    %s = 1 if %s else 0" % (var, var))
         elif field.dtype.is_float:
-            lines.append("        if %s != %s:" % (var, var))
-            lines.append("            %s = 0.0  # NaN input clamp" % var)
-    lines.append("        step(%s)  # model iteration" % ", ".join(field_vars))
+            loop.append("    if %s != %s:" % (var, var))
+            loop.append("        %s = 0.0  # NaN input clamp" % var)
+    loop.append("    step(%s)  # model iteration" % ", ".join(field_vars))
     if fast:
-        lines.extend(
+        loop.extend(
             [
-                "        i += 1",
-                "        if cov == last_bytes:",
-                "            # probe bytes identical to the previous iteration:",
-                "            # diff and new_bits are both provably zero, skip",
-                "            # the int conversion entirely (memcmp-only path)",
-                "            continue",
-                "        last_bytes = bytes(cov)",
-                '        cur_int = int.from_bytes(cov, "little")',
-                "        new_bits = cur_int & ~total_int",
-                "        if new_bits:",
-                "            found_new = True  # output this input as a test case",
-                "            total_int |= cur_int",
-                "        diff = cur_int ^ last_int",
-                "        if diff:",
-                "            # iteration difference coverage accumulation",
-                "            metric += _popcount(diff)",
-                "        last_int = cur_int",
+                "    i += 1",
+                "    if cov == last_bytes:",
+                "        # probe bytes identical to the previous iteration:",
+                "        # diff and new_bits are both provably zero, skip",
+                "        # the int conversion entirely (memcmp-only path)",
+                "        continue",
+                "    last_bytes = bytes(cov)",
+                '    cur_int = int.from_bytes(cov, "little")',
+                "    new_bits = cur_int & ~total_int",
+                "    if new_bits:",
+                "        found_new = True  # output this input as a test case",
+                "        total_int |= cur_int",
+                "    diff = cur_int ^ last_int",
+                "    if diff:",
+                "        # iteration difference coverage accumulation",
+                "        metric += _popcount(diff)",
+                "    last_int = cur_int",
             ]
         )
     else:
-        lines.extend(
+        loop.extend(
             [
-                '        cur_int = int.from_bytes(cov, "little")',
-                "        new_bits = cur_int & ~total_int",
-                "        if new_bits:",
-                "            found_new = True  # output this input as a test case",
-                "            total_int |= cur_int",
-                "        diff = cur_int ^ last_int",
-                "        if diff:",
-                "            # iteration difference coverage accumulation",
-                '            metric += bin(diff).count("1")',
-                "        last_int = cur_int",
-                "        i += 1",
+                '    cur_int = int.from_bytes(cov, "little")',
+                "    new_bits = cur_int & ~total_int",
+                "    if new_bits:",
+                "        found_new = True  # output this input as a test case",
+                "        total_int |= cur_int",
+                "    diff = cur_int ^ last_int",
+                "    if diff:",
+                "        # iteration difference coverage accumulation",
+                '        metric += bin(diff).count("1")',
+                "    last_int = cur_int",
+                "    i += 1",
             ]
         )
+    # the loop runs under a watchdog: on timeout, probes hit before the
+    # abort must not be discarded, so the exception carries the folded
+    # bitmap (total seen so far | the aborted iteration's partial probes)
+    # and the completed-iteration count for the engine to account
+    lines.append("    try:")
+    lines.extend("        " + line for line in loop)
     lines.extend(
         [
+            "    except _WDT as exc:",
+            '        exc.partial_total_int = total_int | int.from_bytes(cov, "little")',
+            "        exc.iterations = i",
+            "        raise",
             "    return metric, found_new, total_int, i",
             "",
         ]
@@ -151,6 +157,7 @@ def compile_fuzz_driver(schedule: Schedule, fast: bool = True) -> Callable:
         "_ZEROS": bytes(schedule.branch_db.n_probes),
         "_popcount": popcount,
         "_wd_arm": WATCHDOG.arm,
+        "_WDT": WatchdogTimeout,
     }
     exec(compile(source, "<fuzz driver:%s>" % schedule.model.name, "exec"), env)
     return env["fuzz_test_one_input"]

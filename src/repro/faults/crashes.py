@@ -68,13 +68,16 @@ class CrashArtifact:
     frames: List[str] = field(default_factory=list)
     found_at: float = 0.0
     count: int = 1
+    #: campaign-wide covered-probe count when the failure was recorded —
+    #: documents that a watchdog abort did not discard pre-abort coverage
+    probes_covered: Optional[int] = None
 
     @property
     def name(self) -> str:
         return "%s-%s" % (self.kind, self.hash)
 
     def meta(self) -> Dict:
-        return {
+        meta = {
             "kind": self.kind,
             "hash": self.hash,
             "message": self.message,
@@ -83,6 +86,9 @@ class CrashArtifact:
             "count": self.count,
             "size": len(self.data),
         }
+        if self.probes_covered is not None:
+            meta["probes_covered"] = self.probes_covered
+        return meta
 
 
 class CrashStore:
@@ -101,18 +107,23 @@ class CrashStore:
         data: bytes,
         exc: BaseException,
         found_at: float = 0.0,
+        probes_covered: Optional[int] = None,
     ) -> CrashArtifact:
         """Record one failure; returns its (possibly pre-existing) artifact.
 
         A repeat of a known stack hash only bumps the duplicate count —
         the first-seen input is the canonical reproducer, matching
-        LibFuzzer's keep-the-first behavior.
+        LibFuzzer's keep-the-first behavior.  ``probes_covered`` (the
+        campaign coverage at record time) tracks the latest duplicate, so
+        the persisted metadata shows coverage kept advancing past the hang.
         """
         digest = stack_hash(exc)
         key = "%s-%s" % (kind, digest)
         artifact = self.artifacts.get(key)
         if artifact is not None:
             artifact.count += 1
+            if probes_covered is not None:
+                artifact.probes_covered = probes_covered
             self._persist_meta(artifact)
             return artifact
         frames = [
@@ -126,6 +137,7 @@ class CrashStore:
             message=str(exc),
             frames=frames,
             found_at=found_at,
+            probes_covered=probes_covered,
         )
         self.artifacts[key] = artifact
         self._persist(artifact)
@@ -191,6 +203,7 @@ class CrashStore:
                 frames=list(meta.get("frames", ())),
                 found_at=float(meta.get("found_at", 0.0)),
                 count=int(meta.get("count", 1)),
+                probes_covered=meta.get("probes_covered"),
             )
             store.artifacts[artifact.name] = artifact
         return store

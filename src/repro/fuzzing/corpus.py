@@ -52,22 +52,30 @@ class Corpus:
     def __len__(self) -> int:
         return len(self.entries)
 
+    @staticmethod
+    def _strength(entry: CorpusEntry):
+        return (entry.found_new, entry.metric, -entry.selections)
+
     def add(self, entry: CorpusEntry) -> Optional[CorpusEntry]:
         """Admit an entry, evicting the weakest seed when full.
 
         New-coverage finders are never evicted before metric-only entries;
-        within a class, lowest metric goes first.  Returns the evicted
-        entry (or ``None``) so callers can attribute evictions — the
-        telemetry layer turns it into a ``corpus_evict`` trace event.
+        within a class, lowest metric goes first.  An entry strictly weaker
+        than everything resident is *rejected up front* rather than added
+        and immediately evicted — it was never selectable, so admitting it
+        would emit a bogus ``corpus_add``/``corpus_evict`` telemetry pair
+        and corrupt discovery ranks.  Returns the displaced entry: ``None``
+        (admitted, nobody evicted), a resident entry (admitted, weakest
+        resident evicted), or ``entry`` itself (rejected).
         """
-        self.entries.append(entry)
-        if len(self.entries) > self.max_entries:
-            victim = min(
-                (e for e in self.entries),
-                key=lambda e: (e.found_new, e.metric, -e.selections),
-            )
+        if len(self.entries) >= self.max_entries:
+            victim = min(self.entries, key=self._strength)
+            if self._strength(entry) < self._strength(victim):
+                return entry  # rejected: weaker than every resident seed
             self.entries.remove(victim)
+            self.entries.append(entry)
             return victim
+        self.entries.append(entry)
         return None
 
     def select(self, rng, bump: bool = True) -> Optional[CorpusEntry]:

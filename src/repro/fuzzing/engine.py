@@ -87,6 +87,13 @@ class FuzzerConfig:
     worker_timeout: float = 30.0
     #: parallel supervision: respawn budget per worker slot per campaign
     max_respawns: int = 3
+    #: lane-parallel batched execution: step this many inputs in lockstep
+    #: through the vectorized generated code (needs numpy; max 64).  The
+    #: default of 1 keeps the scalar engine — byte-identical suites with
+    #: zero new dependencies; >1 trades per-input sequencing granularity
+    #: for SIMD throughput (suites may differ from the scalar engine only
+    #: in corpus-scheduling order, never in per-input semantics)
+    lanes: int = 1
 
 
 @dataclass
@@ -186,10 +193,45 @@ class Fuzzer:
             self._replay_compiled = replay_compiled
             with tel.phase("compile"):
                 self.driver = compile_fuzz_driver(schedule)
+        #: batched execution artifacts — populated by :meth:`_setup_batch`
+        #: when ``config.lanes > 1`` (scalar stays the authoritative path)
+        self._batch_compiled: Optional[CompiledModel] = None
+        self._batch_driver = None
+        self._batch_lanes = 1
+        if self.config.lanes != 1:
+            self._setup_batch(self.config.lanes)
         self.layout = schedule.layout
         #: timeout/crash artifacts found by this fuzzer (disk-backed when
         #: ``config.crash_dir`` is set, in-memory otherwise)
         self.crash_store = CrashStore(self.config.crash_dir)
+
+    def _setup_batch(self, lanes: int) -> None:
+        """Compile the lane-parallel variant and its batched fuzz driver.
+
+        Called from ``__init__`` for ``config.lanes > 1``; tests call it
+        directly with ``lanes=1`` to prove the batched path reproduces the
+        scalar engine's suites byte-for-byte.
+        """
+        from ..codegen import batch as _batch
+
+        if not 1 <= lanes <= _batch.MAX_LANES:
+            raise FuzzingError(
+                "config.lanes must be in 1..%d, got %r"
+                % (_batch.MAX_LANES, lanes)
+            )
+        if not _batch.have_numpy():
+            raise FuzzingError(
+                "config.lanes > 1 requires numpy for the vectorized engine"
+            )
+        with telemetry_scope(self.telemetry):
+            self._batch_compiled = compile_model(
+                self.schedule, self.config.level, batch=True
+            )
+            with self.telemetry.phase("compile"):
+                self._batch_driver = _batch.compile_batch_fuzz_driver(
+                    self.schedule
+                )
+        self._batch_lanes = lanes
 
     def replay_compiled(self) -> CompiledModel:
         """The cached model-level artifact used for suite replay.
@@ -269,7 +311,12 @@ class Fuzzer:
         suite = state.suite
         timeline = state.timeline
         recorder = CoverageRecorder(self.schedule.branch_db)
-        program, _ = self.compiled.instantiate(recorder)
+        bdriver = self._batch_driver
+        lanes = self._batch_lanes if bdriver is not None else 1
+        if bdriver is None:
+            program, _ = self.compiled.instantiate(recorder)
+        else:
+            bprogram, brecorder = self._batch_compiled.instantiate_batch(lanes)
         driver = self.driver
         crash_store = self.crash_store
         # the generated driver re-arms the budget per input (_wd_arm);
@@ -374,6 +421,76 @@ class Fuzzer:
                     len(corpus),
                 )
 
+        def absorb_timeout(data: bytes, total_after: int, iters, exc) -> None:
+            """Account one watchdog-aborted input (scalar or batched lane).
+
+            Probes the input covered *before* the abort are real coverage:
+            they are folded into the campaign bitmap instead of being
+            discarded with the exception.  The input itself is never
+            emitted as a test case — replay has no watchdog, so a hanging
+            stream must stay quarantined in the crash store.
+            """
+            now = offset + time.perf_counter() - start
+            grew = total_after != state.total_int
+            state.total_int = total_after
+            state.inputs_executed += 1
+            state.iterations_executed += iters
+            state.timeouts += 1
+            if grew:
+                timeline.append((now, popcount(total_after)))
+            artifact = crash_store.record(
+                "timeout",
+                data,
+                exc,
+                found_at=now,
+                probes_covered=popcount(total_after),
+            )
+            if tel_on:
+                tel.emit(
+                    "crash_artifact",
+                    t=round(now, 6),
+                    kind=artifact.kind,
+                    hash=artifact.hash,
+                    count=artifact.count,
+                    size=len(data),
+                )
+
+        def absorb(
+            data: bytes, parent_density: float, ops, metric, found_new,
+            total_int, iters,
+        ) -> None:
+            state.total_int = total_int
+            state.inputs_executed += 1
+            state.iterations_executed += iters
+            now = offset + time.perf_counter() - start
+            added = False
+            evicted = None
+            entry = None
+            if found_new:
+                suite.add(TestCase(data, now))
+                timeline.append((now, popcount(total_int)))
+                entry = CorpusEntry(data, metric, True, now, iterations=iters)
+            elif config.use_iteration_metric and iters:
+                # zero-iteration inputs (shorter than one tuple) executed
+                # nothing: their metric is vacuously 0 and admitting them
+                # hands the corpus dead weight that mutates into more of
+                # the same, so they are never admission candidates
+                density = metric / (iters + 1.0)
+                if density > parent_density:
+                    entry = CorpusEntry(data, metric, False, now, iterations=iters)
+            if entry is not None:
+                displaced = corpus.add(entry)
+                if displaced is not entry:
+                    added = True
+                    evicted = displaced
+                # else: rejected up front — weaker than every resident, so
+                # no corpus_add/corpus_evict pair and no rank consumed
+            if tel_on:
+                if ops:
+                    ops_log.extend(ops)
+                if found_new or added or evicted is not None or now >= next_tick:
+                    observe(found_new, added, evicted, now, ops)
+
         def run_one(data: bytes, parent_density: float, ops=None) -> None:
             try:
                 metric, found_new, total_int, iters = driver(
@@ -384,50 +501,58 @@ class Fuzzer:
                 # deduplicated artifact and keep fuzzing — the next input
                 # resets the program and re-arms the budget
                 WATCHDOG.disarm()
-                now = offset + time.perf_counter() - start
-                state.inputs_executed += 1
-                state.timeouts += 1
-                artifact = crash_store.record("timeout", data, exc, found_at=now)
-                if tel_on:
-                    tel.emit(
-                        "crash_artifact",
-                        t=round(now, 6),
-                        kind=artifact.kind,
-                        hash=artifact.hash,
-                        count=artifact.count,
-                        size=len(data),
-                    )
-                return
-            state.total_int = total_int
-            state.inputs_executed += 1
-            state.iterations_executed += iters
-            now = offset + time.perf_counter() - start
-            added = False
-            evicted = None
-            if found_new:
-                suite.add(TestCase(data, now))
-                timeline.append((now, popcount(total_int)))
-                evicted = corpus.add(
-                    CorpusEntry(data, metric, True, now, iterations=iters)
+                absorb_timeout(
+                    data,
+                    getattr(exc, "partial_total_int", state.total_int),
+                    getattr(exc, "iterations", 0),
+                    exc,
                 )
-                added = True
-            elif config.use_iteration_metric:
-                density = metric / (iters + 1.0)
-                if density > parent_density:
-                    evicted = corpus.add(
-                        CorpusEntry(data, metric, False, now, iterations=iters)
+                return
+            absorb(data, parent_density, ops, metric, found_new, total_int, iters)
+
+        def run_batch(items) -> None:
+            """Execute ≤ ``lanes`` inputs in lockstep and absorb each lane.
+
+            ``items`` is a list of ``(data, parent_density, ops)``.  The
+            batched driver threads ``total_int`` through the lanes in list
+            order, so absorption below reproduces the sequential scalar
+            accounting input for input.
+            """
+            results = bdriver(
+                bprogram, brecorder.curr, [it[0] for it in items],
+                state.total_int,
+            )
+            for (data, parent_density, ops), res in zip(items, results):
+                metric, found_new, total_int, iters, texc = res
+                if texc is not None:
+                    absorb_timeout(data, total_int, iters, texc)
+                else:
+                    absorb(
+                        data, parent_density, ops, metric, found_new,
+                        total_int, iters,
                     )
-                    added = True
-            if tel_on:
-                if ops:
-                    ops_log.extend(ops)
-                if found_new or added or evicted is not None or now >= next_tick:
-                    observe(found_new, added, evicted, now, ops)
+
+        pending: List = []  # batched mode: inputs awaiting a lockstep flush
+
+        def submit(data: bytes, parent_density: float, ops=None) -> None:
+            """Run one input — immediately (scalar) or via the lane queue."""
+            if bdriver is None:
+                run_one(data, parent_density, ops)
+                return
+            pending.append((data, parent_density, ops))
+            if len(pending) >= lanes:
+                run_batch(pending)
+                del pending[:]
+
+        def flush_pending() -> None:
+            if pending:
+                run_batch(pending)
+                del pending[:]
 
         def exhausted() -> bool:
             if time.perf_counter() >= deadline:
                 return True
-            if cap is not None and state.inputs_executed >= cap:
+            if cap is not None and state.inputs_executed + len(pending) >= cap:
                 return True
             if config.stop_on_full_coverage and full and state.total_int == full:
                 return True
@@ -438,7 +563,8 @@ class Fuzzer:
             for seed_data in self._seed_inputs(rng):
                 if exhausted():
                     break
-                run_one(seed_data, -1.0)
+                submit(seed_data, -1.0)
+            flush_pending()
             if tel_on:
                 tel.emit(
                     "seed_phase",
@@ -448,7 +574,8 @@ class Fuzzer:
         for seed_data in extra_seeds or ():
             if exhausted():
                 break
-            run_one(seed_data, -1.0)
+            submit(seed_data, -1.0)
+        flush_pending()
         seed_done = time.perf_counter()
         tel.add_phase("seed", seed_done - start)
 
@@ -486,7 +613,8 @@ class Fuzzer:
                         ops_out=ops,
                     )
                 parent_density = parent.density
-            run_one(data, parent_density, ops)
+            submit(data, parent_density, ops)
+        flush_pending()
 
         tel.add_phase("mutate_exec", time.perf_counter() - seed_done)
         WATCHDOG.disarm()

@@ -158,6 +158,7 @@ def change_binary_float(data: bytes, layout: TupleLayout, rng) -> bytes:
         try:
             value = struct.unpack_from(fmt, buf, base)[0]
         except struct.error:  # pragma: no cover - defensive
+            _clamp_field_in_place(buf, base, field)
             return bytes(buf)
         if value != value or value in (float("inf"), float("-inf")):
             value = 1.0

@@ -42,6 +42,11 @@ class InportField:
         if self.vrange is None:
             return value
         low, high = self.vrange
+        if value != value:
+            # NaN satisfies neither comparison below and would escape a
+            # declared range entirely (float bit-flip mutations produce
+            # NaN payloads routinely); pin it to the range floor instead
+            return low
         if value < low:
             return low
         if value > high:

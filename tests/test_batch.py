@@ -1,0 +1,322 @@
+"""The batched lane-parallel execution engine (``repro.codegen.batch``).
+
+The vectorized variant steps up to :data:`MAX_LANES` test cases in
+lockstep over numpy arrays; the scalar engine stays authoritative.  The
+tests here pin the contract down from four sides:
+
+* **lane parity** — every lane of one batched program reproduces the
+  scalar program step for step (outputs and probe bytes);
+* **driver parity** — the batched fuzz driver returns the exact
+  ``(metric, found_new, total_int, iterations)`` tuples the scalar
+  driver produces on the same streams in the same order, including
+  empty, short and ragged inputs;
+* **golden identity** — a ``Fuzzer`` routed through the batched path at
+  ``lanes=1`` reproduces the pre-batch engine's golden suite digests
+  byte for byte, and multi-lane runs are deterministic;
+* **per-lane watchdog** — a hanging lane is aborted alone, its pre-abort
+  coverage folds into the campaign bitmap, and the surviving lanes'
+  results are untouched.
+"""
+
+import hashlib
+import random
+import struct
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro import CoverageRecorder, ModelBuilder, compile_model, convert
+from repro.codegen import batch as batch_mod
+from repro.codegen.batch import MAX_LANES, _lv, compile_batch_fuzz_driver
+from repro.codegen.cache import cache_key
+from repro.codegen.compile import CodegenError
+from repro.codegen.driver import compile_fuzz_driver
+from repro.errors import FuzzingError, WatchdogTimeout
+from repro.faults.crashes import CrashStore
+from repro.faults.watchdog import WATCHDOG
+from repro.fuzzing import Fuzzer, FuzzerConfig
+
+from conftest import demo_model
+
+
+@pytest.fixture(autouse=True)
+def _clean_watchdog():
+    WATCHDOG.configure(None)
+    yield
+    WATCHDOG.configure(None)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return convert(demo_model())
+
+
+def hang_model():
+    """A model whose MATLAB-function block loops forever when u > 100.
+
+    Unlike the minimal hang model in ``test_faults.py``, the branch ahead
+    of the loop gives the model coverage probes, so a hanging input has
+    pre-abort probe progress for the watchdog machinery to fold."""
+    b = ModelBuilder("hang")
+    u = b.inport("u", "int16")
+    y = b.block(
+        "MatlabFunction",
+        "f",
+        inputs=["u"],
+        outputs=[("y", "int32")],
+        body=(
+            "acc = 0\n"
+            "if u > 50\n"
+            " acc = 1\n"
+            "end\n"
+            "while u > 100\n"
+            "  acc = acc + 1\n"
+            "end\n"
+            "y = acc + u"
+        ),
+        locals={"acc": ("int32", 0)},
+    )(u)
+    b.outport("y", y)
+    return b.build()
+
+
+def _suite_digest(suite) -> str:
+    h = hashlib.sha256()
+    for case in suite:
+        h.update(len(case.data).to_bytes(4, "little"))
+        h.update(case.data)
+    return h.hexdigest()
+
+
+def _random_stream(layout, seed: int, n_bytes: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n_bytes))
+
+
+# -------------------------------------------------------------------- #
+# lane parity: one batched program vs N scalar programs
+# -------------------------------------------------------------------- #
+class TestLaneParity:
+    def test_every_lane_matches_scalar_stepwise(self, schedule):
+        """Outputs and per-step probe bytes agree lane by lane."""
+        lanes, n_steps = 8, 24
+        layout = schedule.layout
+        streams = [
+            [
+                layout.unpack_tuple(
+                    _random_stream(layout, 31 * l + t, layout.size)
+                )
+                for t in range(n_steps)
+            ]
+            for l in range(lanes)
+        ]
+
+        compiled = compile_model(schedule, "model")
+        expected = []
+        for rows in streams:
+            rec = CoverageRecorder(schedule.branch_db)
+            program, _ = compiled.instantiate(rec)
+            program.init()
+            outs, probes = [], []
+            for row in rows:
+                rec.reset_curr()
+                outs.append(tuple(program.step(*row)))
+                probes.append(bytes(rec.curr))
+                rec.commit_curr()
+            expected.append((outs, probes))
+
+        bcompiled = compile_model(schedule, "model", batch=True)
+        bprogram, brec = bcompiled.instantiate_batch(lanes)
+        fields = list(layout.fields)
+        act = np.ones(lanes, dtype=bool)
+        for t in range(n_steps):
+            vals = [
+                np.array(
+                    [streams[l][t][fi] for l in range(lanes)],
+                    dtype=np.float64 if f.dtype.is_float else np.int64,
+                )
+                for fi, f in enumerate(fields)
+            ]
+            brec.reset_curr()
+            outs = bprogram.step(act, *vals)
+            for l in range(lanes):
+                exp_outs, exp_probes = expected[l]
+                assert tuple(_lv(o, l) for o in outs) == exp_outs[t]
+                assert brec.lane_bytes(l) == exp_probes[t]
+
+    def test_driver_matches_scalar_on_ragged_batch(self, schedule):
+        """Same tuples, same order ⇒ same per-input driver results —
+        including an empty stream and one shorter than a single tuple."""
+        layout = schedule.layout
+        streams = [
+            _random_stream(layout, 1, layout.size * 12),
+            b"",  # zero iterations
+            _random_stream(layout, 2, layout.size - 1),  # still zero
+            _random_stream(layout, 3, layout.size * 3 + 2),  # partial tail
+            _random_stream(layout, 4, layout.size * 20),
+        ]
+
+        sdriver = compile_fuzz_driver(schedule)
+        rec = CoverageRecorder(schedule.branch_db)
+        program, _ = compile_model(schedule, "model").instantiate(rec)
+        expected, total = [], 0
+        for data in streams:
+            metric, found, total, iters = sdriver(program, rec.curr, data, total)
+            expected.append((metric, found, total, iters))
+
+        bdriver = compile_batch_fuzz_driver(schedule)
+        bprogram, brec = compile_model(
+            schedule, "model", batch=True
+        ).instantiate_batch(len(streams))
+        results = bdriver(bprogram, brec.curr, streams, 0)
+        assert [r[:4] for r in results] == expected
+        assert all(r[4] is None for r in results)
+
+    def test_empty_batch_is_a_noop(self, schedule):
+        bdriver = compile_batch_fuzz_driver(schedule)
+        bprogram, brec = compile_model(
+            schedule, "model", batch=True
+        ).instantiate_batch(4)
+        assert bdriver(bprogram, brec.curr, [], 0) == []
+
+
+# -------------------------------------------------------------------- #
+# golden identity: the batched path is campaign-invisible at lanes=1
+# -------------------------------------------------------------------- #
+class TestGoldenIdentity:
+    # recorded from the pre-refactor scalar engine (tests/test_parallel.py)
+    GOLDEN = {
+        (7, 300): "d57e769cfaaf75bbf97227e145d20a962186f926327b319c88bba2c5004feab5",
+        (11, 200): "2e70e64317cd91fd173641f5b557d4ed3c47cf94b7e2dadeb05b754bd0ba9a7b",
+    }
+
+    @pytest.mark.parametrize("seed,max_inputs", sorted(GOLDEN))
+    def test_lanes1_reproduces_golden_suites(self, schedule, seed, max_inputs):
+        """Routing every input through the vectorized engine at lanes=1
+        reproduces the scalar engine's suites byte for byte."""
+        config = FuzzerConfig(max_seconds=600.0, max_inputs=max_inputs, seed=seed)
+        fuzzer = Fuzzer(schedule, config)
+        fuzzer._setup_batch(1)  # batched path, scalar semantics
+        result = fuzzer.run()
+        assert result.inputs_executed == max_inputs
+        assert _suite_digest(result.suite) == self.GOLDEN[(seed, max_inputs)]
+
+    def test_multi_lane_run_is_deterministic(self, schedule):
+        def run():
+            config = FuzzerConfig(
+                max_seconds=600.0, max_inputs=200, seed=11, lanes=4
+            )
+            return Fuzzer(schedule, config).run()
+
+        a, b = run(), run()
+        assert a.inputs_executed == b.inputs_executed == 200
+        assert _suite_digest(a.suite) == _suite_digest(b.suite)
+        assert a.report.as_dict() == b.report.as_dict()
+
+
+# -------------------------------------------------------------------- #
+# per-lane watchdog: one hanging lane never poisons the batch
+# -------------------------------------------------------------------- #
+class TestPerLaneWatchdog:
+    def _streams(self, layout):
+        benign = layout.pack_stream([(5,)] * 6)
+        hanging = layout.pack_stream([(5,), (5,), (200,), (5,), (5,), (5,)])
+        return [benign, hanging, benign]
+
+    def test_hanging_lane_aborts_alone_and_matches_scalar(self):
+        schedule = convert(hang_model())
+        streams = self._streams(schedule.layout)
+        WATCHDOG.configure(200)
+
+        sdriver = compile_fuzz_driver(schedule)
+        rec = CoverageRecorder(schedule.branch_db)
+        program, _ = compile_model(schedule, "model").instantiate(rec)
+        expected, total = [], 0
+        for data in streams:
+            try:
+                metric, found, total, iters = sdriver(
+                    program, rec.curr, data, total
+                )
+                expected.append((metric, found, total, iters, None))
+            except WatchdogTimeout as exc:
+                WATCHDOG.disarm()
+                total = exc.partial_total_int
+                expected.append((exc.partial_total_int, exc.iterations))
+
+        bdriver = compile_batch_fuzz_driver(schedule)
+        bprogram, brec = compile_model(
+            schedule, "model", batch=True
+        ).instantiate_batch(3)
+        results = bdriver(bprogram, brec.curr, streams, 0)
+
+        # benign lanes: full parity with the scalar driver
+        assert results[0][:4] == expected[0][:4]
+        assert results[2][:4] == expected[2][:4]
+        assert results[0][4] is None and results[2][4] is None
+        # hanging lane: aborted with the scalar abort point and the
+        # scalar pre-abort coverage fold
+        _, _, t1, i1, e1 = results[1]
+        assert isinstance(e1, WatchdogTimeout)
+        assert (t1, i1) == expected[1]
+        assert i1 == 2  # hung inside the third tuple
+        assert t1 != 0  # probes covered before the abort still count
+
+    def test_fuzzer_with_lanes_records_timeout_artifacts(self, tmp_path):
+        crash_dir = str(tmp_path / "crashes")
+        schedule = convert(hang_model())
+        config = FuzzerConfig(
+            max_seconds=600.0,
+            max_inputs=120,
+            seed=3,
+            max_exec_steps=200,
+            crash_dir=crash_dir,
+            lanes=4,
+            stop_on_full_coverage=False,
+        )
+        result = Fuzzer(schedule, config).run()
+        assert result.timeouts > 0
+        assert result.inputs_executed == 120  # the campaign kept going
+        store = CrashStore.load(crash_dir)
+        assert len(store) >= 1
+        for artifact in store.artifacts.values():
+            assert artifact.kind == "timeout"
+            # pre-abort probe progress was folded, not discarded
+            assert artifact.meta()["probes_covered"] > 0
+        assert WATCHDOG.remaining is None  # no armed budget leaks out
+
+
+# -------------------------------------------------------------------- #
+# compile cache + lane bounds
+# -------------------------------------------------------------------- #
+class TestBatchCompileCache:
+    def test_batch_variant_has_its_own_cache_slot(self, schedule):
+        scalar = cache_key(schedule.model, "model", True, batch=False)
+        batched = cache_key(schedule.model, "model", True, batch=True)
+        assert scalar != batched
+
+    def test_instantiate_mismatch_fails_loudly(self, schedule):
+        batched = compile_model(schedule, "model", batch=True)
+        assert batched.batch
+        with pytest.raises(CodegenError):
+            batched.instantiate()
+        scalar = compile_model(schedule, "model")
+        with pytest.raises(CodegenError):
+            scalar.instantiate_batch(4)
+
+
+class TestLaneBounds:
+    @pytest.mark.parametrize("lanes", [0, -1, MAX_LANES + 1])
+    def test_config_rejects_out_of_range_lanes(self, schedule, lanes):
+        with pytest.raises(FuzzingError):
+            Fuzzer(schedule, FuzzerConfig(lanes=lanes))
+
+    @pytest.mark.parametrize("lanes", [0, MAX_LANES + 1])
+    def test_instantiate_batch_rejects_out_of_range_lanes(self, schedule, lanes):
+        batched = compile_model(schedule, "model", batch=True)
+        with pytest.raises(ValueError):
+            batched.instantiate_batch(lanes)
+
+    def test_max_lanes_is_the_bitset_width(self):
+        assert MAX_LANES == 64  # one uint64 lane-bitset per probe
+        assert batch_mod.have_numpy()

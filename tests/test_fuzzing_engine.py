@@ -52,6 +52,23 @@ class TestCorpus:
         entry = self._entry(50, iters=9)
         assert entry.density == 5.0
 
+    def test_full_corpus_rejects_weaker_entry_up_front(self):
+        """An entry weaker than every resident is rejected, not admitted
+        and immediately evicted: no resident moves and the caller gets
+        the entry itself back to tell the two outcomes apart."""
+        corpus = Corpus(max_entries=2)
+        assert corpus.add(self._entry(100, data=b"a")) is None
+        assert corpus.add(self._entry(50, data=b"b")) is None
+        weak = self._entry(10, data=b"c")
+        assert corpus.add(weak) is weak
+        assert len(corpus) == 2
+        assert sorted(e.metric for e in corpus.entries) == [50, 100]
+        # an equal-strength entry still rotates in (not strictly weaker)
+        tied = self._entry(50, data=b"d")
+        displaced = corpus.add(tied)
+        assert displaced is not None and displaced.data == b"b"
+        assert tied in corpus.entries
+
 
 class TestSuitePersistence:
     def test_save_load_round_trip(self, tmp_path):
@@ -128,6 +145,20 @@ class TestFuzzerEngine:
         result = Fuzzer(schedule, FuzzerConfig(max_seconds=1.5, seed=3)).run()
         replayed = replay_suite(schedule, result.suite)
         assert replayed.as_dict() == result.report.as_dict()
+
+    def test_zero_iteration_inputs_never_enter_the_corpus(self, schedule):
+        """An input shorter than one tuple executes nothing: its metric is
+        vacuously 0, and it must not be admitted as a mutation seed even
+        against the seeds' sentinel parent density of -1.0."""
+        fuzzer = Fuzzer(
+            schedule, FuzzerConfig(max_seconds=60.0, max_inputs=250, seed=13)
+        )
+        state = fuzzer.new_state()
+        degenerate = [b"", b"\xff" * (schedule.layout.size - 1)]
+        fuzzer.resume(state, extra_seeds=degenerate)
+        assert state.inputs_executed == 250
+        assert all(e.iterations >= 1 for e in state.corpus.entries)
+        assert all(len(e.data) >= schedule.layout.size for e in state.corpus.entries)
 
     def test_stop_on_full_coverage(self):
         """A trivial model reaches 100% probes and stops early."""

@@ -206,3 +206,51 @@ class TestGenericMutations:
         data = bytes(100)
         for _ in range(50):
             assert len(mutate_generic(data, rng, rounds=4, max_len=120)) <= 120
+
+
+class TestRangeClamping:
+    """§5 validity: declared inport ranges survive every mutation,
+    including the NaN payloads float bit-flips produce routinely."""
+
+    def _level(self):
+        return InportField("Level", SINGLE, 0, vrange=(-2.5, 2.5))
+
+    def test_nan_pins_to_the_range_floor(self):
+        field = self._level()
+        assert field.clamp(float("nan")) == -2.5
+        assert field.clamp(float("inf")) == 2.5
+        assert field.clamp(float("-inf")) == -2.5
+
+    def test_unranged_field_is_identity(self):
+        field = InportField("Level", SINGLE, 0)
+        nan = field.clamp(float("nan"))
+        assert nan != nan  # untouched: no declared range to enforce
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=200, deadline=None)
+    def test_clamp_always_lands_inside_the_range(self, value):
+        clamped = self._level().clamp(value)
+        assert -2.5 <= clamped <= 2.5  # a NaN escape fails both
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_float_mutations_respect_declared_ranges(self, seed):
+        """change_binary_float flips sign/exponent/mantissa bits directly;
+        the post-mutation re-clamp must keep every field's *executed*
+        value (what ``DType.unpack`` hands the driver — NaN bytes read as
+        0.0) inside the declared range.  The range here excludes 0, so a
+        NaN payload that escaped re-clamping would be caught."""
+        level = SINGLE
+        layout = TupleLayout(
+            [
+                InportField("Enable", INT8, 0, vrange=(0, 1)),
+                InportField("Level", level, 1, vrange=(1.0, 2.0)),
+            ]
+        )
+        rng = random.Random(seed)
+        data = layout.pack_stream([(1, 1.5)] * 4)
+        for _ in range(25):
+            data = change_binary_float(data, layout, rng)
+            for t in range(len(data) // layout.size):
+                value = level.unpack(data, t * layout.size + 1)
+                assert 1.0 <= value <= 2.0
