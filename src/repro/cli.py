@@ -32,6 +32,21 @@ from .slx import load_container
 __all__ = ["main"]
 
 
+def _lanes_arg(text: str):
+    """``--lanes`` accepts a positive integer or the string ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        lanes = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer or 'auto', got %r" % text
+        )
+    if lanes < 1:
+        raise argparse.ArgumentTypeError("lane count must be >= 1")
+    return lanes
+
+
 def _load_schedule(target: str):
     """A benchmark name or a path to an ``.slxz`` container."""
     if target in model_names():
@@ -65,6 +80,7 @@ def _cmd_fuzz(args) -> int:
                 max_exec_steps=args.max_exec_steps,
                 crash_dir=args.crash_dir,
                 lanes=args.lanes,
+                kernel=args.kernel,
             )
             result = run_campaign(schedule, config)
     finally:
@@ -296,12 +312,22 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--lanes",
-        type=int,
+        type=_lanes_arg,
         default=1,
         metavar="N",
-        help="batched lane-parallel execution: step N inputs in lockstep "
-        "through vectorized generated code (needs numpy, max 64; "
-        "default 1 = the scalar engine)",
+        help="lane-parallel execution: step N inputs in lockstep through "
+        "the native kernel (max 256) or vectorized generated code "
+        "(needs numpy, max 64); 'auto' picks per model; default 1 = "
+        "the scalar engine",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="fused native kernel backend: 'auto' uses it whenever lanes>1 "
+        "and a C compiler is available, 'on' requests it even at one "
+        "lane, 'off' disables it; every fallback to the numpy or "
+        "scalar engine is reported via fault telemetry (default auto)",
     )
     p.add_argument("--out", help="directory for the generated suite")
     p.add_argument(

@@ -52,15 +52,24 @@ from .runtime import _WRAPPERS, runtime_globals
 
 __all__ = [
     "MAX_LANES",
+    "MAX_BITSET_LANES",
     "have_numpy",
     "vectorize_module",
+    "batch_op_census",
     "batch_runtime_globals",
     "BatchCoverageRecorder",
     "compile_batch_fuzz_driver",
 ]
 
-#: one uint64 bitset per probe caps the lane count
+#: one uint64 bitset per probe caps the *vectorized-codegen* lane count
+#: (the generated module's probe writes are single uint64 mask stores)
 MAX_LANES = 64
+
+#: the recorder scales past the codegen cap via multi-word uint64
+#: bitsets: lane ``l`` lives in word ``l // 64`` at ``_lane_bit(l % 64)``.
+#: Wide recorders back engines whose probe writes are not uint64 mask
+#: stores — the native kernel backend writes byte rows and folds them in.
+MAX_BITSET_LANES = 256
 
 
 def have_numpy() -> bool:
@@ -743,37 +752,68 @@ def _mcdc_lanes(hook):
 
 
 class BatchCoverageRecorder:
-    """Per-lane probe bitmaps: one uint64 lane-bitset per probe."""
+    """Per-lane probe bitmaps: uint64 lane-bitset word(s) per probe.
+
+    Up to :data:`MAX_LANES` lanes the bitmap is one word per probe —
+    ``curr`` has shape ``(n_probes,)``, the exact layout the vectorized
+    generated code's mask stores target, byte-identical to every earlier
+    release.  Beyond 64 lanes (kernel-backed engines, up to
+    :data:`MAX_BITSET_LANES`) ``curr`` grows a word axis to
+    ``(n_probes, words)``; lane ``l`` lives in word ``l // 64`` at bit
+    ``_lane_bit(l % 64)``, so the per-lane byte extraction — and with it
+    the sequential lane-order ``total_int`` fold — is bit-identical to
+    the single-word recorder for any lane index."""
 
     def __init__(self, branch_db, lanes: int, record_mcdc: bool = False):
         _require_numpy()
-        if not 1 <= lanes <= MAX_LANES:
-            raise ValueError("lanes must be in 1..%d" % MAX_LANES)
+        if not 1 <= lanes <= MAX_BITSET_LANES:
+            raise ValueError("lanes must be in 1..%d" % MAX_BITSET_LANES)
         self.branch_db = branch_db
         self.lanes = lanes
+        self.words = (lanes + MAX_LANES - 1) // MAX_LANES
         self.n_probes = branch_db.n_probes
-        self.curr = _np.zeros(branch_db.n_probes, dtype=_np.uint64)
+        if self.words == 1:
+            self.curr = _np.zeros(branch_db.n_probes, dtype=_np.uint64)
+        else:
+            self.curr = _np.zeros(
+                (branch_db.n_probes, self.words), dtype=_np.uint64
+            )
         self.mcdc_enabled = bool(record_mcdc)
         self.mcdc_vectors = [
             [set() for _ in branch_db.mcdc_groups] for _ in range(lanes)
         ]
 
+    def _word(self, lane: int):
+        """The uint64 column holding ``lane``'s bit, any word count."""
+        if self.words == 1:
+            return self.curr
+        return self.curr[:, lane // MAX_LANES]
+
     def reset_curr(self) -> None:
-        self.curr[:] = 0
+        self.curr[...] = 0
 
     def lane_rows(self):
         """(lanes, n_probes) uint8 0/1 matrix of the current bitmaps."""
         if self.n_probes == 0:
             return _np.zeros((self.lanes, 0), dtype=_np.uint8)
+        if self.words == 1:
+            rows = _np.unpackbits(
+                self.curr.view(_np.uint8).reshape(self.n_probes, 8), axis=1
+            )
+            return rows[:, : self.lanes].T
         rows = _np.unpackbits(
-            self.curr.view(_np.uint8).reshape(self.n_probes, 8), axis=1
-        )
+            self.curr.view(_np.uint8).reshape(self.n_probes * self.words, 8),
+            axis=1,
+        ).reshape(self.n_probes, self.words * MAX_LANES)
         return rows[:, : self.lanes].T
 
     def lane_bytes(self, lane: int) -> bytes:
         """Lane's bitmap in the scalar recorder's byte-per-probe format."""
         return (
-            ((self.curr >> _np.uint64(_lane_bit(lane))) & _np.uint64(1))
+            (
+                (self._word(lane) >> _np.uint64(_lane_bit(lane % MAX_LANES)))
+                & _np.uint64(1)
+            )
             .astype(_np.uint8)
             .tobytes()
         )
@@ -1961,6 +2001,55 @@ def vectorize_module(source: str) -> str:
                 elif item.name == "step":
                     node.body[i] = _vectorize_step(item)
     return ast.unparse(ast.fix_missing_locations(tree))
+
+
+def batch_op_census(source: str) -> int:
+    """Vectorized-op count of one *batched* module's step function.
+
+    Every counted node is roughly one numpy ufunc dispatch per model
+    iteration (~0.4 µs each regardless of lane count), so the census is
+    the dispatch-bound cost model behind the engine's ``lanes="auto"``
+    pick: a step dominated by dispatch overhead (large census) gains
+    little from more lanes and can lose to the scalar interpreter.
+    """
+    tree = ast.parse(source)
+    count = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef) or node.name != "step":
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.BinOp, ast.Compare, ast.BoolOp)):
+                count += 1
+            elif isinstance(sub, ast.Call):
+                # runtime helpers (_sel, _band, wrappers, ...) dispatch
+                # at least one ufunc each; plain attribute calls don't
+                if isinstance(sub.func, ast.Name):
+                    count += 1
+        break
+    return count
+
+
+#: calibrated on the 8-model PR 6 bench: measured 64-lane speedup is
+#: approximated by _AUTO_GAIN * (scalar census / batched census) — the
+#: expansion ratio captures how many extra masked-select/bitset
+#: dispatches vectorization paid to linearize each model's branches
+#: (EVCS expands 3.1x and regressed to 0.96x; every >=1x model stays
+#: under 2.7x expansion)
+_AUTO_GAIN = 3.0
+
+
+def predict_batch_speedup(scalar_source: str, batched_source: str) -> float:
+    """Predicted 64-lane batched speedup over the scalar interpreter.
+
+    A coarse single-constant cost model over the two op censuses, good
+    for one decision only: whether the vectorized engine beats scalar at
+    all (the ``lanes="auto"`` pick).  Not a throughput estimate.
+    """
+    sops = batch_op_census(scalar_source)
+    bops = batch_op_census(batched_source)
+    if not sops or not bops:
+        return 1.0
+    return _AUTO_GAIN * sops / bops
 
 
 # --------------------------------------------------------------------- #

@@ -17,7 +17,11 @@ cache entirely):
 * ``<key>.py`` — the generated module source (debuggable with an editor);
 * ``<key>.<cache_tag>.bin`` — the marshalled code object, tagged with
   ``sys.implementation.cache_tag`` exactly like CPython's own ``.pyc``
-  files so interpreters never load each other's bytecode.
+  files so interpreters never load each other's bytecode;
+* ``<key>.c`` / ``<key>.<platform>.so`` — the native kernel backend's
+  lowered C source and built shared object (see
+  :mod:`repro.codegen.kernel`), platform-tagged for the same reason and
+  covered by the same quarantine path.
 
 Writes are atomic (temp file + ``os.replace``); a missing or unreadable
 entry is a plain miss.  An entry that is *present but corrupted* (bad
@@ -60,7 +64,7 @@ __all__ = [
 #: Bump on ANY change to code generation, optimization or the runtime
 #: helpers: the constant is folded into every cache key, so stale disk
 #: entries from older generators can never be loaded.
-CODEGEN_VERSION = "3"
+CODEGEN_VERSION = "4"
 
 _MEMORY_SLOTS = 32
 
@@ -129,8 +133,16 @@ def canonical_model_form(model) -> str:
     return "".join(out)
 
 
-def cache_key(model, level: str, optimize: bool, batch: bool = False) -> str:
-    """SHA-256 key for one (model, level, optimize, batch, generator) variant.
+def cache_key(
+    model,
+    level: str,
+    optimize: bool,
+    batch: bool = False,
+    kernel: bool = False,
+) -> str:
+    """SHA-256 key for one (model, level, optimize, backend, generator)
+    variant — ``batch`` and ``kernel`` select the vectorized and native
+    backends respectively.
 
     Raises :class:`Uncacheable` for models whose parameters cannot be
     serialized deterministically.
@@ -141,6 +153,7 @@ def cache_key(model, level: str, optimize: bool, batch: bool = False) -> str:
             "level=%s" % level,
             "optimize=%d" % bool(optimize),
             "batch=%d" % bool(batch),
+            "kernel=%d" % bool(kernel),
             "codegen=%s" % CODEGEN_VERSION,
         )
     )
@@ -215,6 +228,18 @@ class CompileCache:
             os.path.join(self.root, "%s.%s.bin" % (key, tag)),
         )
 
+    def native_paths(self, key: str) -> Tuple[str, str]:
+        """``(<key>.c, <key>.<platform>.so)`` for the kernel backend.
+
+        The ``.c`` keeps the lowered source debuggable next to the built
+        artifact; the ``.so`` is tagged with ``sys.platform`` so hosts
+        sharing one cache directory never dlopen a foreign binary.
+        """
+        return (
+            os.path.join(self.root, "%s.c" % key),
+            os.path.join(self.root, "%s.%s.so" % (key, sys.platform)),
+        )
+
     def get_disk(self, key: str):
         """``(source, code)`` from disk, or ``None`` on miss/corruption.
 
@@ -258,7 +283,7 @@ class CompileCache:
 
         self.quarantined += 1
         qdir = os.path.join(self.root, "quarantine")
-        for path in self._paths(key):
+        for path in self._paths(key) + self.native_paths(key):
             try:
                 os.makedirs(qdir, exist_ok=True)
                 os.replace(path, os.path.join(qdir, os.path.basename(path)))

@@ -88,12 +88,24 @@ class FuzzerConfig:
     #: parallel supervision: respawn budget per worker slot per campaign
     max_respawns: int = 3
     #: lane-parallel batched execution: step this many inputs in lockstep
-    #: through the vectorized generated code (needs numpy; max 64).  The
-    #: default of 1 keeps the scalar engine — byte-identical suites with
-    #: zero new dependencies; >1 trades per-input sequencing granularity
-    #: for SIMD throughput (suites may differ from the scalar engine only
-    #: in corpus-scheduling order, never in per-input semantics)
-    lanes: int = 1
+    #: through the vectorized generated code (needs numpy; max 64, or 256
+    #: on the native kernel backend).  The default of 1 keeps the scalar
+    #: engine — byte-identical suites with zero new dependencies; >1
+    #: trades per-input sequencing granularity for throughput (suites may
+    #: differ from the scalar engine only in corpus-scheduling order,
+    #: never in per-input semantics).  ``"auto"`` picks per model: the
+    #: native kernel at 64 lanes when a C compiler is available, else the
+    #: vectorized engine — unless its op census predicts it would lose to
+    #: scalar (see :func:`repro.codegen.batch.predict_batch_speedup`), in
+    #: which case the scalar engine is kept
+    lanes: object = 1
+    #: native kernel backend policy: ``"auto"`` uses the fused C kernel
+    #: whenever lanes > 1 and it is buildable, degrading to the numpy
+    #: batch engine and then scalar (each fallback emits a ``fault``
+    #: telemetry event, never silent); ``"on"`` requests it even at
+    #: ``lanes=1`` (bit-identical to scalar, used by the parity gates);
+    #: ``"off"`` never builds it
+    kernel: str = "auto"
 
 
 @dataclass
@@ -194,12 +206,15 @@ class Fuzzer:
             with tel.phase("compile"):
                 self.driver = compile_fuzz_driver(schedule)
         #: batched execution artifacts — populated by :meth:`_setup_batch`
-        #: when ``config.lanes > 1`` (scalar stays the authoritative path)
+        #: / :meth:`_setup_kernel` (scalar stays the authoritative path)
         self._batch_compiled: Optional[CompiledModel] = None
         self._batch_driver = None
         self._batch_lanes = 1
-        if self.config.lanes != 1:
-            self._setup_batch(self.config.lanes)
+        self._kernel_compiled = None
+        #: which execution backend resume() will use: "scalar", "batch"
+        #: or "kernel" — resolved once here, fallbacks included
+        self.engine = "scalar"
+        self._setup_engines()
         self.layout = schedule.layout
         #: timeout/crash artifacts found by this fuzzer (disk-backed when
         #: ``config.crash_dir`` is set, in-memory otherwise)
@@ -232,6 +247,142 @@ class Fuzzer:
                     self.schedule
                 )
         self._batch_lanes = lanes
+        self.engine = "batch"
+
+    def _setup_kernel(self, lanes: int) -> None:
+        """Build the fused native kernel and its fuzz driver.
+
+        Raises ``Unloweable``/``KernelBuildError`` (no C compiler, build
+        failure, un-loweable construct); :meth:`_setup_engines` catches
+        those and degrades down the ladder.
+        """
+        from ..codegen import batch as _batch
+        from ..codegen import kernel as _kernel
+
+        if not 1 <= lanes <= _kernel.MAX_KERNEL_LANES:
+            raise FuzzingError(
+                "config.lanes must be in 1..%d on the kernel backend, got %r"
+                % (_kernel.MAX_KERNEL_LANES, lanes)
+            )
+        if not _batch.have_numpy():
+            # the kernel driver marshals byte streams through numpy
+            raise _kernel.KernelBuildError(
+                "kernel backend requires numpy for input marshalling"
+            )
+        if not _kernel.have_cc():
+            raise _kernel.KernelBuildError(
+                "no C compiler on PATH (set $CC or install gcc/clang)"
+            )
+        with telemetry_scope(self.telemetry):
+            self._kernel_compiled = _kernel.compile_kernel(
+                self.schedule, self.config.level
+            )
+            with self.telemetry.phase("compile"):
+                self._batch_driver = _kernel.compile_kernel_fuzz_driver(
+                    self.schedule
+                )
+        self._batch_lanes = lanes
+        self.engine = "kernel"
+
+    def _engine_fault(self, frm: str, to: str, reason: str) -> None:
+        """Report one engine-ladder degradation — never silent."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.emit(
+                "fault",
+                kind="engine_fallback",
+                engine_from=frm,
+                engine_to=to,
+                reason=reason[:500],
+                model=self.schedule.model.name,
+            )
+
+    def _auto_lanes(self, kernel_mode: str) -> int:
+        """Resolve ``lanes="auto"``: pick the engine that cannot lose.
+
+        The kernel beats scalar by >3x on every benchmarked model, so a
+        working C toolchain means 64 lanes.  Without one, the vectorized
+        engine only wins when its op census predicts >=1x (EVCS-class
+        models expand into enough masked-select dispatches to regress);
+        predicted losers stay on the scalar engine.
+        """
+        from ..codegen import batch as _batch
+        from ..codegen import kernel as _kernel
+        from ..codegen.compile import _generate_source
+
+        if kernel_mode != "off" and _kernel.have_cc() and _batch.have_numpy():
+            return _batch.MAX_LANES
+        if not _batch.have_numpy():
+            return 1
+        with telemetry_scope(self.telemetry):
+            ssrc = _generate_source(self.schedule, self.config.level, True, False)
+            bsrc = _generate_source(self.schedule, self.config.level, True, True)
+        predicted = _batch.predict_batch_speedup(ssrc, bsrc)
+        if predicted < 1.0:
+            self._engine_fault(
+                "batch",
+                "scalar",
+                "lanes=auto: census predicts %.2fx <1x over scalar" % predicted,
+            )
+            return 1
+        return _batch.MAX_LANES
+
+    def _setup_engines(self) -> None:
+        """Resolve config (lanes, kernel) into one execution backend.
+
+        Degradation ladder: kernel -> numpy batch -> scalar.  Every step
+        down emits an ``engine_fallback`` fault event; an explicit
+        ``kernel="on"`` or ``lanes`` that can't be honored degrades the
+        same way rather than failing the campaign.
+        """
+        from ..codegen import batch as _batch
+        from ..codegen import kernel as _kernel
+
+        config = self.config
+        kernel_mode = config.kernel
+        if kernel_mode not in ("auto", "on", "off"):
+            raise FuzzingError(
+                "config.kernel must be 'auto', 'on' or 'off', got %r"
+                % (kernel_mode,)
+            )
+        lanes = config.lanes
+        auto = lanes == "auto"
+        if auto:
+            lanes = self._auto_lanes(kernel_mode)
+        if not isinstance(lanes, int) or isinstance(lanes, bool) or lanes < 1:
+            raise FuzzingError(
+                "config.lanes must be a positive int or 'auto', got %r"
+                % (config.lanes,)
+            )
+        if lanes > _kernel.MAX_KERNEL_LANES:
+            raise FuzzingError(
+                "config.lanes must be <= %d, got %r"
+                % (_kernel.MAX_KERNEL_LANES, lanes)
+            )
+        want_kernel = kernel_mode == "on" or (kernel_mode != "off" and lanes > 1)
+        if want_kernel:
+            try:
+                self._setup_kernel(lanes)
+                return
+            except (_kernel.Unloweable, _kernel.KernelBuildError) as exc:
+                next_to = "batch" if lanes > 1 else "scalar"
+                self._engine_fault("kernel", next_to, str(exc))
+        if lanes == 1:
+            return  # scalar — engine stays "scalar"
+        if lanes > _batch.MAX_LANES:
+            # a kernel-sized lane count degrading onto the 64-bit bitset
+            self._engine_fault(
+                "batch",
+                "batch",
+                "lanes=%d exceeds the vectorized engine's %d-lane bitset; "
+                "clamped" % (lanes, _batch.MAX_LANES),
+            )
+            lanes = _batch.MAX_LANES
+        try:
+            self._setup_batch(lanes)
+        except FuzzingError as exc:
+            # no numpy: the ladder ends on the scalar engine
+            self._engine_fault("batch", "scalar", str(exc))
 
     def replay_compiled(self) -> CompiledModel:
         """The cached model-level artifact used for suite replay.
@@ -315,6 +466,9 @@ class Fuzzer:
         lanes = self._batch_lanes if bdriver is not None else 1
         if bdriver is None:
             program, _ = self.compiled.instantiate(recorder)
+        elif self.engine == "kernel":
+            bprogram = self._kernel_compiled.instantiate_kernel(lanes)
+            brecorder = None  # coverage lives inside the native kernel
         else:
             bprogram, brecorder = self._batch_compiled.instantiate_batch(lanes)
         driver = self.driver
@@ -519,7 +673,9 @@ class Fuzzer:
             accounting input for input.
             """
             results = bdriver(
-                bprogram, brecorder.curr, [it[0] for it in items],
+                bprogram,
+                brecorder.curr if brecorder is not None else None,
+                [it[0] for it in items],
                 state.total_int,
             )
             for (data, parent_density, ops), res in zip(items, results):

@@ -29,7 +29,22 @@ __all__ = [
     "run_compiled",
     "coverage_of",
     "demo_model",
+    "skip_if_no_cc",
 ]
+
+
+def _have_cc() -> bool:
+    from repro.codegen.kernel import have_cc
+
+    return have_cc()
+
+
+#: decorate kernel-backend tests: they need a working C toolchain on
+#: PATH ($CC, cc, gcc or clang); everywhere else they must skip, not
+#: fail — the engine itself degrades the same way at runtime
+skip_if_no_cc = pytest.mark.skipif(
+    not _have_cc(), reason="kernel backend needs a C compiler (cc/gcc/clang)"
+)
 
 
 def single_block_model(type_name: str, params: dict, in_dtypes: Sequence[str]):

@@ -50,6 +50,7 @@ __all__ = [
     "Divergence",
     "run_differential",
     "run_batch_differential",
+    "run_kernel_differential",
     "minimize_divergence",
     "dump_divergence",
 ]
@@ -459,6 +460,94 @@ def run_batch_differential(
 
 
 # -------------------------------------------------------------------- #
+# the fused native kernel differential oracle
+# -------------------------------------------------------------------- #
+def run_kernel_differential(
+    seed: int, lanes: int, n_rows: int = 16, optimize: bool = True
+) -> Optional[Divergence]:
+    """Kernel property: every lane of the fused native kernel reproduces
+    the scalar generated code exactly — outputs and per-step probe
+    bytes, lane by lane.  (The kernel records no MCDC vectors by design;
+    the scalar and vectorized oracles cover those.)
+
+    Raises :class:`repro.codegen.kernel.Unloweable` for the rare
+    generated model the C lowering rejects — callers count those as
+    engine fallbacks, not divergences.
+    """
+    import numpy as np
+
+    from repro.codegen.kernel import compile_kernel
+
+    schedule = convert(generate_model(seed))
+    layout = schedule.layout
+    streams = generate_lane_streams(layout, seed, lanes, n_rows)
+
+    kernel = compile_kernel(schedule, "model", optimize=optimize, cache=False)
+    compiled = compile_model(schedule, "model", optimize=optimize)
+    expected = []  # per lane: (outputs per step, probe bytes per step)
+    WATCHDOG.configure(_STEP_BUDGET)
+    try:
+        for rows in streams:
+            rec = CoverageRecorder(schedule.branch_db)
+            program, _ = compiled.instantiate(rec)
+            program.init()
+            outs, probes = [], []
+            for raw in rows:
+                fields = layout.unpack_tuple(raw)
+                rec.reset_curr()
+                WATCHDOG.arm()
+                outs.append(tuple(program.step(*fields)))
+                probes.append(bytes(rec.curr))
+                rec.commit_curr()
+            expected.append((outs, probes))
+
+        kprog = kernel.instantiate_kernel(lanes)
+        n_steps = max(len(s) for s in streams)
+        fields = list(layout.fields)
+        for t in range(n_steps):
+            act = np.zeros(lanes, dtype=np.uint8)
+            fvals = np.zeros((len(fields), lanes), dtype=np.float64)
+            ivals = np.zeros((len(fields), lanes), dtype=np.int64)
+            for l, rows in enumerate(streams):
+                if t >= len(rows):
+                    continue
+                act[l] = 1
+                for fi, v in enumerate(layout.unpack_tuple(rows[t])):
+                    if fields[fi].dtype.is_float:
+                        fvals[fi, l] = v
+                    else:
+                        ivals[fi, l] = v
+            kprog.arm_lanes()  # scalar arms per row: same per-step budget
+            cov, iouts, douts, status = kprog.step_row(act, fvals, ivals)
+            for l in range(lanes):
+                if not act[l]:
+                    continue
+                exp_outs, exp_probes = expected[l]
+                if status[l] != 0:
+                    return Divergence(
+                        seed, optimize, streams[l], t,
+                        "kernel lane timed out where scalar did not",
+                        extra={"lanes": lanes, "lane": l, "kernel": True},
+                    )
+                got = kprog.lane_outputs(iouts, douts, l)
+                if got != exp_outs[t]:
+                    return Divergence(
+                        seed, optimize, streams[l], t,
+                        "kernel lane outputs differ", got, exp_outs[t],
+                        extra={"lanes": lanes, "lane": l, "kernel": True},
+                    )
+                if bytes(cov[l]) != exp_probes[t]:
+                    return Divergence(
+                        seed, optimize, streams[l], t,
+                        "kernel lane probe bytes differ", got, exp_outs[t],
+                        extra={"lanes": lanes, "lane": l, "kernel": True},
+                    )
+    finally:
+        WATCHDOG.configure(None)
+    return None
+
+
+# -------------------------------------------------------------------- #
 # divergence shrinking + artifact dump
 # -------------------------------------------------------------------- #
 def minimize_divergence(div: Divergence) -> Divergence:
@@ -546,12 +635,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also run the lane-by-lane batched-vs-scalar differential "
         "at N lanes (0 = scalar sweep only)",
     )
+    parser.add_argument(
+        "--kernel-lanes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the lane-by-lane kernel-vs-scalar differential at "
+        "N lanes (0 = off; needs a C compiler; un-loweable seeds are "
+        "counted, not failed — they degrade to the batch engine)",
+    )
     parser.add_argument("--out", default="diff-artifacts")
     args = parser.parse_args(argv)
 
     seeds = [args.seed] if args.seed is not None else list(range(args.models))
     modes = [not args.no_optimize] if args.seed is not None else [True, False]
     failures = 0
+    unloweable = 0
     for seed in seeds:
         for optimize in modes:
             div = run_differential(seed, n_rows=args.rows, optimize=optimize)
@@ -559,6 +658,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 div = run_batch_differential(
                     seed, args.batch_lanes, n_rows=args.rows, optimize=optimize
                 )
+            if div is None and args.kernel_lanes:
+                from repro.codegen.kernel import Unloweable
+
+                try:
+                    div = run_kernel_differential(
+                        seed, args.kernel_lanes,
+                        n_rows=args.rows, optimize=optimize,
+                    )
+                except Unloweable as exc:
+                    unloweable += 1
+                    print("UNLOWEABLE seed=%d optimize=%s: %s"
+                          % (seed, optimize, exc))
             if div is None:
                 continue
             failures += 1
@@ -571,8 +682,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
     checked = len(seeds) * len(modes)
     print(
-        "differential: %d model/mode checks, %d divergences"
-        % (checked, failures)
+        "differential: %d model/mode checks, %d divergences, "
+        "%d kernel-unloweable (engine fallback)"
+        % (checked, failures, unloweable)
     )
     return 1 if failures else 0
 

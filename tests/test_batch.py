@@ -28,7 +28,14 @@ np = pytest.importorskip("numpy")
 
 from repro import CoverageRecorder, ModelBuilder, compile_model, convert
 from repro.codegen import batch as batch_mod
-from repro.codegen.batch import MAX_LANES, _lv, compile_batch_fuzz_driver
+from repro.codegen.batch import (
+    MAX_BITSET_LANES,
+    MAX_LANES,
+    BatchCoverageRecorder,
+    _lv,
+    compile_batch_fuzz_driver,
+)
+from repro.codegen.kernel import MAX_KERNEL_LANES
 from repro.codegen.cache import cache_key
 from repro.codegen.compile import CodegenError
 from repro.codegen.driver import compile_fuzz_driver
@@ -306,10 +313,21 @@ class TestBatchCompileCache:
 
 
 class TestLaneBounds:
-    @pytest.mark.parametrize("lanes", [0, -1, MAX_LANES + 1])
+    @pytest.mark.parametrize(
+        "lanes", [0, -1, "64", MAX_KERNEL_LANES + 1]
+    )
     def test_config_rejects_out_of_range_lanes(self, schedule, lanes):
         with pytest.raises(FuzzingError):
             Fuzzer(schedule, FuzzerConfig(lanes=lanes))
+
+    def test_lanes_beyond_bitset_clamp_onto_batch_engine(self, schedule):
+        # a kernel-sized lane count with the kernel disabled degrades
+        # onto the vectorized engine at its 64-lane bitset ceiling
+        fuzzer = Fuzzer(
+            schedule, FuzzerConfig(lanes=MAX_LANES + 1, kernel="off")
+        )
+        assert fuzzer.engine == "batch"
+        assert fuzzer._batch_lanes == MAX_LANES
 
     @pytest.mark.parametrize("lanes", [0, MAX_LANES + 1])
     def test_instantiate_batch_rejects_out_of_range_lanes(self, schedule, lanes):
@@ -317,6 +335,29 @@ class TestLaneBounds:
         with pytest.raises(ValueError):
             batched.instantiate_batch(lanes)
 
-    def test_max_lanes_is_the_bitset_width(self):
-        assert MAX_LANES == 64  # one uint64 lane-bitset per probe
+    def test_max_lanes_is_the_bitset_word_width(self):
+        assert MAX_LANES == 64  # one uint64 word per probe bitset
+        assert MAX_BITSET_LANES == 256  # recorder widens by whole words
         assert batch_mod.have_numpy()
+
+    def test_wide_recorder_round_trips_every_lane(self, schedule):
+        np = pytest.importorskip("numpy")
+        rec = BatchCoverageRecorder(schedule.branch_db, 200)
+        n_probes = schedule.branch_db.n_probes
+        assert rec.curr.shape == (n_probes, 4)
+        marked = (0, 63, 64, 127, 199)
+        for lane in marked:
+            rec.curr[1, lane // MAX_LANES] |= np.uint64(1) << np.uint64(
+                batch_mod._lane_bit(lane % MAX_LANES)
+            )
+        rows = rec.lane_rows()
+        assert rows.shape == (200, n_probes)
+        assert sorted(l for l in range(200) if rows[l, 1]) == list(marked)
+        for lane in range(200):
+            row = rec.lane_bytes(lane)
+            assert len(row) == n_probes
+            assert (row[1] == 1) == (lane in marked)
+
+    def test_narrow_recorder_keeps_flat_bitset_shape(self, schedule):
+        rec = BatchCoverageRecorder(schedule.branch_db, MAX_LANES)
+        assert rec.curr.shape == (schedule.branch_db.n_probes,)

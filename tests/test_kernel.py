@@ -1,0 +1,293 @@
+"""The fused native kernel backend: parity, degradation, caching.
+
+The kernel is the third execution engine (scalar -> numpy batch ->
+native kernel) and the fastest; these tests pin its three contracts:
+
+* **bit-parity** — at one lane the kernel reproduces the scalar
+  generated driver's suites byte for byte (the lane-by-lane sweep in
+  ``test_modelgen_differential.py`` covers the wide widths);
+* **graceful degradation** — no C compiler or an un-loweable model
+  falls down the kernel -> batch -> scalar ladder, emits ``fault``
+  telemetry (never silent), and still produces the byte-identical
+  suite of the engine it landed on;
+* **content-addressed caching** — kernel artifacts get their own cache
+  slot, survive a warm reload, and a corrupted entry quarantines the
+  ``.c``/``.so`` pair alongside the Python artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import pytest
+
+import repro.codegen.kernel as kernel_mod
+from conftest import demo_model, skip_if_no_cc
+from repro import convert
+from repro.codegen.batch import MAX_LANES
+from repro.codegen.cache import CompileCache, cache_key
+from repro.codegen.kernel import (
+    KernelBuildError,
+    MAX_KERNEL_LANES,
+    Unloweable,
+    compile_kernel,
+    compile_kernel_fuzz_driver,
+    have_cc,
+)
+from repro.errors import FuzzingError
+from repro.fuzzing import Fuzzer, FuzzerConfig
+from repro.telemetry.core import Telemetry
+from repro.telemetry.events import read_trace
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return convert(demo_model())
+
+
+def suite_digest(suite) -> str:
+    h = hashlib.sha256()
+    for case in suite.cases:
+        h.update(case.data)
+    return h.hexdigest()
+
+
+def run_config(schedule, tmp_path, tag, **kw):
+    path = str(tmp_path / ("%s.jsonl" % tag))
+    tel = Telemetry(enabled=True, trace_path=path)
+    config = FuzzerConfig(max_inputs=300, seed=11, **kw)
+    fuzzer = Fuzzer(schedule, config, telemetry=tel)
+    state = fuzzer.run()
+    tel.close()
+    return fuzzer, state, read_trace(path)
+
+
+def fallback_events(events):
+    return [
+        e for e in events
+        if e["ev"] == "fault" and e.get("kind") == "engine_fallback"
+    ]
+
+
+# -------------------------------------------------------------------- #
+# parity
+# -------------------------------------------------------------------- #
+@skip_if_no_cc
+class TestKernelParity:
+    def test_single_lane_kernel_matches_scalar_suite(self, schedule, tmp_path):
+        """The golden-digest gate: lanes=1 through the native kernel is
+        byte-for-byte the scalar campaign — suite, coverage, count."""
+        fs, st_s, _ = run_config(schedule, tmp_path, "scalar", kernel="off")
+        fk, st_k, _ = run_config(schedule, tmp_path, "kernel",
+                                 lanes=1, kernel="on")
+        assert fs.engine == "scalar"
+        assert fk.engine == "kernel"
+        assert st_s.inputs_executed == st_k.inputs_executed
+        assert st_s.iterations_executed == st_k.iterations_executed
+        assert suite_digest(st_s.suite) == suite_digest(st_k.suite)
+
+    def test_kernel_lanes_beyond_the_batch_bitset(self, schedule, tmp_path):
+        """The kernel's lane ceiling is 256, past the numpy engine's 64."""
+        fk, st, _ = run_config(
+            schedule, tmp_path, "wide", lanes=MAX_LANES * 2, kernel="on"
+        )
+        assert fk.engine == "kernel"
+        assert fk._batch_lanes == MAX_LANES * 2
+        assert st.inputs_executed == 300
+        assert st.suite.cases
+
+    def test_kernel_source_is_cached_and_reloaded(self, schedule, tmp_path):
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        kernel_mod.clear_kernel_memory()
+        try:
+            cold = compile_kernel(schedule, "model")
+            assert cold.from_cache is None
+            kernel_mod.clear_kernel_memory()
+            warm = compile_kernel(schedule, "model")
+            assert warm.from_cache == "disk"
+            hot = compile_kernel(schedule, "model")
+            assert hot.from_cache == "memory"
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+
+
+# -------------------------------------------------------------------- #
+# the degradation ladder
+# -------------------------------------------------------------------- #
+class TestDegradationLadder:
+    @pytest.fixture(autouse=True)
+    def _numpy(self):
+        pytest.importorskip("numpy")
+
+    def test_no_compiler_falls_back_to_batch(
+        self, schedule, tmp_path, monkeypatch
+    ):
+        """kernel='on' without a toolchain lands on the vectorized
+        engine with a fault event — and the exact suite that engine
+        produces on its own."""
+        monkeypatch.setattr(kernel_mod, "find_cc", lambda: None)
+        fk, st_k, events = run_config(
+            schedule, tmp_path, "nocc", lanes=4, kernel="on"
+        )
+        assert fk.engine == "batch"
+        falls = fallback_events(events)
+        assert falls and falls[0]["engine_from"] == "kernel"
+        assert falls[0]["engine_to"] == "batch"
+        assert "compiler" in falls[0]["reason"]
+        monkeypatch.undo()
+        fb, st_b, _ = run_config(
+            schedule, tmp_path, "batch", lanes=4, kernel="off"
+        )
+        assert fb.engine == "batch"
+        assert suite_digest(st_k.suite) == suite_digest(st_b.suite)
+
+    def test_no_compiler_single_lane_falls_back_to_scalar(
+        self, schedule, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(kernel_mod, "find_cc", lambda: None)
+        fk, st_k, events = run_config(
+            schedule, tmp_path, "nocc1", lanes=1, kernel="on"
+        )
+        assert fk.engine == "scalar"
+        falls = fallback_events(events)
+        assert falls and falls[0]["engine_to"] == "scalar"
+        monkeypatch.undo()
+        fs, st_s, _ = run_config(schedule, tmp_path, "scal", kernel="off")
+        assert suite_digest(st_k.suite) == suite_digest(st_s.suite)
+
+    def test_unloweable_model_falls_back_to_batch(
+        self, schedule, tmp_path, monkeypatch
+    ):
+        def boom(*a, **kw):
+            raise Unloweable("synthetic: construct has no C lowering")
+
+        monkeypatch.setattr(kernel_mod, "compile_kernel", boom)
+        fk, st, events = run_config(
+            schedule, tmp_path, "unlow", lanes=4, kernel="auto"
+        )
+        assert fk.engine == "batch"
+        falls = fallback_events(events)
+        assert falls and "no C lowering" in falls[0]["reason"]
+        assert st.inputs_executed == 300
+
+    def test_build_failure_falls_back(self, schedule, tmp_path, monkeypatch):
+        def boom(*a, **kw):
+            raise KernelBuildError("synthetic: cc exited with status 1")
+
+        monkeypatch.setattr(kernel_mod, "compile_kernel", boom)
+        fk, _, events = run_config(
+            schedule, tmp_path, "ccfail", lanes=4, kernel="on"
+        )
+        assert fk.engine == "batch"
+        assert fallback_events(events)
+
+    def test_kernel_off_never_touches_the_toolchain(
+        self, schedule, tmp_path, monkeypatch
+    ):
+        def boom():  # pragma: no cover - the assertion is "not called"
+            raise AssertionError("kernel backend consulted with kernel='off'")
+
+        monkeypatch.setattr(kernel_mod, "find_cc", boom)
+        fb, _, events = run_config(
+            schedule, tmp_path, "off", lanes=4, kernel="off"
+        )
+        assert fb.engine == "batch"
+        assert not fallback_events(events)
+
+    def test_lanes_auto_resolves_to_an_engine(self, schedule, tmp_path):
+        """auto never yields a predicted-regression engine: with a
+        toolchain it takes the kernel at 64 lanes; without numpy or a
+        winning census prediction it stays scalar."""
+        fz, st, _ = run_config(schedule, tmp_path, "auto", lanes="auto")
+        assert fz.engine in ("kernel", "batch", "scalar")
+        if have_cc():
+            assert fz.engine == "kernel"
+            assert fz._batch_lanes == MAX_LANES
+        assert st.inputs_executed == 300
+
+    def test_config_validation(self, schedule):
+        with pytest.raises(FuzzingError):
+            Fuzzer(schedule, FuzzerConfig(kernel="maybe"))
+        with pytest.raises(FuzzingError):
+            Fuzzer(schedule, FuzzerConfig(lanes=MAX_KERNEL_LANES + 1))
+
+
+# -------------------------------------------------------------------- #
+# cache integration
+# -------------------------------------------------------------------- #
+class TestKernelCache:
+    def test_kernel_variant_has_its_own_cache_slot(self, schedule):
+        plain = cache_key(schedule.model, "model", True)
+        knl = cache_key(schedule.model, "model", True, kernel=True)
+        batched = cache_key(schedule.model, "model", True, batch=True)
+        assert len({plain, knl, batched}) == 3
+
+    def test_quarantine_sweeps_native_artifacts(self, tmp_path):
+        """A corrupted entry moves its .c/.so next to the .py/.bin in
+        quarantine/ so a poisoned kernel binary can never be dlopened."""
+        cache = CompileCache(root=str(tmp_path))
+        key = "k" * 64
+        cache.put_disk(key, "source", compile("1", "<s>", "eval"))
+        c_path, so_path = cache.native_paths(key)
+        with open(c_path, "w") as fh:
+            fh.write("/* kernel */")
+        with open(so_path, "wb") as fh:
+            fh.write(b"\x7fELF corrupt")
+        # corrupt the marshalled payload -> get_disk must quarantine
+        with open(cache._paths(key)[1], "wb") as fh:
+            fh.write(b"not marshal data")
+        assert cache.get_disk(key) is None
+        assert cache.quarantined == 1
+        qdir = tmp_path / "quarantine"
+        assert (qdir / os.path.basename(c_path)).exists()
+        assert (qdir / os.path.basename(so_path)).exists()
+        assert not os.path.exists(c_path)
+        assert not os.path.exists(so_path)
+
+
+# -------------------------------------------------------------------- #
+# the driver contract
+# -------------------------------------------------------------------- #
+@skip_if_no_cc
+class TestKernelDriver:
+    def test_driver_matches_scalar_per_stream_accounting(self, schedule):
+        """Stream-by-stream 5-tuples: metric, found, running total_int,
+        iterations — the same sequential fold the scalar driver does."""
+        import random
+
+        from repro.codegen.compile import compile_model
+        from repro.codegen.driver import compile_fuzz_driver
+        from repro.errors import WatchdogTimeout
+
+        layout = schedule.layout
+        rng = random.Random(99)
+        streams = [
+            bytes(rng.randrange(256) for _ in range(layout.size * 32))
+            for _ in range(6)
+        ]
+
+        compiled = compile_model(schedule, "model")
+        sdriver = compile_fuzz_driver(schedule)
+        program, rec = compiled.instantiate()
+        want, running = [], 0
+        for data in streams:
+            try:
+                r = sdriver(program, rec.curr, data, running)
+            except WatchdogTimeout as exc:  # pragma: no cover - no budget set
+                running |= exc.partial_total_int
+                want.append((None, None, running, exc.iterations))
+                continue
+            running = r[2]
+            want.append(r)
+
+        ck = compile_kernel(schedule, "model", cache=False)
+        kdriver = compile_kernel_fuzz_driver(schedule)
+        kprog = ck.instantiate_kernel(8)
+        got = kdriver(kprog, None, streams, 0)
+        assert len(got) == len(want)
+        for w, g in zip(want, got):
+            assert g[4] is None
+            assert tuple(g[:4]) == tuple(w[:4])
