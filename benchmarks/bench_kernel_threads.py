@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Scaling + parity gate for thread-parallel kernel execution.
+
+Standalone script (not pytest-benchmark) so CI can run it directly and
+assert on the result:
+
+* **iterations/s** per bench model at each thread count (1, 2, 4) —
+  the kernel driver steps the same fixed-seed streams through one
+  compiled kernel, with the lane block split across a thread pool
+  (``kern_run`` releases the GIL, so blocks genuinely overlap);
+* a **driver parity check**: every thread count (including ``auto``)
+  must return the exact ``(metric, found_new, total_int, iterations)``
+  tuples ``threads=1`` produces — the sequential lane-order fold is
+  the only ordered step, so any divergence is a reentrancy bug;
+* a **campaign digest check**: a full fuzzing campaign at
+  ``kernel_threads`` ∈ {1, 2, 4, auto} must produce byte-identical
+  suite digests — thread count is an execution detail, never a
+  semantic knob;
+* **cold/warm compile times** through the content-addressed cache.
+
+Design target (the tentpole's acceptance bar): >= 2x aggregate
+iterations/s at 4 threads versus 1 on at least half the bench models.
+Scaling is only physically possible with cores to scale onto, so the
+throughput assertion is gated on ``available_cpus() >= 4`` (CI runners
+have them; a 1-core container still runs every parity check).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_threads.py \
+        --json benchmarks/results/bench_kernel_threads.json
+    PYTHONPATH=src python benchmarks/bench_kernel_threads.py --quick
+
+Both modes exit non-zero on any parity/digest failure, or (with >= 4
+cores) fewer than half the models at the 2x scaling floor.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from bench_kernel import _compile_times, _streams  # noqa: E402
+from repro.bench.registry import build_schedule, model_names  # noqa: E402
+from repro.codegen.kernel import (  # noqa: E402
+    compile_kernel,
+    compile_kernel_fuzz_driver,
+    find_cc,
+)
+from repro.cpu import available_cpus, resolve_kernel_threads  # noqa: E402
+from repro.fuzzing import Fuzzer, FuzzerConfig  # noqa: E402
+
+THREAD_COUNTS = (1, 2, 4)
+SCALING_THREADS = 4
+SCALING_FLOOR = 2.0
+FUZZ_LANES = 32
+
+
+def _measure(driver, program, streams, seconds):
+    """(iterations/s, last per-stream result tuples) for one program."""
+    results, iterations = [], 0
+    deadline = time.perf_counter() + seconds
+    start = time.perf_counter()
+    while True:
+        results = driver(program, None, streams, 0)
+        iterations += sum(r[3] for r in results)
+        if time.perf_counter() >= deadline:
+            break
+    return (
+        iterations / (time.perf_counter() - start),
+        [tuple(r[:4]) for r in results],
+    )
+
+
+def _campaign_digest(name, threads, max_inputs):
+    """Suite digest of one full fixed-seed campaign at ``threads``."""
+    schedule = build_schedule(name)
+    config = FuzzerConfig(
+        max_inputs=max_inputs, seed=11, lanes=FUZZ_LANES,
+        kernel="on", kernel_threads=threads,
+    )
+    fuzzer = Fuzzer(schedule, config)
+    state = fuzzer.run()
+    if fuzzer.engine != "kernel":  # pragma: no cover - gate env is checked
+        raise RuntimeError("campaign fell off the kernel engine")
+    h = hashlib.sha256()
+    for case in state.suite.cases:
+        h.update(case.data)
+    return h.hexdigest(), state.inputs_executed
+
+
+def bench_model(name, lanes, seconds, max_inputs):
+    schedule = build_schedule(name)
+    streams = _streams(schedule, lanes)
+    compiled = compile_kernel(schedule, "model", cache=False)
+    driver = compile_kernel_fuzz_driver(schedule)
+
+    ips, base_results, parity = {}, None, True
+    auto_threads = resolve_kernel_threads("auto")
+    for threads in list(THREAD_COUNTS) + [auto_threads]:
+        key = str(threads)
+        if key in ips:
+            continue
+        program = compiled.instantiate_kernel(lanes, threads)
+        rate, results = _measure(driver, program, streams, seconds)
+        ips[key] = round(rate, 1)
+        if base_results is None:
+            base_results = results
+        elif results != base_results:
+            parity = False
+        del program
+
+    digests = {}
+    for threads in list(THREAD_COUNTS) + ["auto"]:
+        digest, execs = _campaign_digest(name, threads, max_inputs)
+        digests[str(threads)] = digest
+    digest_ok = len(set(digests.values())) == 1
+
+    cold, warm = _compile_times(schedule)
+    speedup = ips[str(SCALING_THREADS)] / max(ips["1"], 1e-9)
+    return {
+        "model": name,
+        "lanes": lanes,
+        "auto_threads": auto_threads,
+        "iters_per_s": ips,
+        "speedup_at_%d" % SCALING_THREADS: round(speedup, 3),
+        "driver_parity": parity,
+        "campaign_digests": digests,
+        "campaign_digest_ok": digest_ok,
+        "campaign_inputs": execs,
+        "compile_cold_s": round(cold, 4),
+        "compile_warm_s": round(warm, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", nargs="*", help="subset of bench models")
+    parser.add_argument("--lanes", type=int, default=128,
+                        help="kernel lane width (default 128)")
+    parser.add_argument("--seconds", type=float, default=1.5,
+                        help="measurement window per thread count")
+    parser.add_argument("--inputs", type=int, default=300,
+                        help="campaign length for the digest check")
+    parser.add_argument("--json", help="write the results as JSON to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI gate: short windows, same assertions")
+    args = parser.parse_args(argv)
+
+    if find_cc() is None:
+        print("no C compiler on PATH: kernel backend cannot run",
+              file=sys.stderr)
+        return 1
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print("numpy unavailable: kernel driver cannot marshal streams",
+              file=sys.stderr)
+        return 1
+
+    names = args.models or model_names()
+    unknown = [n for n in names if n not in model_names()]
+    if unknown:
+        parser.error("unknown models: %s" % ", ".join(unknown))
+    seconds = min(args.seconds, 0.4) if args.quick else args.seconds
+    inputs = min(args.inputs, 200) if args.quick else args.inputs
+    cores = available_cpus()
+
+    rows = []
+    hdr = ["model", "lanes"] + ["t=%d" % t for t in THREAD_COUNTS] + [
+        "x@%d" % SCALING_THREADS, "parity", "digests", "cold(s)", "warm(s)"]
+    print("%-10s %6s %12s %12s %12s %7s %7s %8s %8s %8s" % tuple(hdr))
+    for name in names:
+        row = bench_model(name, args.lanes, seconds, inputs)
+        rows.append(row)
+        print("%-10s %6d %12.0f %12.0f %12.0f %6.2fx %7s %8s %8.3f %8.3f" % (
+            name, row["lanes"],
+            row["iters_per_s"]["1"], row["iters_per_s"]["2"],
+            row["iters_per_s"]["4"],
+            row["speedup_at_%d" % SCALING_THREADS],
+            "ok" if row["driver_parity"] else "DIVERGED",
+            "ok" if row["campaign_digest_ok"] else "DIVERGED",
+            row["compile_cold_s"], row["compile_warm_s"]))
+
+    at_floor = sum(
+        1 for r in rows
+        if r["speedup_at_%d" % SCALING_THREADS] >= SCALING_FLOOR
+    )
+    gate_scaling = cores >= SCALING_THREADS
+    print("\n%d core%s visible; %d/%d models at the %.1fx floor "
+          "(%d threads vs 1)%s" % (
+              cores, "s" if cores != 1 else "", at_floor, len(rows),
+              SCALING_FLOOR, SCALING_THREADS,
+              "" if gate_scaling else
+              " — scaling assertion skipped (need >= %d cores)"
+              % SCALING_THREADS))
+
+    result = {
+        "lanes": args.lanes,
+        "thread_counts": list(THREAD_COUNTS),
+        "seconds_per_point": seconds,
+        "campaign_inputs": inputs,
+        "cores": cores,
+        "scaling_floor": SCALING_FLOOR,
+        "scaling_threads": SCALING_THREADS,
+        "scaling_gated": gate_scaling,
+        "models_at_floor": at_floor,
+        "models": rows,
+    }
+    if args.json:
+        out_dir = os.path.dirname(args.json)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print("json written to %s" % args.json)
+
+    status = 0
+    diverged = [r["model"] for r in rows if not r["driver_parity"]]
+    if diverged:
+        print("FAIL: threaded driver results diverge from threads=1 on: %s"
+              % ", ".join(diverged))
+        status = 1
+    bad_digests = [r["model"] for r in rows if not r["campaign_digest_ok"]]
+    if bad_digests:
+        print("FAIL: campaign suites depend on the thread count on: %s"
+              % ", ".join(bad_digests))
+        status = 1
+    if gate_scaling and at_floor < (len(rows) + 1) // 2:
+        print("FAIL: only %d/%d models at the %.1fx scaling floor "
+              "(need half)" % (at_floor, len(rows), SCALING_FLOOR))
+        status = 1
+    if status == 0:
+        print("kernel-threads gate passed: parity ok, digests ok%s"
+              % (", scaling ok" if gate_scaling else
+                 ", scaling unasserted (too few cores)"))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ noted next to it.
 import os
 
 from repro.bench.registry import build_schedule
+from repro.cpu import available_cpus as _cores
 from repro.fuzzing import FuzzerConfig, run_campaign
 
 from conftest import write_result
@@ -23,13 +24,6 @@ WORKER_COUNTS = (1, 2, 4)
 
 def _budget() -> float:
     return float(os.environ.get("REPRO_BUDGET", "5"))
-
-
-def _cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def test_parallel_scaling(benchmark):

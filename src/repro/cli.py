@@ -32,19 +32,28 @@ from .slx import load_container
 __all__ = ["main"]
 
 
-def _lanes_arg(text: str):
-    """``--lanes`` accepts a positive integer or the string ``auto``."""
+def _count_or_auto_arg(text: str, what: str):
+    """A positive integer or the string ``auto`` (``--lanes``,
+    ``--kernel-threads``)."""
     if text == "auto":
         return "auto"
     try:
-        lanes = int(text)
+        n = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError(
             "expected a positive integer or 'auto', got %r" % text
         )
-    if lanes < 1:
-        raise argparse.ArgumentTypeError("lane count must be >= 1")
-    return lanes
+    if n < 1:
+        raise argparse.ArgumentTypeError("%s must be >= 1" % what)
+    return n
+
+
+def _lanes_arg(text: str):
+    return _count_or_auto_arg(text, "lane count")
+
+
+def _threads_arg(text: str):
+    return _count_or_auto_arg(text, "thread count")
 
 
 def _load_schedule(target: str):
@@ -81,6 +90,7 @@ def _cmd_fuzz(args) -> int:
                 crash_dir=args.crash_dir,
                 lanes=args.lanes,
                 kernel=args.kernel,
+                kernel_threads=args.kernel_threads,
             )
             result = run_campaign(schedule, config)
     finally:
@@ -328,6 +338,19 @@ def main(argv=None) -> int:
         "and a C compiler is available, 'on' requests it even at one "
         "lane, 'off' disables it; every fallback to the numpy or "
         "scalar engine is reported via fault telemetry (default auto)",
+    )
+    p.add_argument(
+        "--kernel-threads",
+        dest="kernel_threads",
+        type=_threads_arg,
+        default="auto",
+        metavar="N",
+        help="kernel execution threads per worker: run disjoint lane "
+        "blocks concurrently inside the native kernel (suite output is "
+        "bit-identical at any thread count); 'auto' divides the "
+        "container's available cores (scheduler affinity and cgroup "
+        "quota aware) by --workers so threads x workers never "
+        "oversubscribes (default auto)",
     )
     p.add_argument("--out", help="directory for the generated suite")
     p.add_argument(

@@ -64,7 +64,7 @@ __all__ = [
 #: Bump on ANY change to code generation, optimization or the runtime
 #: helpers: the constant is folded into every cache key, so stale disk
 #: entries from older generators can never be loaded.
-CODEGEN_VERSION = "4"
+CODEGEN_VERSION = "5"
 
 _MEMORY_SLOTS = 32
 

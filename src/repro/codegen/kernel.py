@@ -55,6 +55,8 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import CodegenError
@@ -78,8 +80,10 @@ __all__ = [
 ]
 
 #: bumped whenever the emitted C ABI (symbol set / layouts) changes; a
-#: cached .so with a different ABI is quarantined, not loaded
-KERNEL_ABI_VERSION = 1
+#: cached .so with a different ABI is quarantined, not loaded.  v2 added
+#: the ``stride`` parameter to ``kern_run`` so disjoint lane blocks can
+#: execute as zero-copy views over one shared column array.
+KERNEL_ABI_VERSION = 2
 
 #: per-model lane capacity of the native kernel.  Independent of the
 #: numpy vectorizer's ``MAX_LANES`` (uint64 bitset width): the kernel's
@@ -173,7 +177,10 @@ def _join(a, b):
 # widening ladders: joins that keep growing across fixpoint passes jump
 # to the next rung instead of climbing one bit per pass (an integrator
 # state's magnitude bound otherwise climbs forever and never converges)
-_INT_LADDER = (1, 2, 4, 8, 16, 24, 32, 40, 48, 53, 56, 60, 62, 64)
+# 7/15/31 are first-class rungs: signed wraps (_w_int8/16/32) produce
+# exactly those widths, and overshooting them by one rung (e.g. 31->32)
+# pushes downstream products past the 62-bit exactness cap
+_INT_LADDER = (1, 2, 4, 7, 8, 15, 16, 24, 31, 32, 40, 48, 53, 56, 60, 62, 64)
 _DBL_LADDER = (0, 1, 2, 4, 8, 16, 32, 53, 64, 128, 256, 512, 1020)
 
 
@@ -540,6 +547,31 @@ class _Lowering:
                     w = lt[1] + rt[1]
                 else:
                     w = max(lt[1], rt[1]) + 1
+                    wrapped = _signed_wrap_width(node)
+                    if isinstance(op, ast.Sub) and wrapped is not None:
+                        # optimizer-inlined signed wrap
+                        # ((x & (2**k - 1)) ^ 2**(k-1)) - 2**(k-1): the
+                        # value provably sits in [-2**(k-1), 2**(k-1)-1],
+                        # and the mask re-established exactness, so type
+                        # it like _w_intK instead of the generic sub rule
+                        # (which overshoots to k+1 and poisons products)
+                        return "k_sub(%s, %s)" % (lc, rc), _ti(wrapped)
+                    if isinstance(op, ast.Sub) and lt[2]:
+                        rem = _c_rem_pattern(node)
+                        # only Name/Constant divisors: retyping those via
+                        # ex() is side-effect-free (no temps emitted)
+                        if rem is not None and isinstance(
+                            rem[1], (ast.Name, ast.Constant)
+                        ):
+                            bt = self.ex(rem[1])[1]
+                            if _is_int(bt) and bt[2]:
+                                # C remainder: |a - trunc(a/b)*b| < |b|,
+                                # and no intermediate exceeds |a| so the
+                                # int64 arithmetic never actually wraps
+                                return (
+                                    "k_sub(%s, %s)" % (lc, rc),
+                                    _ti(bt[1]),
+                                )
                 fn = {ast.Add: "k_add", ast.Sub: "k_sub", ast.Mult: "k_mul"}[
                     type(op)
                 ]
@@ -1347,18 +1379,22 @@ class _Lowering:
             t = self.arg_types[name]
             src = "fcols" if not _is_int(t) else "icols"
             step_args.append(
-                "%s[((int64_t)%d * max_iters + t) * n + l]" % (src, fi)
+                "%s[((int64_t)%d * max_iters + t) * stride + l]" % (src, fi)
             )
+        # `stride` is the lane count of the *whole* batch; a thread block
+        # running lanes [lo, lo+n) passes column pointers pre-offset by
+        # lo and keeps the full-batch stride, so disjoint blocks read the
+        # one shared column array without any per-block repacking
         parts.append(
             "EXPORT void kern_run(Model* m, int64_t n, const int64_t* iters,\n"
             "                     int64_t max_iters, const double* fcols,\n"
-            "                     const int64_t* icols, int64_t* metric,\n"
-            "                     int64_t* done, uint8_t* timed_out,\n"
-            "                     uint8_t* cum) {"
+            "                     const int64_t* icols, int64_t stride,\n"
+            "                     int64_t* metric, int64_t* done,\n"
+            "                     uint8_t* timed_out, uint8_t* cum) {"
         )
         parts.append("    int64_t l, t; int p;")
         parts.append("    int64_t io[NOUTA]; double dob[NOUTA];")
-        parts.append("    (void)fcols; (void)icols; (void)max_iters;")
+        parts.append("    (void)fcols; (void)icols; (void)max_iters; (void)stride;")
         parts.append("    for (l = 0; l < n; l++) {")
         parts.append("        int64_t met = 0;")
         parts.append("        uint8_t* cm = cum + l * NP;")
@@ -1631,6 +1667,100 @@ def _float_tuple(node) -> Optional[tuple]:
     return tuple(out)
 
 
+def _signed_wrap_width(node) -> Optional[int]:
+    """Width k-1 when ``node`` is the inlined signed-wrap idiom
+    ``((expr & (2**k - 1)) ^ 2**(k-1)) - 2**(k-1)`` (what the optimizer
+    produces by inlining ``_w_intK``), else None."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)):
+        return None
+    half = _const_of_opt(node.right)
+    if (
+        not isinstance(half, int)
+        or isinstance(half, bool)
+        or half <= 0
+        or half & (half - 1)
+        or half >= (1 << 62)
+    ):
+        return None
+    xor = node.left
+    if not (isinstance(xor, ast.BinOp) and isinstance(xor.op, ast.BitXor)):
+        return None
+    if _const_of_opt(xor.right) != half:
+        return None
+    mask_op = xor.left
+    if not (
+        isinstance(mask_op, ast.BinOp) and isinstance(mask_op.op, ast.BitAnd)
+    ):
+        return None
+    mask = _mask_const(mask_op.right)
+    if mask is None:
+        mask = _mask_const(mask_op.left)
+    if mask != 2 * half - 1:
+        return None
+    return half.bit_length() - 1  # == k - 1 for half = 2**(k-1)
+
+
+def _is_lt_zero(node, dump: str) -> bool:
+    return (
+        isinstance(node, ast.Compare)
+        and len(node.ops) == 1
+        and isinstance(node.ops[0], ast.Lt)
+        and ast.dump(node.left) == dump
+        and isinstance(node.comparators[0], ast.Constant)
+        and node.comparators[0].value == 0
+    )
+
+
+def _c_rem_pattern(node):
+    """(a, b) AST nodes when ``node`` is the inlined C-remainder idiom
+    ``a - (a // b if (a < 0) == (b < 0) else -(-a // b)) * b`` (what the
+    optimizer produces by inlining ``_safe_mod``), else None.  The true
+    value satisfies |r| < |b|, which the generic sub/mult width rules
+    cannot see."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)):
+        return None
+    mul = node.right
+    if not (isinstance(mul, ast.BinOp) and isinstance(mul.op, ast.Mult)):
+        return None
+    a = node.left
+    da = ast.dump(a)
+    for q, b in ((mul.left, mul.right), (mul.right, mul.left)):
+        if not isinstance(q, ast.IfExp):
+            continue
+        db = ast.dump(b)
+        body = q.body
+        if not (
+            isinstance(body, ast.BinOp)
+            and isinstance(body.op, ast.FloorDiv)
+            and ast.dump(body.left) == da
+            and ast.dump(body.right) == db
+        ):
+            continue
+        o = q.orelse
+        if not (isinstance(o, ast.UnaryOp) and isinstance(o.op, ast.USub)):
+            continue
+        inner = o.operand
+        if not (
+            isinstance(inner, ast.BinOp)
+            and isinstance(inner.op, ast.FloorDiv)
+            and isinstance(inner.left, ast.UnaryOp)
+            and isinstance(inner.left.op, ast.USub)
+            and ast.dump(inner.left.operand) == da
+            and ast.dump(inner.right) == db
+        ):
+            continue
+        t = q.test
+        if (
+            isinstance(t, ast.Compare)
+            and len(t.ops) == 1
+            and isinstance(t.ops[0], ast.Eq)
+            and _is_lt_zero(t.left, da)
+            and _is_lt_zero(t.comparators[0], db)
+        ):
+            return a, b
+    return None
+
+
 def _mask_const(node) -> Optional[int]:
     v = _const_of_opt(node)
     if isinstance(v, int) and not isinstance(v, bool) and 0 <= v < (1 << 62):
@@ -1775,6 +1905,7 @@ class _KernelLib:
             ctypes.c_int64,
             c_f64p,
             c_i64p,
+            ctypes.c_int64,  # stride: lane count of the whole batch
             c_i64p,
             c_i64p,
             c_u8p,
@@ -1817,44 +1948,116 @@ def _ptr(array, ctype):
     return array.ctypes.data_as(ctypes.POINTER(ctype))
 
 
-class KernelProgram:
-    """One instantiated native kernel (per-lane state lives in C)."""
+def _ptr_off(array, offset, ctype):
+    """Pointer into ``array`` at element ``offset`` (C-contiguous data)."""
+    return ctypes.cast(
+        array.ctypes.data + offset * array.itemsize, ctypes.POINTER(ctype)
+    )
 
-    def __init__(self, compiled: "CompiledKernel", lanes: int):
+
+class KernelProgram:
+    """One instantiated native kernel (per-lane state lives in C).
+
+    With ``threads > 1`` the lane range is partitioned into contiguous
+    blocks, each backed by its *own* ``kern_new`` state struct and driven
+    from its own dedicated pool thread — ctypes releases the GIL for the
+    duration of ``kern_run``, so blocks execute genuinely concurrently.
+    The generated C is per-state reentrant (all mutable state lives in
+    the ``Model`` struct; file-level data is ``const``), which the
+    reentrancy test in ``tests/test_kernel.py`` pins.  Per-lane results
+    are written to disjoint offsets of shared output arrays, so any
+    partition yields bit-identical per-lane outputs and the sequential
+    Python-side fold is thread-count-invariant.
+    """
+
+    def __init__(self, compiled: "CompiledKernel", lanes: int, threads: int = 1):
         if not 1 <= lanes <= MAX_KERNEL_LANES:
             raise CodegenError(
                 "kernel lanes must be in 1..%d, got %r"
                 % (MAX_KERNEL_LANES, lanes)
             )
+        if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+            raise CodegenError(
+                "kernel threads must be a positive int, got %r" % (threads,)
+            )
         self._compiled = compiled
         self._klib = compiled.klib
         self._lanes = lanes
-        self._handle = self._klib.lib.kern_new()
-        if not self._handle:  # pragma: no cover - allocation failure
-            raise MemoryError("kern_new failed")
+        # more blocks than lanes would only idle
+        self._threads = min(threads, lanes)
+        self._handles = []
+        for _ in range(self._threads):
+            handle = self._klib.lib.kern_new()
+            if not handle:  # pragma: no cover - allocation failure
+                raise MemoryError("kern_new failed")
+            self._handles.append(handle)
+        self._handle = self._handles[0]
+        self._pools: Optional[List[ThreadPoolExecutor]] = None
+        #: per-block busy seconds inside kern_run (telemetry)
+        self.block_busy_s = [0.0] * self._threads
+        #: dispatched async batches (telemetry)
+        self.dispatches = 0
+        #: seconds the driving thread blocked waiting on inflight batches
+        #: (pipeline stall; accumulated by the fuzz driver's finish side)
+        self.stall_s = 0.0
+
+    @property
+    def threads(self) -> int:
+        return self._threads
+
+    def _block_pools(self) -> List[ThreadPoolExecutor]:
+        # one single-thread executor per block: tasks for one state
+        # struct serialize in submission order (batch N+1 on handle b
+        # cannot start before batch N on handle b finished), while
+        # distinct blocks run concurrently
+        if self._pools is None:
+            self._pools = [
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="kern-blk%d" % b
+                )
+                for b in range(self._threads)
+            ]
+        return self._pools
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown noise
-        handle = getattr(self, "_handle", None)
-        if handle:
+        pools = getattr(self, "_pools", None)
+        if pools:
             try:
-                self._klib.lib.kern_free(handle)
+                for pool in pools:
+                    pool.shutdown(wait=True)
             except Exception:
                 pass
+            self._pools = None
+        handles = getattr(self, "_handles", None)
+        if handles:
+            try:
+                for handle in handles:
+                    self._klib.lib.kern_free(handle)
+            except Exception:
+                pass
+            self._handles = []
             self._handle = None
 
     def reset(self) -> None:
-        self._klib.lib.kern_reset(self._handle, self._lanes)
+        for handle in self._handles:
+            self._klib.lib.kern_reset(handle, self._lanes)
 
     init = reset
 
     def arm_lanes(self) -> None:
         limit = WATCHDOG.limit
-        self._klib.lib.kern_arm(
-            self._handle, self._lanes, -1 if limit is None else int(limit)
-        )
+        for handle in self._handles:
+            self._klib.lib.kern_arm(
+                handle, self._lanes, -1 if limit is None else int(limit)
+            )
 
     def run(self, n, iters, max_iters, fcols, icols):
-        """Fused whole-batch loop; returns (metric, done, timed_out, cum)."""
+        """Fused whole-batch loop; returns (metric, done, timed_out, cum).
+
+        Synchronous single-state path (block 0 runs all lanes); callers
+        reset/arm first.  The threaded engine goes through
+        :meth:`run_async` instead.
+        """
         from . import batch as _b
 
         np = _b._np
@@ -1871,12 +2074,86 @@ class KernelProgram:
             max_iters,
             _ptr(fcols, ctypes.c_double),
             _ptr(icols, ctypes.c_int64),
+            n,
             _ptr(metric, ctypes.c_int64),
             _ptr(done, ctypes.c_int64),
             _ptr(timed, ctypes.c_uint8),
             _ptr(cum, ctypes.c_uint8),
         )
         return metric, done, timed, cum[:, :np_probes]
+
+    def _run_block(
+        self, b, lo, bn, iters_arr, max_iters, fcols, icols, stride,
+        metric, done, timed, cum, limit,
+    ):
+        """Reset, arm and run one lane block on its own state struct.
+
+        Runs on the block's dedicated pool thread; the reset/arm live
+        here (not on the driving thread) because the block's previous
+        batch may still be executing when the next one is dispatched.
+        """
+        lib = self._klib.lib
+        handle = self._handles[b]
+        np_row = cum.shape[1]
+        t0 = time.perf_counter()
+        lib.kern_reset(handle, bn)
+        lib.kern_arm(handle, bn, -1 if limit is None else int(limit))
+        lib.kern_run(
+            handle,
+            bn,
+            _ptr_off(iters_arr, lo, ctypes.c_int64),
+            max_iters,
+            _ptr_off(fcols, lo, ctypes.c_double),
+            _ptr_off(icols, lo, ctypes.c_int64),
+            stride,
+            _ptr_off(metric, lo, ctypes.c_int64),
+            _ptr_off(done, lo, ctypes.c_int64),
+            _ptr_off(timed, lo, ctypes.c_uint8),
+            _ptr_off(cum, lo * np_row, ctypes.c_uint8),
+        )
+        self.block_busy_s[b] += time.perf_counter() - t0
+
+    def run_async(self, n, iters, max_iters, fcols, icols):
+        """Dispatch ``n`` lanes across the thread blocks; returns a
+        ``wait()`` callable yielding ``(metric, done, timed_out, cum)``.
+
+        The watchdog limit is sampled here, on the driving thread, so
+        arming keeps the scalar engine's per-batch semantics.  Output
+        lane order is the input lane order regardless of partition.
+        """
+        from . import batch as _b
+
+        np = _b._np
+        iters_arr = np.ascontiguousarray(iters, dtype=np.int64)
+        metric = np.zeros(n, dtype=np.int64)
+        done = np.zeros(n, dtype=np.int64)
+        timed = np.zeros(n, dtype=np.uint8)
+        np_probes = self._klib.n_probes
+        cum = np.zeros((n, max(np_probes, 1)), dtype=np.uint8)
+        limit = WATCHDOG.limit
+        nb = min(self._threads, n)
+        pools = self._block_pools()
+        base, rem = divmod(n, nb)
+        futures = []
+        lo = 0
+        for b in range(nb):
+            bn = base + (1 if b < rem else 0)
+            futures.append(
+                pools[b].submit(
+                    self._run_block,
+                    b, lo, bn, iters_arr, max_iters, fcols, icols, n,
+                    metric, done, timed, cum, limit,
+                )
+            )
+            lo += bn
+        self.dispatches += 1
+
+        def wait():
+            for fut in futures:
+                fut.result()
+            return metric, done, timed, cum[:, :np_probes]
+
+        return wait
 
     def step_row(self, act, fvals, ivals):
         """One lockstep iteration across lanes (differential harness).
@@ -1954,8 +2231,8 @@ class CompiledKernel:
     def out_kinds(self):
         return self.klib.out_kinds
 
-    def instantiate_kernel(self, lanes: int) -> KernelProgram:
-        program = KernelProgram(self, lanes)
+    def instantiate_kernel(self, lanes: int, threads: int = 1) -> KernelProgram:
+        program = KernelProgram(self, lanes, threads)
         program.reset()
         return program
 
@@ -2132,19 +2409,43 @@ def compile_kernel_fuzz_driver(schedule):
         for f in fields
     ]
 
-    def fuzz_test_kernel(program, cov, batch, total_int):
+    def _buffers(program, need):
+        """Pop a reusable column-buffer pair from the program's pool.
+
+        The pool double-buffers the hot loop: one pair backs the batch
+        executing in the kernel while the next batch packs into the
+        other, so steady state allocates nothing.  Rows past a lane's
+        ``iters[l]`` are never read by the kernel, so buffers need no
+        zeroing between batches.
+        """
+        pool = program.__dict__.setdefault("_column_buffers", [])
+        buf = pool.pop() if pool else {"f": None, "i": None}
+        if buf["f"] is None or buf["f"].size < need:
+            cap = max(need, 4096)
+            buf["f"] = np.empty(cap, dtype=np.float64)
+            buf["i"] = np.empty(cap, dtype=np.int64)
+        return buf
+
+    def start(program, batch):
+        """Pack ``batch`` and dispatch it to the kernel asynchronously.
+
+        Returns an opaque handle for :func:`finish`.  The kernel call
+        releases the GIL, so after ``start`` returns the driving thread
+        can mutate/clamp/pack the *next* batch while this one executes.
+        """
         lanes = program._lanes
         n = len(batch)
         if n == 0:
-            return []
+            return None
         if n > lanes:
             raise ValueError("batch of %d exceeds %d lanes" % (n, lanes))
         iters = [len(b) // tuple_size for b in batch]
         max_iters = max(max(iters), 1)
+        buf = _buffers(program, nf * max_iters * n)
+        fcols = buf["f"][: nf * max_iters * n].reshape(nf, max_iters, n)
+        icols = buf["i"][: nf * max_iters * n].reshape(nf, max_iters, n)
         old = np.seterr(all="ignore")
         try:
-            fcols = np.zeros((nf, max_iters, n), dtype=np.float64)
-            icols = np.zeros((nf, max_iters, n), dtype=np.int64)
             for l, data in enumerate(batch):
                 k = iters[l]
                 if k == 0:
@@ -2161,11 +2462,23 @@ def compile_kernel_fuzz_driver(schedule):
                         icols[fi, :k, l] = c.astype(np.int64)
         finally:
             np.seterr(**old)
-        program.reset()
-        program.arm_lanes()
-        metric, done, timed, cum = program.run(
-            n, iters, max_iters, fcols, icols
-        )
+        wait = program.run_async(n, iters, max_iters, fcols, icols)
+        return (wait, buf, n)
+
+    def finish(program, handle, total_int):
+        """Wait for a dispatched batch and fold it sequentially.
+
+        The fold visits lanes in submission order threading ``running``
+        exactly like the scalar engine, so corpus admission and suite
+        digests are bit-identical at any thread count.
+        """
+        if handle is None:
+            return []
+        wait, buf, n = handle
+        t0 = time.perf_counter()
+        metric, done, timed, cum = wait()
+        program.stall_s += time.perf_counter() - t0
+        program.__dict__["_column_buffers"].append(buf)
         limit = WATCHDOG.limit
         results = []
         running = total_int
@@ -2184,4 +2497,10 @@ def compile_kernel_fuzz_driver(schedule):
             )
         return results
 
+    def fuzz_test_kernel(program, cov, batch, total_int):
+        return finish(program, start(program, batch), total_int)
+
+    # the engine's pipelined hot loop drives the two halves directly
+    fuzz_test_kernel.start = start
+    fuzz_test_kernel.finish = finish
     return fuzz_test_kernel

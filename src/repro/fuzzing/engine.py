@@ -27,6 +27,7 @@ from ..codegen.compile import CompiledModel, compile_model
 from ..codegen.driver import compile_fuzz_driver
 from ..coverage.metrics import CoverageReport, compute_report
 from ..coverage.recorder import CoverageRecorder
+from ..cpu import resolve_kernel_threads
 from ..errors import FuzzingError, WatchdogTimeout
 from ..faults.crashes import CrashStore
 from ..faults.watchdog import WATCHDOG
@@ -106,6 +107,15 @@ class FuzzerConfig:
     #: ``lanes=1`` (bit-identical to scalar, used by the parity gates);
     #: ``"off"`` never builds it
     kernel: str = "auto"
+    #: kernel execution threads per worker: disjoint lane blocks run
+    #: concurrently, each on its own C state struct (ctypes releases the
+    #: GIL during ``kern_run``).  ``"auto"`` divides the container's
+    #: available cores (affinity ∩ cgroup quota, see :mod:`repro.cpu`)
+    #: by ``workers`` so threads x workers never oversubscribes; ints
+    #: are honored as given.  Suite digests are bit-identical at every
+    #: thread count — per-lane results fold sequentially in lane order
+    #: regardless of how lanes are partitioned onto threads.
+    kernel_threads: object = "auto"
 
 
 @dataclass
@@ -211,6 +221,7 @@ class Fuzzer:
         self._batch_driver = None
         self._batch_lanes = 1
         self._kernel_compiled = None
+        self._kernel_threads = 1
         #: which execution backend resume() will use: "scalar", "batch"
         #: or "kernel" — resolved once here, fallbacks included
         self.engine = "scalar"
@@ -264,6 +275,17 @@ class Fuzzer:
                 "config.lanes must be in 1..%d on the kernel backend, got %r"
                 % (_kernel.MAX_KERNEL_LANES, lanes)
             )
+        kt = self.config.kernel_threads
+        if not (
+            kt in ("auto", None)
+            or (isinstance(kt, int) and not isinstance(kt, bool) and kt >= 1)
+        ):
+            # config errors must raise even on toolchain-less machines,
+            # so validate before the degradable numpy/cc checks below
+            raise FuzzingError(
+                "config.kernel_threads must be a positive int or 'auto', "
+                "got %r" % (kt,)
+            )
         if not _batch.have_numpy():
             # the kernel driver marshals byte streams through numpy
             raise _kernel.KernelBuildError(
@@ -282,6 +304,9 @@ class Fuzzer:
                     self.schedule
                 )
         self._batch_lanes = lanes
+        self._kernel_threads = resolve_kernel_threads(
+            kt, workers=self.config.workers, lanes=lanes
+        )
         self.engine = "kernel"
 
     def _engine_fault(self, frm: str, to: str, reason: str) -> None:
@@ -467,7 +492,9 @@ class Fuzzer:
         if bdriver is None:
             program, _ = self.compiled.instantiate(recorder)
         elif self.engine == "kernel":
-            bprogram = self._kernel_compiled.instantiate_kernel(lanes)
+            bprogram = self._kernel_compiled.instantiate_kernel(
+                lanes, self._kernel_threads
+            )
             brecorder = None  # coverage lives inside the native kernel
         else:
             bprogram, brecorder = self._batch_compiled.instantiate_batch(lanes)
@@ -664,20 +691,8 @@ class Fuzzer:
                 return
             absorb(data, parent_density, ops, metric, found_new, total_int, iters)
 
-        def run_batch(items) -> None:
-            """Execute ≤ ``lanes`` inputs in lockstep and absorb each lane.
-
-            ``items`` is a list of ``(data, parent_density, ops)``.  The
-            batched driver threads ``total_int`` through the lanes in list
-            order, so absorption below reproduces the sequential scalar
-            accounting input for input.
-            """
-            results = bdriver(
-                bprogram,
-                brecorder.curr if brecorder is not None else None,
-                [it[0] for it in items],
-                state.total_int,
-            )
+        def absorb_results(items, results) -> None:
+            """Absorb one executed batch lane by lane, in list order."""
             for (data, parent_density, ops), res in zip(items, results):
                 metric, found_new, total_int, iters, texc = res
                 if texc is not None:
@@ -687,6 +702,60 @@ class Fuzzer:
                         data, parent_density, ops, metric, found_new,
                         total_int, iters,
                     )
+
+        # pipelined kernel path: mutation + clamp + column packing of
+        # batch N+1 overlaps the native execution of batch N.  Gated on
+        # lanes > 1 so the lanes=1 kernel stays byte-identical to the
+        # scalar engine (same absorb points), and structurally identical
+        # at every thread count (threads=1 still dispatches async) so
+        # suites cannot depend on the thread count.
+        kstart = getattr(bdriver, "start", None)
+        kfinish = getattr(bdriver, "finish", None)
+        pipelined = (
+            self.engine == "kernel"
+            and lanes > 1
+            and kstart is not None
+            and kfinish is not None
+        )
+        inflight: List = []  # at most one (items, handle) batch
+
+        def drain_inflight() -> None:
+            while inflight:
+                items, handle = inflight.pop(0)
+                absorb_results(items, kfinish(bprogram, handle, state.total_int))
+
+        def run_batch(items) -> None:
+            """Execute ≤ ``lanes`` inputs in lockstep and absorb each lane.
+
+            ``items`` is a list of ``(data, parent_density, ops)``.  The
+            batched driver threads ``total_int`` through the lanes in list
+            order, so absorption below reproduces the sequential scalar
+            accounting input for input.  On the pipelined kernel path
+            the batch is dispatched asynchronously and the *previous*
+            batch is absorbed instead — absorption order stays the
+            submission order.
+            """
+            if pipelined:
+                handle = kstart(bprogram, [it[0] for it in items])
+                prev = inflight[:]
+                del inflight[:]
+                # snapshot: callers recycle the ``pending`` list in place
+                # (``del pending[:]``) right after dispatch, so holding the
+                # live reference would absorb the *next* batch's items
+                # against this batch's results
+                inflight.append((list(items), handle))
+                for pitems, phandle in prev:
+                    absorb_results(
+                        pitems, kfinish(bprogram, phandle, state.total_int)
+                    )
+                return
+            results = bdriver(
+                bprogram,
+                brecorder.curr if brecorder is not None else None,
+                [it[0] for it in items],
+                state.total_int,
+            )
+            absorb_results(items, results)
 
         pending: List = []  # batched mode: inputs awaiting a lockstep flush
 
@@ -704,11 +773,16 @@ class Fuzzer:
             if pending:
                 run_batch(pending)
                 del pending[:]
+            drain_inflight()
 
         def exhausted() -> bool:
             if time.perf_counter() >= deadline:
                 return True
-            if cap is not None and state.inputs_executed + len(pending) >= cap:
+            if cap is not None and (
+                state.inputs_executed
+                + len(pending)
+                + sum(len(items) for items, _ in inflight)
+            ) >= cap:
                 return True
             if config.stop_on_full_coverage and full and state.total_int == full:
                 return True
@@ -778,6 +852,19 @@ class Fuzzer:
         state.rounds += 1
         if tel_on:
             flush_ops()
+            if self.engine == "kernel":
+                slice_s = max(time.perf_counter() - start, 1e-9)
+                busy = [round(b, 6) for b in bprogram.block_busy_s]
+                tel.emit(
+                    "kernel_threads",
+                    threads=bprogram.threads,
+                    lanes=lanes,
+                    dispatches=bprogram.dispatches,
+                    block_busy_s=busy,
+                    utilization=[round(b / slice_s, 4) for b in busy],
+                    stall_s=round(bprogram.stall_s, 6),
+                    pipelined=pipelined,
+                )
             tel.emit(
                 "slice_end",
                 t=round(state.elapsed, 6),

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Set
 from ..bits import popcount
 from ..codegen.compile import CompiledModel, compile_model
 from ..coverage.recorder import CoverageRecorder
+from ..cpu import resolve_kernel_threads
 from ..errors import CampaignDegradedError, FuzzingError, TelemetryError
 from ..faults.plan import get_plan, install as faults_install
 from ..faults.plan import should_fire as faults_should_fire
@@ -314,7 +315,18 @@ class ParallelFuzzer:
         plan = get_plan()
         shipped = plan.for_kinds("worker_death", "slow_exec") if plan else None
 
-        base_config = replace(config, workers=1)
+        # resolve kernel_threads="auto" against the *real* worker count
+        # before the workers=1 replace below: each worker process would
+        # otherwise see workers=1 and claim every available core for its
+        # kernel thread pool, oversubscribing threads x workers
+        kernel_threads = config.kernel_threads
+        if kernel_threads in ("auto", None):
+            kernel_threads = resolve_kernel_threads(
+                "auto", workers=config.workers
+            )
+        base_config = replace(
+            config, workers=1, kernel_threads=kernel_threads
+        )
         ctx = multiprocessing.get_context(
             self.start_method or _default_start_method()
         )

@@ -76,6 +76,9 @@ EVENT_TYPES: Dict[str, tuple] = {
     "hybrid_round": ("round", "t", "covered", "plateaued"),
     "solver_escalation": ("round", "t", "targets", "solved"),
     "fault": ("kind",),
+    # per-slice kernel thread-pool stats: block utilization + the time
+    # the driving thread stalled waiting on an inflight batch
+    "kernel_threads": ("threads", "lanes", "block_busy_s", "stall_s"),
     "crash_artifact": ("t", "kind", "hash", "count", "size"),
     "worker_respawn": ("worker", "epoch", "attempt", "backoff_s"),
     "worker_dead": ("worker", "epoch", "reason"),

@@ -1,0 +1,66 @@
+"""Container-aware core detection and kernel thread resolution.
+
+``repro.cpu`` is the single shared answer to "how many cores may this
+process use" — every worker/thread default in the tree routes through
+it, so these tests pin the override precedence (``REPRO_CPUS`` >
+affinity ∩ cgroup quota) and the thread-resolution arithmetic
+(``auto`` = pinned env or cores // workers, always clamped to lanes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cpu import available_cpus, resolve_kernel_threads
+
+
+class TestAvailableCpus:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "7")
+        assert available_cpus() == 7
+
+    def test_bad_override_falls_through_to_detection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "zero")
+        assert available_cpus() >= 1
+        monkeypatch.setenv("REPRO_CPUS", "-3")
+        assert available_cpus() >= 1
+
+    def test_detection_is_positive_and_affinity_bounded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CPUS", raising=False)
+        n = available_cpus()
+        assert isinstance(n, int) and n >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert n <= len(os.sched_getaffinity(0))
+
+
+class TestResolveKernelThreads:
+    def test_explicit_int_honored(self):
+        assert resolve_kernel_threads(3) == 3
+        assert resolve_kernel_threads(1, workers=64) == 1
+
+    def test_explicit_int_clamped_to_one(self):
+        assert resolve_kernel_threads(0) == 1
+        assert resolve_kernel_threads(-5) == 1
+
+    def test_lanes_clamp(self):
+        assert resolve_kernel_threads(16, lanes=4) == 4
+        assert resolve_kernel_threads(2, lanes=8) == 2
+
+    def test_auto_divides_cores_by_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "8")
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        assert resolve_kernel_threads("auto", workers=4) == 2
+        assert resolve_kernel_threads("auto", workers=1) == 8
+        # never resolves below one thread, however many workers
+        assert resolve_kernel_threads(None, workers=16) == 1
+
+    def test_auto_honors_env_pin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "5")
+        assert resolve_kernel_threads("auto") == 5
+        assert resolve_kernel_threads(None, workers=4) == 5
+        assert resolve_kernel_threads("auto", lanes=2) == 2
+
+    def test_auto_env_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "lots")
+        monkeypatch.setenv("REPRO_CPUS", "6")
+        assert resolve_kernel_threads("auto", workers=2) == 3

@@ -291,3 +291,138 @@ class TestKernelDriver:
         for w, g in zip(want, got):
             assert g[4] is None
             assert tuple(g[:4]) == tuple(w[:4])
+
+
+# -------------------------------------------------------------------- #
+# multi-core execution
+# -------------------------------------------------------------------- #
+@skip_if_no_cc
+class TestKernelThreading:
+    """Thread-parallel ``kern_run``: every thread count must be
+    bit-identical to ``threads=1`` (the sequential fold is the only
+    ordered step), and the generated C must stay reentrant across
+    states — two kernel states driven concurrently may never observe
+    each other."""
+
+    def test_thread_counts_produce_identical_suites(self, schedule, tmp_path):
+        runs = {}
+        for threads in (1, 2, 4):
+            fz, st, _ = run_config(
+                schedule, tmp_path, "thr%d" % threads,
+                lanes=32, kernel="on", kernel_threads=threads,
+            )
+            assert fz.engine == "kernel"
+            runs[threads] = (
+                st.inputs_executed,
+                st.iterations_executed,
+                suite_digest(st.suite),
+            )
+        assert runs[1] == runs[2] == runs[4]
+
+    def test_auto_honors_env_pin(self, schedule, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        fz, _, _ = run_config(
+            schedule, tmp_path, "thrauto",
+            lanes=32, kernel="on", kernel_threads="auto",
+        )
+        assert fz.engine == "kernel"
+        assert fz._kernel_threads == 3
+
+    def test_threads_clamp_to_lanes(self, schedule, tmp_path):
+        fz, _, _ = run_config(
+            schedule, tmp_path, "thrclamp",
+            lanes=2, kernel="on", kernel_threads=64,
+        )
+        assert fz.engine == "kernel"
+        assert fz._kernel_threads == 2
+
+    def test_ladder_under_threading(self, schedule, tmp_path, monkeypatch):
+        """kernel_threads set + no toolchain: the same batch fallback,
+        the same fault telemetry, the same suite the batch engine
+        produces natively — threading never changes the ladder."""
+        monkeypatch.setattr(kernel_mod, "find_cc", lambda: None)
+        fk, st_k, events = run_config(
+            schedule, tmp_path, "thrnocc",
+            lanes=4, kernel="on", kernel_threads=4,
+        )
+        assert fk.engine == "batch"
+        falls = fallback_events(events)
+        assert falls and falls[0]["engine_from"] == "kernel"
+        assert falls[0]["engine_to"] == "batch"
+        monkeypatch.undo()
+        fb, st_b, _ = run_config(
+            schedule, tmp_path, "thrbatch", lanes=4, kernel="off"
+        )
+        assert fb.engine == "batch"
+        assert suite_digest(st_k.suite) == suite_digest(st_b.suite)
+
+    def test_invalid_thread_config_raises(self, schedule):
+        for bad in (0, -2, "three", True):
+            with pytest.raises(FuzzingError):
+                Fuzzer(
+                    schedule,
+                    FuzzerConfig(lanes=4, kernel="on", kernel_threads=bad),
+                )
+
+    def test_telemetry_reports_block_utilization(self, schedule, tmp_path):
+        fz, _, events = run_config(
+            schedule, tmp_path, "thrtel",
+            lanes=32, kernel="on", kernel_threads=2,
+        )
+        assert fz.engine == "kernel"
+        evs = [e for e in events if e["ev"] == "kernel_threads"]
+        assert evs
+        ev = evs[-1]
+        assert ev["threads"] == 2
+        assert ev["lanes"] == 32
+        assert len(ev["block_busy_s"]) == 2
+        assert len(ev["utilization"]) == 2
+        assert ev["stall_s"] >= 0
+        assert ev["pipelined"] is True
+
+    def test_generated_c_is_reentrant_across_states(self, schedule):
+        """Two kernel states driven concurrently from two Python threads
+        (the CDLL call releases the GIL, so the C genuinely overlaps)
+        reproduce the scalar engine's precomputed per-stream results —
+        the executable pin for the no-globals audit of the emitted C."""
+        import random
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.codegen.compile import compile_model
+        from repro.codegen.driver import compile_fuzz_driver
+
+        layout = schedule.layout
+        rng = random.Random(1234)
+        streamsets = [
+            [
+                bytes(rng.randrange(256) for _ in range(layout.size * 24))
+                for _ in range(8)
+            ]
+            for _ in range(2)
+        ]
+
+        compiled = compile_model(schedule, "model")
+        sdriver = compile_fuzz_driver(schedule)
+        want = []
+        for streams in streamsets:
+            program, rec = compiled.instantiate()
+            running, res = 0, []
+            for data in streams:
+                r = sdriver(program, rec.curr, data, running)
+                running = r[2]
+                res.append(tuple(r[:4]))
+            want.append(res)
+
+        ck = compile_kernel(schedule, "model", cache=False)
+        kdriver = compile_kernel_fuzz_driver(schedule)
+        progs = [ck.instantiate_kernel(8) for _ in range(2)]
+
+        def run(i):
+            return [
+                tuple(g[:4])
+                for g in kdriver(progs[i], None, streamsets[i], 0)
+            ]
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            got = list(pool.map(run, range(2)))
+        assert got == want
