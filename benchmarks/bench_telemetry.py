@@ -17,7 +17,14 @@ assert on the result:
   ``tests/test_parallel.py``: observability never touches the RNG stream
   or the corpus decisions;
 * the enabled run's campaign trace is validated event by event and kept
-  (``--trace``) so the gate doubles as a trace-format smoke test.
+  (``--trace``) so the gate doubles as a trace-format smoke test;
+* **kernel path** — the same off/on pairwise gate on the lane-parallel
+  backend (``lanes=8``, ``kernel_threads=2``) with the FULL
+  observability stack enabled (trace + stats + span events + a live
+  metrics server being scraped): overhead stays within budget and the
+  off/on suites are byte-identical to each other.  Self-gating: when no
+  native kernel or numpy batch backend is available the section reports
+  itself skipped instead of failing.
 
 Usage::
 
@@ -103,6 +110,104 @@ def bench_overhead(schedule, pairs=RATE_PAIRS, max_inputs=RATE_INPUTS):
         "execs_per_s_on": round(max(rates_on), 1),
         "pair_overheads_pct": [round((1.0 - r) * 100.0, 2) for r in ratios],
         "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def _kernel_config(seed, max_inputs):
+    return FuzzerConfig(
+        max_seconds=600.0,
+        max_inputs=max_inputs,
+        seed=seed,
+        lanes=8,
+        kernel="auto",
+        kernel_threads=2,
+    )
+
+
+def _run_kernel_off(schedule, max_inputs):
+    fuzzer = Fuzzer(
+        schedule, _kernel_config(7, max_inputs), telemetry=Telemetry(enabled=False)
+    )
+    return fuzzer.run()
+
+
+def _run_kernel_on(schedule, max_inputs):
+    """The full stack: JSONL trace, status lines, spans, live HTTP scrape."""
+    import urllib.request
+
+    from repro.telemetry.metrics import parse_exposition
+    from repro.telemetry.server import MetricsServer
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro_tel_k_")
+    os.close(fd)
+    try:
+        tel = Telemetry(
+            enabled=True,
+            trace_path=path,
+            stats_stream=io.StringIO(),
+            stats_interval=0.25,
+        )
+        fuzzer = Fuzzer(schedule, _kernel_config(7, max_inputs), telemetry=tel)
+        with MetricsServer(tel) as server:
+            result = fuzzer.run()
+            # a real scrape while the server is live: the exposition must
+            # parse and carry the engine gauges the kernel path maintains
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+                samples = parse_exposition(r.read().decode("utf-8"))
+            assert "repro_engine_ladder_position" in samples
+        tel.close()
+        events = read_trace(path)
+        for event in events:
+            validate_event(event)
+        spans = sum(1 for e in events if e.get("ev") == "span")
+    finally:
+        os.unlink(path)
+    return result, spans
+
+
+def bench_kernel(schedule, pairs=RATE_PAIRS, max_inputs=RATE_INPUTS):
+    """Off/on pairwise overhead + identity on the lane-parallel backend.
+
+    Identity compares off-vs-on digests of the *same* kernel config (the
+    scalar golden table doesn't apply: lanes>1 legitimately schedules the
+    corpus differently), so the guarantee is exactly "observability never
+    perturbs the suite".  Returns ``None`` when only the scalar engine is
+    available (no C compiler and no numpy) — the caller reports a skip.
+    """
+    probe = Fuzzer(schedule, _kernel_config(7, 1), telemetry=Telemetry(enabled=False))
+    if probe.engine == "scalar":
+        return None
+    ratios = []
+    rates_off = []
+    rates_on = []
+    digests_off = set()
+    digests_on = set()
+    span_counts = []
+    _run_kernel_off(schedule, max_inputs)  # warm-up (incl. kernel cc)
+    for i in range(pairs):
+        if i % 2 == 0:
+            off = _run_kernel_off(schedule, max_inputs)
+            on, spans = _run_kernel_on(schedule, max_inputs)
+        else:
+            on, spans = _run_kernel_on(schedule, max_inputs)
+            off = _run_kernel_off(schedule, max_inputs)
+        rates_off.append(off.execs_per_second)
+        rates_on.append(on.execs_per_second)
+        span_counts.append(spans)
+        digests_off.add(_suite_digest(off.suite))
+        digests_on.add(_suite_digest(on.suite))
+        if off.execs_per_second:
+            ratios.append(on.execs_per_second / off.execs_per_second)
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2] if ratios else 1.0
+    return {
+        "backend": probe.engine,
+        "execs_per_s_off": round(max(rates_off), 1),
+        "execs_per_s_on": round(max(rates_on), 1),
+        "pair_overheads_pct": [round((1.0 - r) * 100.0, 2) for r in ratios],
+        "overhead_pct": round((1.0 - median_ratio) * 100.0, 2),
+        "span_events": max(span_counts),
+        "digests_identical": digests_off == digests_on and len(digests_off) == 1,
     }
 
 
@@ -202,7 +307,25 @@ def main(argv=None) -> int:
     if args.trace:
         print("trace kept at %s" % args.trace)
 
-    result = {"overhead": overhead, "byte_identity": identity}
+    kernel = bench_kernel(schedule, args.pairs, args.inputs)
+    if kernel is None:
+        print("kernel path: skipped (no native kernel or numpy backend here)")
+    else:
+        print(
+            "kernel path (%s, lanes=8, threads=2, full stack): off %.0f  "
+            "on %.0f  median pairwise overhead %.2f%%  span events %d  "
+            "off/on suites identical: %s"
+            % (
+                kernel["backend"],
+                kernel["execs_per_s_off"],
+                kernel["execs_per_s_on"],
+                kernel["overhead_pct"],
+                kernel["span_events"],
+                kernel["digests_identical"],
+            )
+        )
+
+    result = {"overhead": overhead, "byte_identity": identity, "kernel": kernel}
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(result, fh, indent=2, sort_keys=True)
@@ -224,6 +347,22 @@ def main(argv=None) -> int:
             ok = False
         if not row["curve_monotone"]:
             print("FAIL: coverage curve not monotone")
+            ok = False
+    if kernel is not None:
+        if kernel["overhead_pct"] > args.max_overhead:
+            print(
+                "FAIL: kernel-path telemetry overhead %.2f%% > %.1f%%"
+                % (kernel["overhead_pct"], args.max_overhead)
+            )
+            ok = False
+        if not kernel["digests_identical"]:
+            print(
+                "FAIL: kernel-path suite bytes changed with the "
+                "observability stack on"
+            )
+            ok = False
+        if not kernel["span_events"]:
+            print("FAIL: kernel-path trace carries no span events")
             ok = False
     if ok:
         print("telemetry gate passed")

@@ -3,12 +3,16 @@
 Commands:
 
 * ``fuzz`` — run CFTCG on a model container (or named benchmark) and
-  write the test suite + CSV files.
+  write the test suite + CSV files; ``--serve-metrics PORT`` exposes the
+  live campaign over HTTP (``/metrics``, ``/status``, ``/events``).
 * ``codegen`` — print the generated (instrumented) model code and fuzz
   driver for inspection.
 * ``compare`` — run all four generators on a model and print the
   Table-3-style comparison row.
 * ``report`` — replay a saved suite against a model and print coverage.
+* ``trace`` — analyze JSONL campaign traces offline: ``summary`` (phase/
+  span/operator breakdown), ``curve`` (coverage over time), ``diff``
+  (coverage/throughput/phase-time delta of two campaigns).
 * ``bench`` — list the built-in benchmark models with their statistics.
 """
 
@@ -72,13 +76,27 @@ def _cmd_fuzz(args) -> int:
     from .fuzzing.parallel import run_campaign
     from .telemetry import Telemetry, telemetry_scope
 
+    serve = args.serve_metrics is not None
     tel = Telemetry(
-        enabled=bool(args.stats or args.trace),
+        enabled=bool(args.stats or args.trace or serve),
         trace_path=args.trace,
         stats_stream=sys.stderr if args.stats else None,
     )
+    server = None
     try:
+        if serve:
+            from .telemetry.server import MetricsServer
+
+            server = MetricsServer(tel, port=args.serve_metrics).start()
+            print(
+                "serving metrics on %s (/metrics /status /events)" % server.url,
+                file=sys.stderr,
+            )
         with telemetry_scope(tel):
+            # the CLI owns the campaign root span so the parse phase
+            # parents under it; the engine detects it and doesn't open
+            # a second root
+            root = tel.span_begin("campaign")
             with tel.phase("parse"):
                 schedule = _load_schedule(args.model)
             config = FuzzerConfig(
@@ -93,7 +111,10 @@ def _cmd_fuzz(args) -> int:
                 kernel_threads=args.kernel_threads,
             )
             result = run_campaign(schedule, config)
+            tel.span_end(root)
     finally:
+        if server is not None:
+            server.close()
         tel.close()
     print(
         "executed %d inputs (%.0f model iterations/s, %.0f execs/s, %d worker%s)"
@@ -273,6 +294,58 @@ def _cmd_minimize(args) -> int:
     return 0
 
 
+def _cmd_trace_summary(args) -> int:
+    from .telemetry import read_trace
+    from .telemetry.tools import dump_json, render_summary, trace_stats
+
+    events = read_trace(args.trace)
+    if args.json:
+        print(dump_json(trace_stats(events)))
+    else:
+        print(render_summary(events))
+    return 0
+
+
+def _cmd_trace_curve(args) -> int:
+    from .telemetry import read_trace
+    from .telemetry.tools import dump_json, render_curve, trace_stats
+
+    events = read_trace(args.trace)
+    if args.json:
+        stats = trace_stats(events)
+        print(
+            dump_json(
+                {
+                    "curve": stats["curve"],
+                    "covered": stats["covered"],
+                    "n_probes": stats["n_probes"],
+                    "skipped_lines": stats["skipped_lines"],
+                }
+            )
+        )
+    else:
+        print(render_curve(events))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from .telemetry import read_trace
+    from .telemetry.tools import dump_json, render_diff, trace_diff
+
+    diff = trace_diff(
+        read_trace(args.trace_a), read_trace(args.trace_b)
+    )
+    if args.json:
+        diff["paths"] = {"A": args.trace_a, "B": args.trace_b}
+        print(dump_json(diff))
+    else:
+        print("A = %s" % args.trace_a)
+        print("B = %s" % args.trace_b)
+        print()
+        print(render_diff(diff))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .experiments.table2 import collect_table2, render_table2
 
@@ -363,6 +436,17 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write a structured JSONL campaign trace to PATH",
     )
+    p.add_argument(
+        "--serve-metrics",
+        dest="serve_metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live campaign observability over HTTP on 127.0.0.1:"
+        "PORT while fuzzing: Prometheus /metrics, JSON /status (per-"
+        "worker heartbeats, phase, plateau state), /events trace tail "
+        "(0 = pick a free port)",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_fuzz)
 
@@ -417,6 +501,31 @@ def main(argv=None) -> int:
     p.add_argument("--out", help="directory for the reduced suite")
     p.set_defaults(func=_cmd_minimize)
 
+    p = sub.add_parser(
+        "trace", help="analyze JSONL campaign traces (no re-execution)"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    tp = tsub.add_parser(
+        "summary", help="phase/span/operator breakdown of one campaign"
+    )
+    tp.add_argument("trace", help="JSONL trace written by 'fuzz --trace'")
+    tp.add_argument("--json", action="store_true", help="machine-readable output")
+    tp.set_defaults(func=_cmd_trace_summary)
+    tp = tsub.add_parser(
+        "curve", help="coverage-over-time curve from the trace's cov bitmaps"
+    )
+    tp.add_argument("trace", help="JSONL trace written by 'fuzz --trace'")
+    tp.add_argument("--json", action="store_true", help="machine-readable output")
+    tp.set_defaults(func=_cmd_trace_curve)
+    tp = tsub.add_parser(
+        "diff",
+        help="compare two campaign traces: coverage, throughput, phase times",
+    )
+    tp.add_argument("trace_a", help="baseline trace")
+    tp.add_argument("trace_b", help="candidate trace")
+    tp.add_argument("--json", action="store_true", help="machine-readable output")
+    tp.set_defaults(func=_cmd_trace_diff)
+
     p = sub.add_parser("bench", help="list benchmark models (Table 2)")
     p.set_defaults(func=_cmd_bench)
 
@@ -426,3 +535,9 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-print; exit quietly
+        # like any well-behaved unix filter (devnull swallows the
+        # implicit flush of the dead stdout at interpreter shutdown)
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

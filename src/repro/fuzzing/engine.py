@@ -33,6 +33,7 @@ from ..faults.crashes import CrashStore
 from ..faults.watchdog import WATCHDOG
 from ..schedule.schedule import Schedule
 from ..telemetry.core import NULL, Telemetry, get_telemetry, telemetry_scope
+from ..telemetry.metrics import LADDER_POSITIONS
 from ..telemetry.stats import StatusPrinter
 from .corpus import Corpus, CorpusEntry
 from .mutations import mutate_field_wise, mutate_generic
@@ -521,6 +522,70 @@ class Fuzzer:
                 n_probes=self.schedule.branch_db.n_probes,
                 level=config.level,
             )
+        # live-observability locals: the engine gauges the /metrics
+        # exporter surfaces plus the shared /status frame, refreshed at
+        # most once per telemetry tick (the observe() gate below)
+        status = tel.status if tel_on else None
+        worker_id = tel.tags.get("worker", 0) if tel_on else 0
+        cur_phase = "seed" if not state.seeded else "mutate_exec"
+        if tel_on:
+            gauge = tel.gauge
+            g_rate = gauge("engine.execs_per_s")
+            g_iter_rate = gauge("engine.iterations_per_s")
+            g_execs = gauge("engine.execs")
+            g_corpus = gauge("engine.corpus_size")
+            g_covered = gauge("engine.covered_probes")
+            g_cov_frac = gauge("engine.coverage_fraction")
+            g_plateau = gauge("engine.plateau")
+            gauge("engine.lanes").set(lanes)
+            gauge("engine.kernel_threads").set(
+                self._kernel_threads if self.engine == "kernel" else 1
+            )
+            gauge("engine.ladder_position").set(
+                LADDER_POSITIONS.get(self.engine, 0)
+            )
+            if status is not None:
+                status.update(
+                    model=self.schedule.model.name,
+                    seed=config.seed,
+                    workers=config.workers,
+                    n_probes=self.schedule.branch_db.n_probes,
+                    engine=self.engine,
+                    lanes=lanes,
+                    kernel_threads=(
+                        self._kernel_threads if self.engine == "kernel" else 1
+                    ),
+                    phase=cur_phase,
+                )
+        slice_start_execs = state.inputs_executed
+        slice_start_iters = state.iterations_executed
+        # coalesced kernel-hot-path spans: per-dispatch/fold durations
+        # accumulate here and flush as one aggregated span per tick, so
+        # span granularity never costs an event per batch
+        kspans = (
+            {"dispatch_n": 0, "dispatch_s": 0.0, "fold_n": 0, "fold_s": 0.0}
+            if tel_on
+            else None
+        )
+
+        def flush_kspans() -> None:
+            if kspans is None:
+                return
+            if kspans["dispatch_n"]:
+                tel.emit_span(
+                    "kernel_dispatch",
+                    kspans["dispatch_s"],
+                    batches=kspans["dispatch_n"],
+                    lanes=lanes,
+                )
+                kspans["dispatch_n"] = 0
+                kspans["dispatch_s"] = 0.0
+            if kspans["fold_n"]:
+                tel.emit_span(
+                    "kernel_fold", kspans["fold_s"], batches=kspans["fold_n"]
+                )
+                kspans["fold_n"] = 0
+                kspans["fold_s"] = 0.0
 
         offset = state.elapsed
         start = time.perf_counter()
@@ -533,6 +598,7 @@ class Fuzzer:
         last_new_t = offset
         plateau_reported = False
         next_tick = 0.0  # campaign-time of the next telemetry tick
+        next_gauge_t = 0.0  # campaign-time of the next gauge/status refresh
         ops_log: List[str] = []  # batched operator names, flushed per tick
 
         def flush_ops() -> None:
@@ -550,12 +616,56 @@ class Fuzzer:
             change) and otherwise at most once per :data:`_TICK_SECONDS`
             — uninteresting execs between ticks pay only the gate check.
             """
-            nonlocal last_new_t, plateau_reported, next_tick
+            nonlocal last_new_t, plateau_reported, next_tick, next_gauge_t
             next_tick = now + _TICK_SECONDS
             flush_ops()
+            if now >= next_gauge_t:
+                # gauge/status refresh is tick-bounded even though observe
+                # itself runs for every interesting exec — the live view
+                # never costs more than ~10 refreshes/s
+                next_gauge_t = now + _TICK_SECONDS
+                flush_kspans()
+                covered_now = popcount(state.total_int)
+                slice_t = max(now - offset, 1e-9)
+                g_rate.set(
+                    round(
+                        (state.inputs_executed - slice_start_execs) / slice_t, 1
+                    )
+                )
+                g_iter_rate.set(
+                    round(
+                        (state.iterations_executed - slice_start_iters)
+                        / slice_t,
+                        1,
+                    )
+                )
+                g_execs.set(state.inputs_executed)
+                g_corpus.set(len(corpus))
+                g_covered.set(covered_now)
+                g_cov_frac.set(
+                    round(covered_now / n_probes, 6) if n_probes else 0.0
+                )
+                if status is not None:
+                    status.update(
+                        phase=cur_phase,
+                        execs=state.inputs_executed,
+                        covered=covered_now,
+                        corpus=len(corpus),
+                        cases=len(suite),
+                        plateau=plateau_reported and not found_new,
+                    )
+                    status.worker_update(
+                        worker_id,
+                        phase=cur_phase,
+                        epoch=state.rounds,
+                        execs=state.inputs_executed,
+                        covered=covered_now,
+                        corpus=len(corpus),
+                    )
             if found_new:
                 last_new_t = now
                 plateau_reported = False
+                g_plateau.set(0)
                 tel.emit(
                     "cov",
                     t=round(now, 6),
@@ -587,6 +697,7 @@ class Fuzzer:
                 idle = now - last_new_t
                 if idle >= _PLATEAU_SECONDS:
                     plateau_reported = True
+                    g_plateau.set(1)
                     tel.emit(
                         "plateau",
                         t=round(now, 6),
@@ -719,10 +830,21 @@ class Fuzzer:
         )
         inflight: List = []  # at most one (items, handle) batch
 
+        def kernel_finish(items, handle):
+            """One timed kfinish: wait + per-lane fold, span-accounted."""
+            if kspans is None:
+                absorb_results(items, kfinish(bprogram, handle, state.total_int))
+                return
+            t0 = time.perf_counter()
+            results = kfinish(bprogram, handle, state.total_int)
+            kspans["fold_n"] += 1
+            kspans["fold_s"] += time.perf_counter() - t0
+            absorb_results(items, results)
+
         def drain_inflight() -> None:
             while inflight:
                 items, handle = inflight.pop(0)
-                absorb_results(items, kfinish(bprogram, handle, state.total_int))
+                kernel_finish(items, handle)
 
         def run_batch(items) -> None:
             """Execute ≤ ``lanes`` inputs in lockstep and absorb each lane.
@@ -736,7 +858,13 @@ class Fuzzer:
             submission order.
             """
             if pipelined:
-                handle = kstart(bprogram, [it[0] for it in items])
+                if kspans is None:
+                    handle = kstart(bprogram, [it[0] for it in items])
+                else:
+                    t0 = time.perf_counter()
+                    handle = kstart(bprogram, [it[0] for it in items])
+                    kspans["dispatch_n"] += 1
+                    kspans["dispatch_s"] += time.perf_counter() - t0
                 prev = inflight[:]
                 del inflight[:]
                 # snapshot: callers recycle the ``pending`` list in place
@@ -745,16 +873,25 @@ class Fuzzer:
                 # against this batch's results
                 inflight.append((list(items), handle))
                 for pitems, phandle in prev:
-                    absorb_results(
-                        pitems, kfinish(bprogram, phandle, state.total_int)
-                    )
+                    kernel_finish(pitems, phandle)
                 return
-            results = bdriver(
-                bprogram,
-                brecorder.curr if brecorder is not None else None,
-                [it[0] for it in items],
-                state.total_int,
-            )
+            if kspans is None:
+                results = bdriver(
+                    bprogram,
+                    brecorder.curr if brecorder is not None else None,
+                    [it[0] for it in items],
+                    state.total_int,
+                )
+            else:
+                t0 = time.perf_counter()
+                results = bdriver(
+                    bprogram,
+                    brecorder.curr if brecorder is not None else None,
+                    [it[0] for it in items],
+                    state.total_int,
+                )
+                kspans["dispatch_n"] += 1
+                kspans["dispatch_s"] += time.perf_counter() - t0
             absorb_results(items, results)
 
         pending: List = []  # batched mode: inputs awaiting a lockstep flush
@@ -808,6 +945,13 @@ class Fuzzer:
         flush_pending()
         seed_done = time.perf_counter()
         tel.add_phase("seed", seed_done - start)
+        if tel_on:
+            tel.emit_span(
+                "seed",
+                seed_done - start,
+                execs=state.inputs_executed - slice_start_execs,
+            )
+        cur_phase = "mutate_exec"
 
         while not exhausted():
             parent = corpus.select(rng)
@@ -852,6 +996,12 @@ class Fuzzer:
         state.rounds += 1
         if tel_on:
             flush_ops()
+            flush_kspans()
+            tel.emit_span(
+                "mutate_exec",
+                time.perf_counter() - seed_done,
+                execs=state.inputs_executed - slice_start_execs,
+            )
             if self.engine == "kernel":
                 slice_s = max(time.perf_counter() - start, 1e-9)
                 busy = [round(b, 6) for b in bprogram.block_busy_s]
@@ -864,6 +1014,24 @@ class Fuzzer:
                     utilization=[round(b / slice_s, 4) for b in busy],
                     stall_s=round(bprogram.stall_s, 6),
                     pipelined=pipelined,
+                )
+                tel.gauge("engine.pipeline_stall_s").set(
+                    round(bprogram.stall_s, 6)
+                )
+            g_execs.set(state.inputs_executed)
+            g_corpus.set(len(corpus))
+            g_covered.set(popcount(state.total_int))
+            g_cov_frac.set(
+                round(popcount(state.total_int) / n_probes, 6) if n_probes else 0.0
+            )
+            if status is not None:
+                status.worker_update(
+                    worker_id,
+                    phase="idle",
+                    epoch=state.rounds,
+                    execs=state.inputs_executed,
+                    covered=popcount(state.total_int),
+                    corpus=len(corpus),
                 )
             tel.emit(
                 "slice_end",
@@ -915,9 +1083,15 @@ class Fuzzer:
 
     def run(self) -> FuzzResult:
         """Execute the fuzzing loop; returns suite + replayed coverage."""
+        tel = self.telemetry
+        root = None
+        if tel.enabled and tel.active_span is None:
+            root = tel.span_begin("campaign")
         state = self.new_state()
         self.resume(state)
-        return self.finalize(state)
+        result = self.finalize(state)
+        tel.span_end(root)
+        return result
 
 
 def replay_suite(

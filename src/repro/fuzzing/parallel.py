@@ -114,29 +114,36 @@ def _run_slice(fuzzer: Fuzzer, payload: Dict) -> FuzzState:
         state = fuzzer.new_state()
     trace_path = payload.get("trace_path")
     worker = payload.get("worker", 0)
+    epoch = payload.get("epoch", 0)
     if trace_path:
         # a private, append-mode trace per worker per process; the parent
-        # absorbs the files into the campaign trace after the last epoch
+        # absorbs the files into the campaign trace after the last epoch.
+        # Span ids get a worker/epoch prefix (collision-free after the
+        # absorb) and adopt the campaign root span as parent, so the
+        # merged trace folds into one tree
         tel = Telemetry(
             enabled=True,
             trace_path=_worker_trace_path(trace_path, worker),
             tags={"worker": worker},
             append=True,
+            span_prefix="w%de%d-" % (worker, epoch),
         )
+        tel.span_root = payload.get("parent_span")
     else:
         tel = Telemetry(enabled=False)
     fuzzer.telemetry = tel
     try:
-        fuzzer.resume(
-            state,
-            max_seconds=payload["max_seconds"],
-            max_inputs=payload["max_inputs"],
-            extra_seeds=payload["extra_seeds"],
-        )
+        with tel.span("slice", worker=worker, epoch=epoch):
+            fuzzer.resume(
+                state,
+                max_seconds=payload["max_seconds"],
+                max_inputs=payload["max_inputs"],
+                extra_seeds=payload["extra_seeds"],
+            )
         tel.emit(
             "heartbeat",
             worker=worker,
-            epoch=payload.get("epoch", 0),
+            epoch=epoch,
             t=round(state.elapsed, 6),
             execs=state.inputs_executed,
             covered=popcount(state.total_int),
@@ -285,6 +292,15 @@ class ParallelFuzzer:
 
         tel = self.telemetry
         trace_path = tel.trace_path if tel.enabled else None
+        # one campaign root span unless a caller (the CLI) already opened
+        # it; workers adopt whichever id is active as their span parent
+        root = (
+            tel.span_begin("campaign")
+            if tel.enabled and tel.active_span is None
+            else None
+        )
+        parent_span = tel.active_span if tel.enabled else None
+        status = tel.status if tel.enabled else None
         with telemetry_scope(tel):
             compiled = self._compiled or compile_model(self.schedule, "model")
         if tel.enabled:
@@ -296,6 +312,18 @@ class ParallelFuzzer:
                 n_probes=self.schedule.branch_db.n_probes,
                 level=config.level,
             )
+            tel.gauge("campaign.workers_live").set(config.workers)
+            tel.gauge("campaign.sync_epoch").set(0)
+            if status is not None:
+                status.update(
+                    model=self.schedule.model.name,
+                    seed=config.seed,
+                    workers=config.workers,
+                    n_probes=self.schedule.branch_db.n_probes,
+                    engine="parallel",
+                    phase="fuzz",
+                    epoch=0,
+                )
         if trace_path:
             for w in range(config.workers):
                 # clear stale per-worker files (they open in append mode)
@@ -396,6 +424,11 @@ class ParallelFuzzer:
                         "worker_dead", worker=slot, epoch=epoch, reason=reason
                     )
                     tel.emit("degraded", workers_left=len(live))
+                    tel.gauge("campaign.workers_live").set(len(live))
+                if status is not None:
+                    status.worker_update(
+                        slot, heartbeat=False, phase="dead", respawns=respawns[slot]
+                    )
                 if not live:
                     raise CampaignDegradedError(
                         "all %d campaign workers died beyond their respawn "
@@ -413,6 +446,13 @@ class ParallelFuzzer:
                     epoch=epoch,
                     attempt=respawns[slot],
                     backoff_s=round(backoff, 3),
+                )
+            if status is not None:
+                status.worker_update(
+                    slot,
+                    heartbeat=False,
+                    phase="respawning",
+                    respawns=respawns[slot],
                 )
             time.sleep(backoff)
             # re-dispatch the SAME payload with injected faults stripped:
@@ -449,10 +489,15 @@ class ParallelFuzzer:
                         "worker": w,
                         "epoch": epoch,
                         "faults": shipped,
+                        "parent_span": parent_span,
                     }
                     task_qs[w].put(payloads[w])
                     deadlines[w] = time.monotonic() + grace
                     pending.add(w)
+                    if status is not None:
+                        status.worker_update(
+                            w, heartbeat=False, phase="dispatched", epoch=epoch
+                        )
                 while pending:
                     try:
                         msg = result_q.get(timeout=_POLL_SECONDS)
@@ -474,10 +519,21 @@ class ParallelFuzzer:
                         continue  # straggler from a superseded process
                     if kind == "hb":
                         deadlines[w] = time.monotonic() + grace
+                        if status is not None:
+                            status.worker_update(w, phase="running", epoch=ep)
                     elif kind == "ok":
                         states[w] = body
                         pending.discard(w)
                         deadlines.pop(w, None)
+                        if status is not None:
+                            status.worker_update(
+                                w,
+                                phase="idle",
+                                epoch=ep,
+                                execs=body.inputs_executed,
+                                covered=popcount(body.total_int),
+                                corpus=len(body.corpus),
+                            )
                     elif kind == "err":
                         handle_failure(w, epoch, body)
                 union_int = 0
@@ -485,15 +541,27 @@ class ParallelFuzzer:
                     if state is not None:
                         union_int |= state.total_int
                 if tel.enabled:
+                    epoch_execs = sum(
+                        s.inputs_executed for s in states if s is not None
+                    )
                     tel.emit(
                         "sync_epoch",
                         epoch=epoch,
                         union_covered=popcount(union_int),
                         pool=len(merged_seeds),
-                        execs=sum(
-                            s.inputs_executed for s in states if s is not None
-                        ),
+                        execs=epoch_execs,
                     )
+                    tel.gauge("campaign.sync_epoch").set(epoch)
+                    tel.gauge("campaign.union_covered").set(popcount(union_int))
+                    tel.gauge("campaign.workers_live").set(len(live))
+                    if status is not None:
+                        status.update(
+                            epoch=epoch,
+                            covered=popcount(union_int),
+                            execs=epoch_execs,
+                            pool=len(merged_seeds),
+                            workers_live=len(live),
+                        )
                 if config.stop_on_full_coverage and full and union_int == full:
                     break
                 if epoch < rounds - 1:
@@ -542,6 +610,8 @@ class ParallelFuzzer:
             suite.add(TestCase(case.data, case.found_at, case.origin))
 
         timeline: List = []
+        if status is not None:
+            status.update(phase="replay")
         with tel.phase("replay"):
             report = replay_suite(
                 self.schedule, suite, compiled=compiled, timeline_out=timeline
@@ -592,6 +662,15 @@ class ParallelFuzzer:
                         )
                         continue
                     self._unlink_quietly(worker_path)
+            tel.span_end(root)
+            tel.gauge("campaign.union_covered").set(popcount(union_int))
+            if status is not None:
+                status.update(
+                    phase="done",
+                    covered=popcount(union_int),
+                    execs=inputs_executed,
+                    cases=len(suite),
+                )
             tel.flush()
         return FuzzResult(
             suite=suite,

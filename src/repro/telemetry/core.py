@@ -118,20 +118,63 @@ _NULL_PHASE = _NullPhase()
 
 
 class _Phase:
-    """Context manager accumulating one phase's wall time."""
+    """Context manager accumulating one phase's wall time.
 
-    __slots__ = ("_tel", "_name", "_start")
+    On a telemetry registry with an event sink (or listeners) the phase
+    also emits a ``span`` event on exit — phases *are* the pipeline's
+    coarse spans (parse, codegen, optimize, compile, merge, replay), so
+    instrumenting them once gives every campaign a span tree for free.
+    """
+
+    __slots__ = ("_tel", "_name", "_start", "_span")
 
     def __init__(self, tel: "Telemetry", name: str):
         self._tel = tel
         self._name = name
+        self._span = None
 
     def __enter__(self):
+        self._span = self._tel.span_begin(self._name)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
         self._tel.add_phase(self._name, time.perf_counter() - self._start)
+        if self._span is not None:
+            self._tel.span_end(self._span)
+        return False
+
+
+class _SpanHandle:
+    """An open span: identity plus start time (monotonic)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start")
+
+    def __init__(self, name: str, span_id: str, parent_id: Optional[str]):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+
+
+class _SpanCtx:
+    """Context manager pairing ``span_begin``/``span_end``."""
+
+    __slots__ = ("_tel", "_name", "_fields", "_handle")
+
+    def __init__(self, tel: "Telemetry", name: str, fields: Dict):
+        self._tel = tel
+        self._name = name
+        self._fields = fields
+        self._handle = None
+
+    def __enter__(self):
+        self._handle = self._tel.span_begin(self._name)
+        return self._handle
+
+    def __exit__(self, *exc):
+        if self._handle is not None:
+            self._tel.span_end(self._handle, **self._fields)
         return False
 
 
@@ -146,6 +189,13 @@ class Telemetry:
 
     ``tags`` are merged into every emitted event (a parallel worker sets
     ``{"worker": N}`` so the merged campaign trace stays attributable).
+
+    ``span_prefix`` namespaces span ids: a parallel worker's per-epoch
+    registry is built with ``span_prefix="w0e2-"`` so span ids never
+    collide across workers or epochs when traces are absorbed into one
+    campaign file.  ``span_root`` is the parent span id adopted by
+    top-of-stack spans — a campaign ships its root span id to workers so
+    the merged trace forms one coherent span tree.
     """
 
     def __init__(
@@ -156,6 +206,7 @@ class Telemetry:
         stats_interval: float = 0.5,
         tags: Optional[Dict] = None,
         append: bool = False,
+        span_prefix: str = "",
     ):
         self.enabled = enabled
         self.trace_path = trace_path
@@ -166,6 +217,18 @@ class Telemetry:
         #: trace-sink write/flush failures absorbed so far; a nonzero
         #: count means the sink degraded to no-trace mid-run
         self.io_errors = 0
+        #: span id namespace + adopted parent for top-level spans
+        self.span_prefix = span_prefix
+        self.span_root: Optional[str] = None
+        #: live campaign status (set by :class:`repro.telemetry.server.
+        #: MetricsServer`); the engine updates it per telemetry tick
+        self.status = None
+        self._span_seq = 0
+        self._span_stack: List[str] = []
+        #: in-process event observers, called with each emitted event dict
+        #: — independent of the JSONL sink, so a live metrics server keeps
+        #: seeing events after the sink degrades
+        self._listeners: List = []
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -214,26 +277,131 @@ class Telemetry:
         self.phase_times[name] = self.phase_times.get(name, 0.0) + seconds
 
     # ---------------------------- events ------------------------------ #
+    def add_listener(self, fn) -> None:
+        """Register an in-process observer called with each event dict."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
     def emit(self, ev: str, **fields) -> None:
         """Append one structured event to the JSONL trace (if any).
+
+        Every event carries ``ts`` (wall clock, for display) and ``mt``
+        (``time.monotonic()``, for durations and ordering — immune to
+        clock steps; comparable within one process only).
 
         A failing sink (disk full, revoked handle — or an injected
         ``trace_io_error`` fault) degrades the registry to no-trace
         instead of crashing the campaign: the error is counted in
-        :attr:`io_errors` and subsequent emits become no-ops.
+        :attr:`io_errors` and subsequent emits become no-ops.  Listeners
+        keep receiving events regardless of sink health, so a live
+        metrics server stays answering on a degraded sink.
         """
-        if not self.enabled or self._trace_fh is None:
+        if not self.enabled:
             return
-        event = {"ev": ev, "ts": round(time.time(), 6)}
+        listeners = self._listeners
+        if self._trace_fh is None and not listeners:
+            return
+        event = {
+            "ev": ev,
+            "ts": round(time.time(), 6),
+            "mt": round(time.monotonic(), 6),
+        }
         if self.tags:
             event.update(self.tags)
         event.update(fields)
-        try:
-            if _should_fire("trace_io_error"):
-                raise OSError("injected trace_io_error fault")
-            self._trace_fh.write(json.dumps(event, separators=(",", ":")) + "\n")
-        except OSError:
-            self._sink_failed()
+        if self._trace_fh is not None:
+            try:
+                if _should_fire("trace_io_error"):
+                    raise OSError("injected trace_io_error fault")
+                self._trace_fh.write(
+                    json.dumps(event, separators=(",", ":")) + "\n"
+                )
+            except OSError:
+                self._sink_failed()
+        for fn in listeners:
+            try:
+                fn(event)
+            except Exception:  # noqa: BLE001 - observers never kill a run
+                pass
+
+    # ---------------------------- spans ------------------------------- #
+    def span_begin(self, name: str) -> Optional[_SpanHandle]:
+        """Open a span under the current stack top (or :attr:`span_root`).
+
+        Returns ``None`` on a registry that would drop the event anyway,
+        so hot paths pay one check.  Span ids are ``<prefix>s<n>`` with a
+        per-registry sequence — deterministic, never random.
+        """
+        if not self.enabled or (self._trace_fh is None and not self._listeners):
+            return None
+        self._span_seq += 1
+        span_id = "%ss%d" % (self.span_prefix, self._span_seq)
+        parent = self._span_stack[-1] if self._span_stack else self.span_root
+        self._span_stack.append(span_id)
+        return _SpanHandle(name, span_id, parent)
+
+    def span_end(self, handle: Optional[_SpanHandle], **fields) -> None:
+        """Close an open span and emit its ``span`` event."""
+        if handle is None:
+            return
+        if self._span_stack and self._span_stack[-1] == handle.span_id:
+            self._span_stack.pop()
+        self.emit_span(
+            handle.name,
+            time.perf_counter() - handle.start,
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
+            **fields,
+        )
+
+    def span(self, name: str, **fields) -> object:
+        """Context manager emitting one ``span`` event on exit."""
+        return _SpanCtx(self, name, fields)
+
+    @property
+    def active_span(self) -> Optional[str]:
+        """The span id new spans would parent under, or ``None``."""
+        return self._span_stack[-1] if self._span_stack else self.span_root
+
+    def emit_span(
+        self,
+        name: str,
+        dur: float,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        **fields,
+    ) -> None:
+        """Emit a ``span`` event with a precomputed duration.
+
+        ``parent_id`` defaults to the current stack top (then
+        :attr:`span_root`) — callers measuring durations out-of-band
+        (the engine's seed/mutate_exec splits, coalesced kernel
+        dispatches) attach to the surrounding span automatically.
+        """
+        if not self.enabled:
+            return
+        if span_id is None:
+            self._span_seq += 1
+            span_id = "%ss%d" % (self.span_prefix, self._span_seq)
+        if parent_id is None:
+            parent = self._span_stack[-1] if self._span_stack else self.span_root
+        else:
+            parent = parent_id
+        event_fields = dict(fields)
+        if parent is not None:
+            event_fields["parent_id"] = parent
+        self.emit(
+            "span",
+            name=name,
+            span_id=span_id,
+            dur=round(dur, 6),
+            **event_fields,
+        )
 
     def absorb(self, events) -> None:
         """Re-emit raw event dicts (a worker trace) through this sink."""

@@ -1,0 +1,123 @@
+"""Structured span analysis: tree reconstruction and aggregation.
+
+Span *emission* lives on :class:`~repro.telemetry.core.Telemetry`
+(``span``/``span_begin``/``span_end``/``emit_span``) so the whole stack
+can report without importing anything; this module is the read side —
+given a trace's ``span`` events it rebuilds the campaign's span tree and
+aggregates per-name totals, without re-executing anything.
+
+Span identity: ids are ``<prefix>s<n>`` with a per-registry sequence;
+parallel workers get a ``w<worker>e<epoch>-`` prefix from their epoch
+payload, and adopt the campaign root span id (shipped in the payload) as
+the parent of their top-level spans — so a multi-worker, multi-epoch
+campaign trace folds into **one** coherent tree rooted at the campaign
+span.  Spans are emitted on *exit*, so a parent's event follows its
+children in the trace; reconstruction links on ids, not order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SpanNode", "build_span_tree", "span_table", "render_span_tree"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children."""
+
+    name: str
+    span_id: str
+    dur: float
+    parent_id: Optional[str] = None
+    worker: Optional[int] = None
+    batches: int = 0
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_dur(self) -> float:
+        """Duration not attributed to any child span (>= 0)."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def build_span_tree(events: Sequence[Dict]) -> List[SpanNode]:
+    """Reconstruct the span forest from a trace's ``span`` events.
+
+    Returns the roots (spans whose parent is absent or never closed —
+    a crashed worker's orphans surface as extra roots rather than being
+    dropped).  Children keep trace order, which is close-time order.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    order: List[SpanNode] = []
+    for event in events:
+        if event.get("ev") != "span":
+            continue
+        span_id = str(event.get("span_id"))
+        node = SpanNode(
+            name=str(event.get("name")),
+            span_id=span_id,
+            dur=float(event.get("dur", 0.0)),
+            parent_id=event.get("parent_id"),
+            worker=event.get("worker"),
+            batches=int(event.get("batches", 0) or 0),
+        )
+        nodes[span_id] = node
+        order.append(node)
+    roots: List[SpanNode] = []
+    for node in order:
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def span_table(events: Sequence[Dict]) -> List[Tuple[str, int, float, float]]:
+    """Per-name ``(name, count, total_dur, mean_dur)`` rows, longest first.
+
+    Coalesced hot-path spans count their ``batches`` (one aggregated
+    ``kernel_dispatch`` span standing in for N dispatches contributes N
+    to the count and its summed duration to the total), so the table
+    reads as per-operation statistics either way.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("ev") != "span":
+            continue
+        name = str(event.get("name"))
+        n = int(event.get("batches", 0) or 0) or 1
+        totals[name] = totals.get(name, 0.0) + float(event.get("dur", 0.0))
+        counts[name] = counts.get(name, 0) + n
+    rows = []
+    for name in sorted(totals, key=lambda k: -totals[k]):
+        total = totals[name]
+        count = counts[name]
+        rows.append((name, count, total, total / count if count else 0.0))
+    return rows
+
+
+def _render_node(node: SpanNode, depth: int, out: List[str], max_depth: int) -> None:
+    label = node.name
+    if node.worker is not None:
+        label += " [w%s]" % node.worker
+    if node.batches:
+        label += " (x%d)" % node.batches
+    out.append("%s%-*s %10.6fs" % ("  " * depth, 40 - 2 * depth, label, node.dur))
+    if depth + 1 >= max_depth:
+        return
+    for child in node.children:
+        _render_node(child, depth + 1, out, max_depth)
+
+
+def render_span_tree(events: Sequence[Dict], max_depth: int = 6) -> str:
+    """An indented text rendering of the campaign span tree."""
+    roots = build_span_tree(events)
+    if not roots:
+        return "(no spans)"
+    out: List[str] = []
+    for root in roots:
+        _render_node(root, 0, out, max_depth)
+    return "\n".join(out)

@@ -1,0 +1,329 @@
+"""The trace-analysis toolkit behind ``repro trace summary|curve|diff``.
+
+Everything works from JSONL campaign traces alone — no model, no
+re-execution.  ``summary`` is the phase/span/operator breakdown of one
+campaign (plus damage accounting from hardened trace reads), ``curve``
+rebuilds the coverage-over-time curve from the ``cov`` events' hex probe
+bitmaps, and ``diff`` compares two traces: coverage delta down to the
+individual probe indices, throughput delta, and per-phase time
+regressions — the comparison the bench gates and the ensemble bandit
+scheduler both consume.
+
+Durations prefer monotonic fields (``t`` campaign time, ``mt``, span
+``dur``) over wall-clock ``ts``, so the analysis is immune to clock
+steps mid-campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bits import popcount
+from .report import (
+    coverage_curve,
+    final_summary,
+    phase_table,
+    render_trace_report,
+)
+from .spans import render_span_tree, span_table
+
+__all__ = [
+    "coverage_union_bits",
+    "probe_positions",
+    "render_curve",
+    "render_diff",
+    "render_summary",
+    "trace_diff",
+    "trace_stats",
+]
+
+#: phase-time regressions smaller than this many seconds AND this factor
+#: are reported as noise, not regressions
+_PHASE_ABS_FLOOR = 0.05
+_PHASE_REL_FLOOR = 1.25
+
+
+def coverage_union_bits(events: Sequence[Dict]) -> int:
+    """The union probe bitmap (int) over a trace's ``cov`` events."""
+    union = 0
+    for event in events:
+        if event.get("ev") != "cov":
+            continue
+        try:
+            union |= int(event["bits"], 16)
+        except (KeyError, ValueError):
+            continue
+    return union
+
+
+def probe_positions(bits: int, limit: Optional[int] = None) -> List[int]:
+    """Covered probe indices of a bitmap, ascending (optionally capped).
+
+    Probe bitmaps are byte-per-probe little-endian integers (byte ``i``
+    is 0x01 when probe ``i`` was hit), so probes sit 8 bits apart.
+    """
+    out: List[int] = []
+    index = 0
+    while bits:
+        if bits & 0xFF:
+            out.append(index)
+            if limit is not None and len(out) >= limit:
+                return out
+        bits >>= 8
+        index += 1
+    return out
+
+
+def trace_stats(events: Sequence[Dict]) -> Dict[str, object]:
+    """One trace's headline numbers, as plain data (JSON-ready)."""
+    starts = [e for e in events if e.get("ev") == "campaign_start"]
+    end = final_summary(events)
+    curve = coverage_curve(events)
+    union = coverage_union_bits(events)
+    elapsed = float(end.get("t", 0.0)) if end else (curve[-1][0] if curve else 0.0)
+    execs = int(end.get("execs", 0)) if end else 0
+    stats: Dict[str, object] = {
+        "model": starts[0].get("model") if starts else None,
+        "seed": starts[0].get("seed") if starts else None,
+        "workers": starts[0].get("workers") if starts else None,
+        "n_probes": starts[0].get("n_probes") if starts else None,
+        "elapsed_s": round(elapsed, 6),
+        "execs": execs,
+        "execs_per_s": round(execs / elapsed, 1) if elapsed else 0.0,
+        "iterations": int(end.get("iterations", 0)) if end else 0,
+        "cases": int(end.get("cases", 0)) if end else 0,
+        "covered": popcount(union),
+        "decision": end.get("decision") if end else None,
+        "condition": end.get("condition") if end else None,
+        "mcdc": end.get("mcdc") if end else None,
+        "phases": {k: round(v, 6) for k, v in phase_table(events)},
+        "plateaus": sum(1 for e in events if e.get("ev") == "plateau"),
+        "faults": sum(1 for e in events if e.get("ev") == "fault"),
+        "spans": len([e for e in events if e.get("ev") == "span"]),
+        "events": len(events),
+        "skipped_lines": int(getattr(events, "skipped", 0)),
+        "curve": [[round(t, 6), c] for t, c in curve],
+    }
+    return stats
+
+
+# --------------------------------------------------------------------- #
+# summary
+# --------------------------------------------------------------------- #
+def render_summary(events: Sequence[Dict]) -> str:
+    """The full single-trace breakdown: report + spans + top operators."""
+    from ..experiments.report import format_table  # local: import cycle
+
+    out = [render_trace_report(events)]
+    spans = span_table(events)
+    if spans:
+        out.append("")
+        out.append(
+            format_table(
+                ["span", "count", "total s", "mean ms"],
+                [
+                    [name, count, "%.3f" % total, "%.3f" % (mean * 1e3)]
+                    for name, count, total, mean in spans
+                ],
+            )
+        )
+        out.append("")
+        out.append("span tree:")
+        out.append(render_span_tree(events))
+    skipped = int(getattr(events, "skipped", 0))
+    if skipped:
+        out.append("")
+        out.append(
+            "WARNING: %d malformed trace line%s skipped (torn tail or "
+            "interleaved partial writes)" % (skipped, "s" if skipped != 1 else "")
+        )
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------------- #
+# curve
+# --------------------------------------------------------------------- #
+def render_curve(events: Sequence[Dict], width: int = 60) -> str:
+    """Coverage-over-time as ASCII art plus the raw points.
+
+    Re-execution-free: the curve is the running union of the ``cov``
+    events' probe bitmaps, so multi-worker traces union correctly.
+    """
+    from ..experiments.report import format_series, format_table  # cycle
+
+    curve = coverage_curve(events)
+    if not curve:
+        return "(no cov events in trace)"
+    starts = [e for e in events if e.get("ev") == "campaign_start"]
+    n_probes = starts[0].get("n_probes") if starts else None
+    denom = n_probes or curve[-1][1] or 1
+    series = [(t, 100.0 * c / denom) for t, c in curve]
+    out = [format_series("probe coverage over time", series, width)]
+    rows = [
+        ["%.3f" % t, c, "%.1f%%" % (100.0 * c / denom)] for t, c in curve
+    ]
+    out.append("")
+    out.append(format_table(["t (s)", "covered", "fraction"], rows))
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------------- #
+# diff
+# --------------------------------------------------------------------- #
+def trace_diff(
+    events_a: Sequence[Dict],
+    events_b: Sequence[Dict],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> Dict[str, object]:
+    """Compare two campaign traces, as plain data (JSON-ready).
+
+    Coverage compares the union probe *bitmaps* (probe indices gained
+    and lost, not just counts); throughput compares execs/s; phase times
+    flag regressions past ``1.25x and >=50ms``.
+    """
+    stats_a = trace_stats(events_a)
+    stats_b = trace_stats(events_b)
+    bits_a = coverage_union_bits(events_a)
+    bits_b = coverage_union_bits(events_b)
+    only_a = bits_a & ~bits_b
+    only_b = bits_b & ~bits_a
+    phases_a: Dict[str, float] = stats_a["phases"]  # type: ignore[assignment]
+    phases_b: Dict[str, float] = stats_b["phases"]  # type: ignore[assignment]
+    phase_rows = []
+    regressions = []
+    for name in sorted(set(phases_a) | set(phases_b)):
+        pa = phases_a.get(name, 0.0)
+        pb = phases_b.get(name, 0.0)
+        delta = pb - pa
+        row = {
+            "phase": name,
+            label_a: round(pa, 6),
+            label_b: round(pb, 6),
+            "delta_s": round(delta, 6),
+        }
+        phase_rows.append(row)
+        if delta >= _PHASE_ABS_FLOOR and (
+            pa == 0.0 or pb / pa >= _PHASE_REL_FLOOR
+        ):
+            regressions.append(name)
+    rate_a = float(stats_a["execs_per_s"])  # type: ignore[arg-type]
+    rate_b = float(stats_b["execs_per_s"])  # type: ignore[arg-type]
+    return {
+        "labels": [label_a, label_b],
+        label_a: stats_a,
+        label_b: stats_b,
+        "coverage": {
+            label_a: popcount(bits_a),
+            label_b: popcount(bits_b),
+            "delta": popcount(bits_b) - popcount(bits_a),
+            "common": popcount(bits_a & bits_b),
+            "only_%s" % label_a: probe_positions(only_a, limit=64),
+            "only_%s" % label_b: probe_positions(only_b, limit=64),
+        },
+        "throughput": {
+            label_a: rate_a,
+            label_b: rate_b,
+            "speedup": round(rate_b / rate_a, 3) if rate_a else None,
+        },
+        "cases": {
+            label_a: stats_a["cases"],
+            label_b: stats_b["cases"],
+            "delta": int(stats_b["cases"]) - int(stats_a["cases"]),  # type: ignore[arg-type]
+        },
+        "phases": phase_rows,
+        "phase_regressions": regressions,
+        "skipped_lines": {
+            label_a: stats_a["skipped_lines"],
+            label_b: stats_b["skipped_lines"],
+        },
+    }
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human rendering of :func:`trace_diff`'s data."""
+    from ..experiments.report import format_table  # local: import cycle
+
+    label_a, label_b = diff["labels"]  # type: ignore[misc]
+    cov = diff["coverage"]
+    thr = diff["throughput"]
+    cases = diff["cases"]
+    out = []
+    for label in (label_a, label_b):
+        stats = diff[label]
+        out.append(
+            "%s: model=%s seed=%s  %s execs in %.3fs (%.0f/s), "
+            "%s cases, %s probes covered"
+            % (
+                label,
+                stats["model"],
+                stats["seed"],
+                stats["execs"],
+                stats["elapsed_s"],
+                stats["execs_per_s"],
+                stats["cases"],
+                stats["covered"],
+            )
+        )
+    out.append("")
+    out.append(
+        "coverage: %s=%d  %s=%d  delta=%+d (common %d)"
+        % (label_a, cov[label_a], label_b, cov[label_b], cov["delta"], cov["common"])
+    )
+    for label in (label_a, label_b):
+        only = cov["only_%s" % label]
+        if only:
+            out.append(
+                "  probes only in %s: %s%s"
+                % (
+                    label,
+                    ", ".join(str(i) for i in only[:16]),
+                    " ..." if len(only) > 16 else "",
+                )
+            )
+    speedup = thr["speedup"]
+    out.append(
+        "throughput: %s=%.0f/s  %s=%.0f/s  (%s)"
+        % (
+            label_a,
+            thr[label_a],
+            label_b,
+            thr[label_b],
+            "%.2fx" % speedup if speedup else "n/a",
+        )
+    )
+    out.append(
+        "cases: %s=%s  %s=%s  delta=%+d"
+        % (label_a, cases[label_a], label_b, cases[label_b], cases["delta"])
+    )
+    rows = [
+        [r["phase"], "%.3f" % r[label_a], "%.3f" % r[label_b], "%+.3f" % r["delta_s"]]
+        for r in diff["phases"]
+    ]
+    if rows:
+        out.append("")
+        out.append(
+            format_table(
+                ["phase", "%s (s)" % label_a, "%s (s)" % label_b, "delta"], rows
+            )
+        )
+    regressions = diff["phase_regressions"]
+    if regressions:
+        out.append("")
+        out.append("phase-time regressions (>=1.25x and >=50ms): %s"
+                   % ", ".join(regressions))
+    skipped = diff["skipped_lines"]
+    damaged = [l for l in (label_a, label_b) if skipped[l]]
+    if damaged:
+        out.append("")
+        out.append(
+            "WARNING: damaged trace lines skipped: "
+            + ", ".join("%s=%d" % (l, skipped[l]) for l in damaged)
+        )
+    return "\n".join(out)
+
+
+def dump_json(data: Dict[str, object]) -> str:
+    """Stable JSON for ``--json`` outputs and CI artifacts."""
+    return json.dumps(data, indent=2, sort_keys=True)

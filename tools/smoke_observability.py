@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the live observability stack — the CI side
+of the ``trace-tools`` job.
+
+Runs a short 2-worker campaign with the metrics server attached, and
+while it could still be scraped (the server stays up until we close it):
+
+1. ``GET /metrics`` must parse as Prometheus text exposition and carry
+   the campaign gauges;
+2. ``GET /status`` must be a JSON frame aggregating both workers with
+   heartbeat ages;
+3. ``GET /events`` must be a JSON array of schema-valid events;
+4. every event in the campaign trace must validate against
+   ``EVENT_TYPES`` (span and monotonic-clock fields included);
+5. ``repro trace summary`` must render (span tree included) and
+   ``repro trace diff`` must compare two seeded traces — their rendered
+   outputs are written into ``--out DIR`` as the build artifact.
+
+Exits non-zero on any failure:
+
+    PYTHONPATH=src python tools/smoke_observability.py --out obs-artifacts
+"""
+
+import argparse
+import json
+import os
+import sys
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.registry import build_schedule  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.fuzzing import FuzzerConfig, run_campaign  # noqa: E402
+from repro.telemetry import Telemetry, read_trace, validate_event  # noqa: E402
+from repro.telemetry.metrics import parse_exposition  # noqa: E402
+from repro.telemetry.server import MetricsServer  # noqa: E402
+from repro.telemetry.spans import build_span_tree  # noqa: E402
+from repro.telemetry.tools import (  # noqa: E402
+    dump_json,
+    render_diff,
+    render_summary,
+    trace_diff,
+)
+
+MODEL = "CPUTask"
+MICRO = dict(max_seconds=60.0, max_inputs=400, sync_rounds=2)
+
+
+def check(label: str, ok: bool) -> bool:
+    print("  %-52s %s" % (label, "ok" if ok else "FAIL"))
+    return ok
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read()
+
+
+def run_served_campaign(schedule, trace_path: str, seed: int, workers: int):
+    """One campaign with the full stack; returns (result, scrapes)."""
+    tel = Telemetry(enabled=True, trace_path=trace_path)
+    server = MetricsServer(tel).start()
+    try:
+        config = FuzzerConfig(workers=workers, seed=seed, **MICRO)
+        result = run_campaign(schedule, config, telemetry=tel)
+        scrapes = {
+            "metrics": _get(server.url + "/metrics").decode("utf-8"),
+            "status": json.loads(_get(server.url + "/status")),
+            "events": json.loads(_get(server.url + "/events?n=64")),
+        }
+    finally:
+        server.close()
+        tel.close()
+    return result, scrapes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="obs-artifacts")
+    parser.add_argument("--model", default=MODEL)
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+
+    schedule = build_schedule(args.model)
+    print(
+        "observability smoke on %s (%d probes)"
+        % (args.model, schedule.branch_db.n_probes)
+    )
+    failures = 0
+
+    trace_a = os.path.join(args.out, "campaign_a.jsonl")
+    trace_b = os.path.join(args.out, "campaign_b.jsonl")
+    result, scrapes = run_served_campaign(schedule, trace_a, seed=0, workers=2)
+    run_served_campaign(schedule, trace_b, seed=9, workers=1)
+
+    # 1. /metrics: Prometheus-parseable, campaign gauges present
+    try:
+        samples = parse_exposition(scrapes["metrics"])
+        failures += not check("/metrics parses as text exposition", bool(samples))
+        failures += not check(
+            "/metrics carries campaign gauges",
+            samples.get("repro_campaign_workers_live") == 2.0
+            and "repro_campaign_union_covered" in samples,
+        )
+    except ValueError as exc:
+        print("  /metrics parse FAILED: %s" % exc)
+        failures += 1
+
+    # 2. /status: one frame, both workers, heartbeat ages
+    status = scrapes["status"]
+    failures += not check(
+        "/status aggregates both workers",
+        set(status.get("workers_detail", {})) == {"0", "1"}
+        and all(
+            "heartbeat_age_s" in w for w in status["workers_detail"].values()
+        ),
+    )
+    failures += not check(
+        "/status reports campaign frame", status.get("phase") == "done"
+    )
+
+    # 3. /events: schema-valid JSON tail
+    try:
+        for event in scrapes["events"]:
+            validate_event(event)
+        failures += not check(
+            "/events tail is schema-valid (%d events)" % len(scrapes["events"]),
+            bool(scrapes["events"]),
+        )
+    except Exception as exc:  # noqa: BLE001 - report the exact event error
+        print("  /events validation FAILED: %s" % exc)
+        failures += 1
+
+    # 4. the full trace validates, spans stitch into one tree, mt rides
+    events = read_trace(trace_a)
+    try:
+        for event in events:
+            validate_event(event)
+        ok = True
+    except Exception as exc:  # noqa: BLE001
+        print("  trace validation FAILED: %s" % exc)
+        ok = False
+    failures += not check(
+        "campaign trace is schema-valid (%d events)" % len(events), ok
+    )
+    failures += not check(
+        "no trace lines were damaged", events.skipped == 0
+    )
+    failures += not check(
+        "every event carries the monotonic clock",
+        all("mt" in e for e in events),
+    )
+    roots = build_span_tree(events)
+    failures += not check(
+        "span tree has one campaign root",
+        [r.name for r in roots] == ["campaign"],
+    )
+    failures += not check(
+        "worker slices parent under the root",
+        {c.worker for c in roots[0].children if c.name == "slice"} == {0, 1}
+        if roots
+        else False,
+    )
+
+    # 5. the trace toolkit renders both traces and their diff
+    summary = render_summary(events)
+    failures += not check("trace summary renders", "span tree:" in summary)
+    diff = trace_diff(events, read_trace(trace_b))
+    rendered_diff = render_diff(diff)
+    failures += not check("trace diff renders", "throughput:" in rendered_diff)
+    failures += not check(
+        "trace diff CLI exits clean",
+        cli_main(["trace", "diff", trace_a, trace_b]) == 0,
+    )
+
+    with open(os.path.join(args.out, "summary.txt"), "w") as fh:
+        fh.write(summary + "\n")
+    with open(os.path.join(args.out, "diff.txt"), "w") as fh:
+        fh.write(rendered_diff + "\n")
+    with open(os.path.join(args.out, "diff.json"), "w") as fh:
+        fh.write(dump_json(diff) + "\n")
+    with open(os.path.join(args.out, "metrics.txt"), "w") as fh:
+        fh.write(scrapes["metrics"])
+    with open(os.path.join(args.out, "status.json"), "w") as fh:
+        fh.write(json.dumps(status, indent=2, sort_keys=True) + "\n")
+    print("artifacts in %s" % args.out)
+
+    if failures:
+        print("FAILED: %d check(s)" % failures)
+        return 1
+    print("observability smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
