@@ -353,6 +353,44 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the campaign-service daemon until interrupted.
+
+    Prints ``serving on <url>`` to stderr once the API is bound (the
+    same URL lands in ``<store>/endpoint``, which is how tests and CI
+    discover an ephemeral port), then blocks; SIGINT/SIGTERM shut down
+    gracefully — running jobs stay resumable on disk and a restart over
+    the same store picks them up exactly.
+    """
+    import signal
+    import time as _time
+
+    from .service.daemon import ServiceDaemon
+
+    pool = None if args.pool in (None, "auto") else int(args.pool)
+    daemon = ServiceDaemon(
+        args.store,
+        host=args.host,
+        port=args.port,
+        pool_size=pool,
+        slice_inputs=args.slice_inputs,
+        start_method=args.start_method,
+    )
+    daemon.start()
+    print("serving on %s" % daemon.api.url, file=sys.stderr)
+    sys.stderr.flush()
+    stopping = []
+    signal.signal(signal.SIGTERM, lambda *_: stopping.append(True))
+    try:
+        while not stopping:
+            _time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -528,6 +566,40 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("bench", help="list benchmark models (Table 2)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the campaign service daemon (job queue over HTTP)"
+    )
+    p.add_argument(
+        "--store", required=True, help="durable job store directory"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = ephemeral; the bound URL is printed to "
+        "stderr and written to <store>/endpoint)",
+    )
+    p.add_argument(
+        "--pool",
+        default="auto",
+        help="worker pool size (default: auto, cpu-aware)",
+    )
+    p.add_argument(
+        "--slice-inputs",
+        type=int,
+        default=None,
+        help="default per-slice input budget for jobs that don't set "
+        "one (default: run each job's whole budget as one slice)",
+    )
+    p.add_argument(
+        "--start-method",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for pool workers",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

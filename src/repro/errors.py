@@ -61,3 +61,15 @@ class FaultPlanError(ReproError):
 
 class CampaignDegradedError(FuzzingError):
     """Every worker of a parallel campaign died beyond its respawn budget."""
+
+
+class ServiceError(ReproError):
+    """The campaign service rejected a request or hit an internal fault."""
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id exists in the service's store."""
+
+
+class JobSpecError(ServiceError):
+    """A submitted job specification is malformed (the HTTP 400 class)."""

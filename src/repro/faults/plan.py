@@ -25,6 +25,10 @@ Supported kinds (:data:`FAULT_KINDS`):
 ``trace_io_error``
     A telemetry trace write raises :class:`OSError`, exercising the
     degrade-to-disabled-sink path.  No params.
+``store_corrupt``
+    The campaign service's durable job store reads a garbled record,
+    exercising its corruption-quarantine path (the job-store analogue of
+    ``cache_corrupt``).  No params.
 
 The environment syntax (``REPRO_FAULTS``) is a comma-separated list of
 ``kind`` or ``kind:param=value:param=value`` entries, e.g.::
@@ -60,7 +64,13 @@ __all__ = [
 ]
 
 #: the failure modes the stack knows how to inject
-FAULT_KINDS = ("worker_death", "slow_exec", "cache_corrupt", "trace_io_error")
+FAULT_KINDS = (
+    "worker_death",
+    "slow_exec",
+    "cache_corrupt",
+    "trace_io_error",
+    "store_corrupt",
+)
 
 #: REPRO_FAULTS params that are site selectors (matched against context)
 _SITE_PARAMS = ("worker", "epoch")

@@ -67,6 +67,7 @@ from .testcase import TestCase, TestSuite
 
 __all__ = [
     "ParallelFuzzer",
+    "WorkerPool",
     "derive_worker_seed",
     "merge_seed_pool",
     "run_campaign",
@@ -200,6 +201,114 @@ def _worker_main(
             )
         else:
             result_q.put(("ok", slot, gen, epoch, state))
+
+
+class WorkerPool:
+    """The process-supervision mechanics of a worker fleet, policy-free.
+
+    Owns the multiprocessing context, one shared result queue, and per-
+    slot (process, task queue, spawn generation) triples.  Callers keep
+    the *policy* — respawn budgets, backoff, retirement, payload retry —
+    and borrow the mechanics: :meth:`spawn` (a fresh task queue per
+    spawn, so an undelivered payload in a dead worker's queue never
+    leaks into the replacement), :meth:`submit`, :meth:`alive`,
+    :meth:`reap`, :meth:`poll` (which drops messages from superseded
+    spawn generations), and :meth:`shutdown`.
+
+    Both :class:`ParallelFuzzer` (one campaign, the pool lives for the
+    campaign) and the campaign service's scheduler (many jobs
+    multiplexed over one long-lived pool — *pool lending*) run on this
+    class; the message contract is whatever tuple the worker ``main``
+    puts on ``result_q``, conventionally
+    ``(kind, slot, gen, epoch, body)`` with the spawn generation in
+    position 2 so :meth:`poll` can filter stragglers.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        main,
+        args: tuple = (),
+        start_method: Optional[str] = None,
+    ):
+        if size < 1:
+            raise FuzzingError("worker pool size must be >= 1")
+        self.size = size
+        self._main = main
+        self._args = tuple(args)
+        self.ctx = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self.result_q = self.ctx.Queue()
+        self.procs: List[Optional[object]] = [None] * size
+        self.task_qs: List[Optional[object]] = [None] * size
+        #: spawn generation per slot — the stale-message filter
+        self.gens: List[int] = [0] * size
+
+    def spawn(self, slot: int) -> None:
+        """(Re)start one slot on a fresh task queue and generation."""
+        self.gens[slot] += 1
+        self.task_qs[slot] = self.ctx.Queue()
+        proc = self.ctx.Process(
+            target=self._main,
+            args=self._args
+            + (slot, self.gens[slot], self.task_qs[slot], self.result_q),
+            daemon=True,
+        )
+        proc.start()
+        self.procs[slot] = proc
+
+    def spawn_all(self) -> None:
+        for slot in range(self.size):
+            self.spawn(slot)
+
+    def submit(self, slot: int, payload) -> None:
+        """Feed one task to a slot (the slot must have been spawned)."""
+        task_q = self.task_qs[slot]
+        if task_q is None:
+            raise FuzzingError("slot %d has never been spawned" % slot)
+        task_q.put(payload)
+
+    def alive(self, slot: int) -> bool:
+        proc = self.procs[slot]
+        return proc is not None and proc.is_alive()
+
+    def reap(self, slot: int) -> None:
+        """Terminate (if needed) and join one slot's process."""
+        proc = self.procs[slot]
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(_JOIN_SECONDS)
+
+    def poll(self, timeout: float = _POLL_SECONDS):
+        """One result-queue message, or ``None`` on timeout/straggler.
+
+        Messages whose spawn generation is not the slot's current one
+        come from a superseded process and are dropped (returned as
+        ``None``, so the caller's timeout path — liveness and deadline
+        checks — runs either way).
+        """
+        try:
+            msg = self.result_q.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+        if msg[2] != self.gens[msg[1]]:
+            return None
+        return msg
+
+    def shutdown(self) -> None:
+        """Stop every worker: ``None`` sentinel to live slots, then reap."""
+        for slot in range(self.size):
+            task_q = self.task_qs[slot]
+            if self.alive(slot) and task_q is not None:
+                try:
+                    task_q.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for slot in range(self.size):
+            self.reap(slot)
 
 
 def merge_seed_pool(
@@ -355,51 +464,21 @@ class ParallelFuzzer:
         base_config = replace(
             config, workers=1, kernel_threads=kernel_threads
         )
-        ctx = multiprocessing.get_context(
-            self.start_method or _default_start_method()
-        )
         states: List[Optional[FuzzState]] = [None] * workers
         merged_seeds: List[bytes] = []
         start = time.perf_counter()
 
-        result_q = ctx.Queue()
-        procs: List[Optional[object]] = [None] * workers
-        task_qs: List[Optional[object]] = [None] * workers
-        gens = [0] * workers  # spawn generation per slot (stale-msg filter)
+        pool = WorkerPool(
+            workers,
+            _worker_main,
+            args=(self.schedule, base_config),
+            start_method=self.start_method,
+        )
         respawns = [0] * workers
         live: Set[int] = set(range(workers))
         pending: Set[int] = set()
         deadlines: Dict[int, float] = {}
         payloads: Dict[int, Dict] = {}
-
-        def spawn(slot: int) -> None:
-            # a fresh task queue per spawn: a queue fed to a dead worker
-            # may still hold the undelivered payload, which must not leak
-            # into the replacement
-            gens[slot] += 1
-            task_qs[slot] = ctx.Queue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    self.schedule,
-                    base_config,
-                    slot,
-                    gens[slot],
-                    task_qs[slot],
-                    result_q,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            procs[slot] = proc
-
-        def reap(slot: int) -> None:
-            proc = procs[slot]
-            if proc is None:
-                return
-            if proc.is_alive():
-                proc.terminate()
-            proc.join(_JOIN_SECONDS)
 
         def handle_failure(slot: int, epoch: int, reason: str) -> None:
             """A worker died, hung or errored: respawn or retire the slot."""
@@ -412,7 +491,7 @@ class ParallelFuzzer:
                     epoch=epoch,
                     error=reason,
                 )
-            reap(slot)
+            pool.reap(slot)
             if respawns[slot] > config.max_respawns:
                 # graceful degradation: keep the slot's last completed
                 # state, carry on with the surviving workers
@@ -460,12 +539,11 @@ class ParallelFuzzer:
             retry = dict(payloads[slot])
             retry["faults"] = None
             payloads[slot] = retry
-            spawn(slot)
-            task_qs[slot].put(retry)
+            pool.spawn(slot)
+            pool.submit(slot, retry)
             deadlines[slot] = time.monotonic() + grace
 
-        for w in range(workers):
-            spawn(w)
+        pool.spawn_all()
         try:
             for epoch in range(rounds):
                 pending.clear()
@@ -491,7 +569,7 @@ class ParallelFuzzer:
                         "faults": shipped,
                         "parent_span": parent_span,
                     }
-                    task_qs[w].put(payloads[w])
+                    pool.submit(w, payloads[w])
                     deadlines[w] = time.monotonic() + grace
                     pending.add(w)
                     if status is not None:
@@ -499,13 +577,11 @@ class ParallelFuzzer:
                             w, heartbeat=False, phase="dispatched", epoch=epoch
                         )
                 while pending:
-                    try:
-                        msg = result_q.get(timeout=_POLL_SECONDS)
-                    except _queue.Empty:
+                    msg = pool.poll()
+                    if msg is None:
                         now = time.monotonic()
                         for w in sorted(pending):
-                            proc = procs[w]
-                            if proc is not None and not proc.is_alive():
+                            if not pool.alive(w):
                                 handle_failure(w, epoch, "worker process died")
                             elif now > deadlines.get(w, now):
                                 handle_failure(
@@ -514,9 +590,9 @@ class ParallelFuzzer:
                                     "no result within %.1fs (hung)" % grace,
                                 )
                         continue
-                    kind, w, gen, ep, body = msg
-                    if gen != gens[w] or ep != epoch or w not in pending:
-                        continue  # straggler from a superseded process
+                    kind, w, _gen, ep, body = msg
+                    if ep != epoch or w not in pending:
+                        continue  # straggler from a superseded dispatch
                     if kind == "hb":
                         deadlines[w] = time.monotonic() + grace
                         if status is not None:
@@ -579,15 +655,7 @@ class ParallelFuzzer:
                             max_pool=self.merge_pool_size,
                         )
         finally:
-            for w in range(workers):
-                proc, task_q = procs[w], task_qs[w]
-                if proc is not None and proc.is_alive() and task_q is not None:
-                    try:
-                        task_q.put(None)
-                    except (OSError, ValueError):  # pragma: no cover
-                        pass
-            for w in range(workers):
-                reap(w)
+            pool.shutdown()
 
         # union the worker suites, byte-deduplicated.  Ordering is by
         # *discovery rank* (n-th case of each worker, workers round-robin)

@@ -9,6 +9,7 @@ paper's fair-comparison tool for Simulink's coverage toolbox).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -49,6 +50,21 @@ class TestSuite:
 
     def sorted_by_time(self) -> List[TestCase]:
         return sorted(self.cases, key=lambda c: c.found_at)
+
+    def digest(self) -> str:
+        """SHA-256 over the ordered case byte streams (length-framed).
+
+        Timestamps and origins are excluded deliberately: two campaigns
+        that generated the same inputs in the same order have equal
+        digests regardless of wall-clock scheduling — the byte-identity
+        contract the golden-digest gates (CI, the campaign service)
+        assert is exactly this value.
+        """
+        h = hashlib.sha256()
+        for case in self.cases:
+            h.update(len(case.data).to_bytes(4, "little"))
+            h.update(case.data)
+        return h.hexdigest()
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -1,0 +1,147 @@
+"""The campaign service's HTTP API (stdlib, loopback by default).
+
+Built on the same :class:`~repro.telemetry.server.HttpEndpoint` plumbing
+as the per-campaign metrics server; this endpoint multiplexes that
+module's campaign frame across jobs.
+
+==========  =========================  ==================================
+method      path                       meaning
+==========  =========================  ==================================
+POST        /jobs                      submit a job: ``{"model": name or
+                                       .slxz path, "config": {FuzzerConfig
+                                       overrides}, "slice_inputs": N}`` ->
+                                       201 ``{"id": ..., "state":
+                                       "queued"}``; malformed specs 400
+GET         /jobs                      all jobs, summarized
+GET         /jobs/<id>                 one job's record + live campaign
+                                       status frame
+GET         /jobs/<id>/results         digest, coverage report and hex
+                                       suite of a done job (409 before)
+GET         /jobs/<id>/events          the job's event tail (``?n=``)
+GET         /jobs/<id>/trace           the job's raw JSONL trace (for
+                                       ``repro trace`` tooling)
+DELETE      /jobs/<id>                 cancel (404 unknown, 409 finished)
+GET         /metrics                   Prometheus exposition: daemon
+                                       registry + ``{job="<id>"}``-labeled
+                                       per-job gauges
+GET         /status                    daemon frame: job state counts,
+                                       queue depth, pool occupancy
+==========  =========================  ==================================
+
+Error mapping: :class:`~repro.errors.JobSpecError` -> 400,
+:class:`~repro.errors.JobNotFound` -> 404, other
+:class:`~repro.errors.ServiceError` -> 500; conflict states (results of
+an unfinished job, cancelling a finished one) -> 409.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Tuple
+
+from ..errors import JobNotFound, JobSpecError, ServiceError
+from ..telemetry.server import HttpEndpoint
+
+__all__ = ["ServiceAPI"]
+
+_EVENTS_TAIL = 128
+
+
+class ServiceAPI(HttpEndpoint):
+    """The daemon's job endpoint; all state lives on the daemon."""
+
+    def __init__(self, daemon, port: int = 0, host: str = "127.0.0.1"):
+        super().__init__(port=port, host=host)
+        self.svc = daemon
+
+    def dispatch(
+        self, method: str, path: str, query: Dict, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        try:
+            return self._route(method, path, query, body)
+        except JobSpecError as exc:
+            return self.error_response(400, str(exc))
+        except JobNotFound as exc:
+            return self.error_response(404, str(exc))
+        except ServiceError as exc:
+            return self.error_response(500, str(exc))
+
+    def _route(
+        self, method: str, path: str, query: Dict, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        svc = self.svc
+        parts = [p for p in path.split("/") if p]
+        if method == "POST":
+            if parts == ["jobs"]:
+                return self._submit(body)
+            return self.not_found()
+        if method == "DELETE":
+            if len(parts) == 2 and parts[0] == "jobs":
+                return self._cancel(parts[1])
+            return self.not_found()
+        if method != "GET":
+            return self.not_found()
+        if parts == ["metrics"]:
+            return self.text_response(
+                svc.metrics_text(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if parts == ["status"]:
+            return self.json_response(svc.status_frame())
+        if parts == ["jobs"]:
+            return self.json_response({"jobs": svc.jobs_frame()})
+        if len(parts) == 2 and parts[0] == "jobs":
+            return self.json_response(svc.job_frame(parts[1]))
+        if len(parts) == 3 and parts[0] == "jobs":
+            job_id, leaf = parts[1], parts[2]
+            if leaf == "results":
+                return self._results(job_id)
+            if leaf == "events":
+                try:
+                    n = int(query.get("n", [_EVENTS_TAIL])[0])
+                except ValueError:
+                    n = _EVENTS_TAIL
+                return self.json_response(svc.job_events(job_id, n))
+            if leaf == "trace":
+                return self._trace(job_id)
+        return self.not_found()
+
+    # ------------------------------ routes ------------------------------ #
+    def _submit(self, body: bytes) -> Tuple[int, str, bytes]:
+        try:
+            spec = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            raise JobSpecError("request body is not valid JSON")
+        if spec is None:
+            raise JobSpecError("request body is empty; send a job spec")
+        job_id = self.svc.submit(spec)
+        return self.json_response({"id": job_id, "state": "queued"}, code=201)
+
+    def _cancel(self, job_id: str) -> Tuple[int, str, bytes]:
+        try:
+            state = self.svc.cancel(job_id)
+        except JobNotFound:
+            raise
+        except ServiceError as exc:
+            return self.error_response(409, str(exc))
+        return self.json_response({"id": job_id, "state": state})
+
+    def _results(self, job_id: str) -> Tuple[int, str, bytes]:
+        try:
+            result = self.svc.job_results(job_id)
+        except JobNotFound:
+            raise
+        except ServiceError as exc:
+            message = str(exc)
+            if "not done" in message:
+                return self.error_response(409, message)
+            raise
+        return self.json_response(result)
+
+    def _trace(self, job_id: str) -> Tuple[int, str, bytes]:
+        path = self.svc.job_trace_path(job_id)
+        if not os.path.exists(path):
+            return self.not_found("job %r has no trace yet" % (job_id,))
+        with open(path, "rb") as fh:
+            return 200, "application/x-ndjson", fh.read()

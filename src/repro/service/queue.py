@@ -1,0 +1,59 @@
+"""The service's job queue: FIFO admission, round-robin continuation.
+
+A deliberately small structure: job ids in arrival order, popped by the
+scheduler one free worker slot at a time.  Fairness falls out of the
+re-enqueue discipline rather than any priority machinery — a job that
+finishes a budget slice goes to the *tail*, so ``K`` runnable jobs on an
+``N``-slot pool each advance one slice per cycle and none starves behind
+a long campaign.  Thread-safe: the API thread pushes and removes, the
+scheduler thread pops and re-enqueues.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import List, Optional
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """A thread-safe FIFO of job ids."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._deque: collections.deque = collections.deque()
+
+    def push(self, job_id: str) -> None:
+        """Enqueue at the tail (both admission and slice continuation)."""
+        with self._lock:
+            self._deque.append(job_id)
+
+    def pop(self) -> Optional[str]:
+        """Dequeue the head, or ``None`` when empty."""
+        with self._lock:
+            if not self._deque:
+                return None
+            return self._deque.popleft()
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued id (cancellation before dispatch)."""
+        with self._lock:
+            try:
+                self._deque.remove(job_id)
+            except ValueError:
+                return False
+            return True
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._deque)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._deque)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._deque

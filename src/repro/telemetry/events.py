@@ -97,6 +97,13 @@ EVENT_TYPES: Dict[str, tuple] = {
     # the driving thread stalled waiting on an inflight batch
     "kernel_threads": ("threads", "lanes", "block_busy_s", "stall_s"),
     "crash_artifact": ("t", "kind", "hash", "count", "size"),
+    # campaign-service job lifecycle: one event per state transition
+    # (queued, running, done, failed, cancelled, resumed); ``job`` is the
+    # service-assigned job id
+    "job_state": ("job", "state"),
+    # per-slice progress of a service job, emitted by the daemon as each
+    # scheduled budget slice returns from the shared worker pool
+    "job_slice": ("job", "round", "execs", "covered"),
     "worker_respawn": ("worker", "epoch", "attempt", "backoff_s"),
     "worker_dead": ("worker", "epoch", "reason"),
     "degraded": ("workers_left",),

@@ -30,9 +30,12 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "ENGINE_GAUGES",
+    "JOB_GAUGES",
+    "JOB_STATE_CODES",
     "LADDER_POSITIONS",
     "metric_name",
     "parse_exposition",
+    "render_job_metrics",
     "render_prometheus",
 ]
 
@@ -67,6 +70,31 @@ ENGINE_GAUGES: Dict[str, str] = {
 
 #: maps ``Fuzzer.engine`` strings to the ladder-position gauge value
 LADDER_POSITIONS: Dict[str, int] = {"scalar": 0, "batch": 1, "kernel": 2}
+
+#: the per-job gauge families of the campaign-service ``/metrics``
+#: exposition (registry name -> HELP text); every sample carries a
+#: ``job="<id>"`` label, so one daemon scrape covers every job it holds
+JOB_GAUGES: Dict[str, str] = {
+    "job.state": (
+        "Job lifecycle state: 0=queued 1=running 2=done 3=failed "
+        "4=cancelled"
+    ),
+    "job.execs": "Inputs executed so far by this job",
+    "job.covered_probes": "Probes this job has covered so far",
+    "job.coverage_fraction": "Covered probes / total probes (0..1)",
+    "job.cases": "Test cases in the job's suite so far",
+    "job.rounds": "Completed scheduler slices of this job",
+    "job.respawns": "Worker respawns consumed recovering this job",
+}
+
+#: job lifecycle state -> the ``job.state`` gauge value
+JOB_STATE_CODES: Dict[str, int] = {
+    "queued": 0,
+    "running": 1,
+    "done": 2,
+    "failed": 3,
+    "cancelled": 4,
+}
 
 
 def metric_name(name: str, suffix: str = "") -> str:
@@ -133,6 +161,46 @@ def render_prometheus(
             )
     for name, value in (extra or {}).items():
         _family(out, metric_name(name), "gauge", value)
+    return "\n".join(out) + "\n"
+
+
+_LABEL_ESCAPE = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPE.get(ch, ch) for ch in str(value))
+
+
+def render_job_metrics(
+    jobs: Dict[str, Dict[str, float]], label: str = "job"
+) -> str:
+    """Render per-job gauges as one labeled family per metric.
+
+    ``jobs`` maps a job id to its metric values (registry names, e.g.
+    ``job.execs``).  Each metric becomes a single Prometheus family —
+    one TYPE/HELP header, one ``{job="<id>"}``-labeled sample per job —
+    so concatenating this text after :func:`render_prometheus` yields a
+    valid multi-job exposition (a family never repeats its headers).
+    """
+    families: Dict[str, List[str]] = {}
+    for job_id in sorted(jobs):
+        for name, value in sorted(jobs[job_id].items()):
+            families.setdefault(name, []).append(
+                '%s{%s="%s"} %s'
+                % (metric_name(name), label, _label_value(job_id), _fmt(value))
+            )
+    out: List[str] = []
+    for name, samples in sorted(families.items()):
+        help_text = JOB_GAUGES.get(name)
+        if help_text:
+            out.append(
+                "# HELP %s %s"
+                % (metric_name(name), help_text.replace("\n", " "))
+            )
+        out.append("# TYPE %s gauge" % metric_name(name))
+        out.extend(samples)
+    if not out:
+        return ""
     return "\n".join(out) + "\n"
 
 

@@ -27,6 +27,11 @@ endpoints while a campaign runs:
 The server is read-only and campaign-scoped: it binds to loopback by
 default, starts before the campaign and is closed (cleanly: listener
 removed, socket closed, thread joined) when the campaign ends.
+
+The HTTP plumbing lives in :class:`HttpEndpoint`, a reusable base (bind,
+daemon thread, clean shutdown, method dispatch) shared with the campaign
+service's job API (:mod:`repro.service.api`) — the service multiplexes
+this module's per-campaign frame across many jobs on the same plumbing.
 """
 
 from __future__ import annotations
@@ -36,13 +41,13 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .core import Telemetry
 from .metrics import render_prometheus
 
-__all__ = ["CampaignStatus", "MetricsServer"]
+__all__ = ["CampaignStatus", "HttpEndpoint", "MetricsServer"]
 
 #: default /events tail length (ring size is the hard cap)
 _DEFAULT_TAIL = 128
@@ -55,7 +60,9 @@ class CampaignStatus:
     track the last heartbeat (monotonic, so ages survive clock steps),
     the worker's phase, and its latest reported stats.  Both the
     single-process engine (as worker 0) and the parallel supervisor
-    write here; the ``/status`` handler reads.
+    write here; the ``/status`` handler reads.  The campaign service
+    keeps one instance per job, so ``GET /jobs/<id>`` serves the same
+    frame this class renders for a standalone campaign.
     """
 
     def __init__(self):
@@ -94,7 +101,7 @@ class CampaignStatus:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes /metrics, /status, /events; everything else is 404."""
+    """Parses the request line and hands off to the endpoint's dispatch."""
 
     server_version = "repro-metrics"
     protocol_version = "HTTP/1.1"
@@ -109,30 +116,124 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def do_GET(self):  # noqa: N802 - http.server API
-        obs = self.server.observability  # type: ignore[attr-defined]
+    def _handle(self, method: str) -> None:
+        endpoint = self.server.endpoint  # type: ignore[attr-defined]
         url = urlparse(self.path)
-        if url.path == "/metrics":
-            self._send(
-                200,
-                obs.render_metrics().encode("utf-8"),
-                "text/plain; version=0.0.4; charset=utf-8",
-            )
-        elif url.path == "/status":
-            body = json.dumps(obs.render_status(), sort_keys=True).encode("utf-8")
-            self._send(200, body, "application/json")
-        elif url.path == "/events":
-            try:
-                n = int(parse_qs(url.query).get("n", [_DEFAULT_TAIL])[0])
-            except ValueError:
-                n = _DEFAULT_TAIL
-            body = json.dumps(obs.event_tail(n)).encode("utf-8")
-            self._send(200, body, "application/json")
-        else:
-            self._send(404, b"not found\n", "text/plain")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        code, content_type, payload = endpoint.dispatch(
+            method, url.path, parse_qs(url.query), body
+        )
+        self._send(code, payload, content_type)
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def do_DELETE(self):  # noqa: N802 - http.server API
+        self._handle("DELETE")
 
 
-class MetricsServer:
+class HttpEndpoint:
+    """A loopback HTTP endpoint on one daemon thread, cleanly closable.
+
+    Subclasses implement :meth:`dispatch` (method + path + parsed query
+    + raw body -> status, content type, payload) and get binding
+    (``port=0`` = ephemeral), threaded serving, idempotent shutdown and
+    the context-manager protocol for free.  Both the per-campaign
+    :class:`MetricsServer` and the campaign service's job API are built
+    on this class.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1"):
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # --------------------------- dispatch ------------------------------ #
+    def dispatch(
+        self, method: str, path: str, query: Dict, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """Route one request; the base knows nothing and 404s."""
+        return self.not_found()
+
+    # response helpers shared by every endpoint
+    @staticmethod
+    def json_response(payload, code: int = 200) -> Tuple[int, str, bytes]:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return code, "application/json", body
+
+    @staticmethod
+    def text_response(
+        text: str, code: int = 200, content_type: str = "text/plain"
+    ) -> Tuple[int, str, bytes]:
+        return code, content_type, text.encode("utf-8")
+
+    @staticmethod
+    def not_found(message: str = "not found") -> Tuple[int, str, bytes]:
+        return 404, "text/plain", (message + "\n").encode("utf-8")
+
+    @staticmethod
+    def error_response(code: int, message: str) -> Tuple[int, str, bytes]:
+        body = json.dumps({"error": message}).encode("utf-8")
+        return code, "application/json", body
+
+    # --------------------------- lifecycle ----------------------------- #
+    def start(self) -> "HttpEndpoint":
+        """Bind the socket and start the serving thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.endpoint = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-http-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def close(self) -> None:
+        """Stop serving: accept loop halted, socket closed, thread joined.
+
+        Idempotent and safe before :meth:`start`.
+        """
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HttpEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class MetricsServer(HttpEndpoint):
     """The campaign observability endpoint: one daemon HTTP thread.
 
     ``port=0`` binds an ephemeral port (the bound port is on
@@ -149,17 +250,14 @@ class MetricsServer:
         host: str = "127.0.0.1",
         events_tail: int = 512,
     ):
+        super().__init__(port=port, host=host)
         self.telemetry = telemetry
-        self.host = host
-        self._requested_port = port
         self.status = CampaignStatus()
         self._ring = collections.deque(maxlen=events_tail)
         self._ring_lock = threading.Lock()
         self._events_seen = 0
         self._started = time.monotonic()
         self._last_metrics = "# (no scrape rendered yet)\n"
-        self._httpd: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
 
     # ------------------------- telemetry feed ------------------------- #
     def _on_event(self, event: Dict) -> None:
@@ -202,35 +300,36 @@ class MetricsServer:
         frame["events_seen"] = self._events_seen
         return frame
 
+    # --------------------------- dispatch ------------------------------ #
+    def dispatch(
+        self, method: str, path: str, query: Dict, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        if method != "GET":
+            return self.not_found()
+        if path == "/metrics":
+            return self.text_response(
+                self.render_metrics(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/status":
+            return self.json_response(self.render_status())
+        if path == "/events":
+            try:
+                n = int(query.get("n", [_DEFAULT_TAIL])[0])
+            except ValueError:
+                n = _DEFAULT_TAIL
+            return self.json_response(self.event_tail(n))
+        return self.not_found()
+
     # --------------------------- lifecycle ----------------------------- #
     def start(self) -> "MetricsServer":
         """Bind the socket, register the listener, start serving."""
         if self._httpd is not None:
             return self
-        httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
-        httpd.daemon_threads = True
-        httpd.observability = self  # type: ignore[attr-defined]
-        self._httpd = httpd
+        super().start()
         self.telemetry.add_listener(self._on_event)
         self.telemetry.status = self.status
-        self._thread = threading.Thread(
-            target=httpd.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name="repro-metrics-server",
-            daemon=True,
-        )
-        self._thread.start()
         return self
-
-    @property
-    def port(self) -> int:
-        if self._httpd is None:
-            return self._requested_port
-        return self._httpd.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return "http://%s:%d" % (self.host, self.port)
 
     def close(self) -> None:
         """Stop serving and detach from the telemetry registry.
@@ -242,17 +341,4 @@ class MetricsServer:
         self.telemetry.remove_listener(self._on_event)
         if self.telemetry.status is self.status:
             self.telemetry.status = None
-        httpd, self._httpd = self._httpd, None
-        thread, self._thread = self._thread, None
-        if httpd is not None:
-            httpd.shutdown()
-            httpd.server_close()
-        if thread is not None:
-            thread.join(timeout=5.0)
-
-    def __enter__(self) -> "MetricsServer":
-        return self.start()
-
-    def __exit__(self, *exc):
-        self.close()
-        return False
+        super().close()

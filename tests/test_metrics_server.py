@@ -201,6 +201,70 @@ class TestSinkDegradation:
 # -------------------------------------------------------------------- #
 # lifecycle
 # -------------------------------------------------------------------- #
+class TestFreePortAssignment:
+    def test_serve_metrics_zero_picks_a_free_port(self, tmp_path):
+        """``--serve-metrics 0`` (PR 9 pin): the CLI binds an OS-assigned
+        free port, announces the real URL on stderr before fuzzing, and
+        the endpoints answer live on that URL."""
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "fuzz",
+                "CPUTask",
+                "--seconds",
+                "20",
+                "--serve-metrics",
+                "0",
+                "--out",
+                str(tmp_path / "suite"),
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            url = None
+            while time.monotonic() < deadline:
+                line = proc.stderr.readline()
+                if not line:
+                    raise AssertionError(
+                        "campaign exited before announcing its URL"
+                    )
+                match = re.search(r"serving metrics on (http://\S+)", line)
+                if match:
+                    url = match.group(1)
+                    break
+            assert url, "no 'serving metrics on' line within 60s"
+            port = int(url.rsplit(":", 1)[1])
+            assert port != 0  # the OS assigned a real port
+            code, ctype, body = _get(url + "/metrics", timeout=30)
+            assert code == 200
+            assert ctype.startswith("text/plain; version=0.0.4")
+            parse_exposition(body.decode("utf-8"))  # raises if malformed
+            code, _, body = _get(url + "/status", timeout=30)
+            assert code == 200
+            frame = json.loads(body)
+            assert frame["uptime_s"] >= 0.0
+            assert "sink" in frame  # the degradation block is present
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
 class TestLifecycle:
     def test_clean_shutdown_at_campaign_end(self, schedule, tmp_path):
         tel = Telemetry(enabled=True, trace_path=str(tmp_path / "t.jsonl"))
